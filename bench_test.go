@@ -1,0 +1,175 @@
+// Package spatl's root benchmark suite regenerates every table and
+// figure of the paper at the Tiny scale (one Benchmark per artifact —
+// see DESIGN.md §3 for the mapping), plus micro-benchmarks of the
+// substrates that dominate runtime. Run the full harness with:
+//
+//	go test -bench=. -benchmem
+//
+// Paper-scale regeneration uses the spatl-bench CLI instead:
+//
+//	go run ./cmd/spatl-bench -exp all -scale small
+package spatl_test
+
+import (
+	"io"
+	"testing"
+
+	"spatl/internal/experiments"
+	"spatl/internal/fl"
+	"spatl/internal/nn"
+	"spatl/internal/tensor"
+)
+
+// benchOpts runs drivers quietly at the Tiny scale.
+func benchOpts() experiments.Options {
+	return experiments.Options{Scale: experiments.Tiny, Out: io.Discard, Seed: 1}
+}
+
+func runDriver(b *testing.B, driver experiments.Runner) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := driver(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLearningEfficiency regenerates the learning-curve figure
+// (E1, §V-B): accuracy vs round for SPATL and all baselines.
+func BenchmarkLearningEfficiency(b *testing.B) { runDriver(b, experiments.LearningEfficiency) }
+
+// BenchmarkFEMNISTLearning regenerates the FEMNIST 2-layer-CNN curve
+// (E1, §V-B) — the paper's known exception case.
+func BenchmarkFEMNISTLearning(b *testing.B) { runDriver(b, experiments.FEMNISTLearning) }
+
+// BenchmarkConvergeAccuracy regenerates Fig. 3 (E2): converged accuracy
+// per method per setting.
+func BenchmarkConvergeAccuracy(b *testing.B) { runDriver(b, experiments.ConvergeAccuracy) }
+
+// BenchmarkLocalAccuracy regenerates the per-client accuracy figure
+// (E3, §V-B).
+func BenchmarkLocalAccuracy(b *testing.B) { runDriver(b, experiments.LocalAccuracy) }
+
+// BenchmarkTable1Communication regenerates Table I (E4, §V-C):
+// communication cost to target accuracy.
+func BenchmarkTable1Communication(b *testing.B) { runDriver(b, experiments.Table1Communication) }
+
+// BenchmarkRoundsToTarget regenerates the rounds-to-target figure
+// (E5, §V-C).
+func BenchmarkRoundsToTarget(b *testing.B) { runDriver(b, experiments.RoundsToTarget) }
+
+// BenchmarkTable2Convergence regenerates Table II (E6, §V-C): cost and
+// accuracy at convergence for the larger populations.
+func BenchmarkTable2Convergence(b *testing.B) { runDriver(b, experiments.Table2Convergence) }
+
+// BenchmarkTable3Transfer regenerates Table III (E7, §V-E):
+// transferability of the federated-trained model.
+func BenchmarkTable3Transfer(b *testing.B) { runDriver(b, experiments.Table3Transfer) }
+
+// BenchmarkInferenceAcceleration regenerates the inference table
+// (E8, §V-D): per-client FLOPs reduction after SPATL training.
+func BenchmarkInferenceAcceleration(b *testing.B) { runDriver(b, experiments.InferenceAcceleration) }
+
+// BenchmarkTable4Pruning regenerates Table IV (E9, §V-F1): the agent
+// against SFP/FPGM/DSA/L1 at a matched FLOPs budget.
+func BenchmarkTable4Pruning(b *testing.B) { runDriver(b, experiments.Table4Pruning) }
+
+// BenchmarkAblationSelection regenerates Fig. 4 (E10): salient selection
+// on/off.
+func BenchmarkAblationSelection(b *testing.B) { runDriver(b, experiments.AblationSelection) }
+
+// BenchmarkAblationTransfer regenerates Fig. 5a (E11): transfer learning
+// on/off.
+func BenchmarkAblationTransfer(b *testing.B) { runDriver(b, experiments.AblationTransfer) }
+
+// BenchmarkAblationGradientControl regenerates Fig. 5b (E12): gradient
+// control on/off.
+func BenchmarkAblationGradientControl(b *testing.B) {
+	runDriver(b, experiments.AblationGradientControl)
+}
+
+// BenchmarkRLAgentFineTune regenerates Fig. 6 (E13): agent pre-training
+// on ResNet-56 and head-only fine-tuning on ResNet-18.
+func BenchmarkRLAgentFineTune(b *testing.B) { runDriver(b, experiments.RLAgentFineTune) }
+
+// BenchmarkCompression runs the beyond-paper compression ablation:
+// salient selection composed with half-precision payloads.
+func BenchmarkCompression(b *testing.B) { runDriver(b, experiments.Compression) }
+
+// BenchmarkRobustness runs the beyond-paper failure-injection sweep:
+// accuracy vs client drop rate for FedAvg and SPATL.
+func BenchmarkRobustness(b *testing.B) { runDriver(b, experiments.Robustness) }
+
+// BenchmarkWallTime runs the beyond-paper time-to-accuracy simulation
+// over heterogeneous 4G links.
+func BenchmarkWallTime(b *testing.B) { runDriver(b, experiments.WallTime) }
+
+// ---- substrate micro-benchmarks ----
+
+// BenchmarkMatMul measures the parallel blocked matrix multiply at a
+// training-typical size.
+func BenchmarkMatMul(b *testing.B) {
+	rng := nn.Rng(1)
+	x := tensor.New(128, 256)
+	y := tensor.New(256, 128)
+	x.Randn(rng, 1)
+	y.Randn(rng, 1)
+	out := tensor.New(128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulInto(out, x, y)
+	}
+}
+
+// BenchmarkConvForward measures a ResNet-style 3×3 convolution forward
+// pass (batch 16).
+func BenchmarkConvForward(b *testing.B) {
+	rng := nn.Rng(2)
+	conv := nn.NewConv2D("conv", 16, 16, 3, 1, 1, false, rng)
+	x := tensor.New(16, 16, 16, 16)
+	x.Randn(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.Forward(x, false)
+	}
+}
+
+// BenchmarkConvBackward measures the matching backward pass.
+func BenchmarkConvBackward(b *testing.B) {
+	rng := nn.Rng(3)
+	conv := nn.NewConv2D("conv", 16, 16, 3, 1, 1, false, rng)
+	x := tensor.New(16, 16, 16, 16)
+	x.Randn(rng, 1)
+	out := conv.Forward(x, true)
+	dout := tensor.New(out.Shape()...)
+	dout.Randn(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.ZeroGrad(conv.Params())
+		conv.Backward(dout)
+	}
+}
+
+// BenchmarkFLRound measures one full FedAvg communication round at the
+// Tiny scale (4 clients, parallel local updates, real serialization).
+func BenchmarkFLRound(b *testing.B) {
+	env := experiments.BuildCIFAREnv(experiments.Tiny, "resnet20", experiments.ClientSet{Clients: 4, Ratio: 1}, 1)
+	algo := fl.FedAvg{}
+	algo.Setup(env)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		algo.Round(env, i, env.SampleClients())
+	}
+}
+
+// BenchmarkSPATLRound measures one full SPATL round (selection agent,
+// sparse payloads, gradient control) at the Tiny scale.
+func BenchmarkSPATLRound(b *testing.B) {
+	env := experiments.BuildCIFAREnv(experiments.Tiny, "resnet20", experiments.ClientSet{Clients: 4, Ratio: 1}, 1)
+	algo := experiments.NewAlgorithm("spatl", experiments.Tiny, 1)
+	algo.Setup(env)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		algo.Round(env, i, env.SampleClients())
+	}
+}

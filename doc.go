@@ -1,0 +1,18 @@
+// Package spatl is a complete, stdlib-only Go reproduction of "SPATL:
+// Salient Parameter Aggregation and Transfer Learning for Heterogeneous
+// Federated Learning" (SC 2022), including every substrate the paper
+// depends on: a from-scratch neural-network training stack, the paper's
+// model zoo split into shared encoders and private predictors, synthetic
+// non-IID datasets, a federated-learning engine with the FedAvg /
+// FedProx / FedNova / SCAFFOLD baselines, the GNN+PPO salient-parameter
+// selection agent, structured pruning with physical sub-network
+// extraction, byte-exact communication accounting, a TCP deployment
+// layer, and a benchmark harness regenerating every table and figure of
+// the paper's evaluation.
+//
+// Start with README.md for usage, DESIGN.md for the system inventory and
+// the per-experiment index, and EXPERIMENTS.md for measured-vs-paper
+// results. The library lives under internal/; the runnable surfaces are
+// cmd/spatl-train, cmd/spatl-bench, cmd/spatl-prune, cmd/spatl-node and
+// the examples/ directory.
+package spatl

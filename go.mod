@@ -1,0 +1,3 @@
+module spatl
+
+go 1.22

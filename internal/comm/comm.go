@@ -1,0 +1,229 @@
+// Package comm implements the wire format and cost accounting for
+// federated-learning communication. Every payload that would cross the
+// network in a real deployment is actually serialized here, so the byte
+// counts reported by the experiment harness are exact, not modeled:
+// dense payloads carry float32 weights; sparse payloads carry the
+// salient-parameter values plus their index ranges (SPATL §IV-C1,
+// "negligible burdens").
+//
+// Following the paper's accounting (§V-C, eq. 13), the headline
+// communication cost is the per-round uplink (client → server) volume;
+// the Meter tracks both directions so downlink can be reported too.
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// magic bytes distinguish payload kinds on the wire.
+const (
+	magicDense  = 0x44 // 'D'
+	magicSparse = 0x53 // 'S'
+)
+
+// EncodeDense serializes a flat float32 vector: 1-byte tag, uint32
+// length, then little-endian float32 values.
+func EncodeDense(values []float32) []byte {
+	buf := make([]byte, 1+4+4*len(values))
+	buf[0] = magicDense
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(len(values)))
+	for i, v := range values {
+		binary.LittleEndian.PutUint32(buf[5+4*i:], math.Float32bits(v))
+	}
+	return buf
+}
+
+// DecodeDense parses a payload produced by EncodeDense.
+func DecodeDense(buf []byte) ([]float32, error) {
+	if len(buf) < 5 || buf[0] != magicDense {
+		return nil, fmt.Errorf("comm: not a dense payload")
+	}
+	n := int(binary.LittleEndian.Uint32(buf[1:5]))
+	if len(buf) != 5+4*n {
+		return nil, fmt.Errorf("comm: dense payload length %d, want %d", len(buf), 5+4*n)
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[5+4*i:]))
+	}
+	return out, nil
+}
+
+// Range is a contiguous index run [Start, Start+Len) into a flat state
+// vector. Salient-parameter selection operates at filter granularity, so
+// selected indices naturally form a small number of runs; shipping runs
+// instead of individual indices keeps the index overhead negligible.
+type Range struct {
+	Start, Len uint32
+}
+
+// Sparse is a sparse state-delta payload: values laid out run by run.
+type Sparse struct {
+	Ranges []Range
+	Values []float32
+}
+
+// Count returns the total number of indexed elements.
+func (s *Sparse) Count() int {
+	n := 0
+	for _, r := range s.Ranges {
+		n += int(r.Len)
+	}
+	return n
+}
+
+// Validate checks internal consistency: values length matches ranges, no
+// zero-length or overlapping runs (runs must be sorted by Start).
+func (s *Sparse) Validate() error {
+	if s.Count() != len(s.Values) {
+		return fmt.Errorf("comm: sparse payload has %d values for %d indexed elements", len(s.Values), s.Count())
+	}
+	prevEnd := uint32(0)
+	for i, r := range s.Ranges {
+		if r.Len == 0 {
+			return fmt.Errorf("comm: zero-length range at %d", i)
+		}
+		if i > 0 && r.Start < prevEnd {
+			return fmt.Errorf("comm: ranges overlap or are unsorted at %d", i)
+		}
+		prevEnd = r.Start + r.Len
+	}
+	return nil
+}
+
+// EncodeSparse serializes a sparse payload: tag, uint32 range count,
+// (start,len) pairs, uint32 value count, float32 values.
+func EncodeSparse(s *Sparse) []byte {
+	buf := make([]byte, 1+4+8*len(s.Ranges)+4+4*len(s.Values))
+	buf[0] = magicSparse
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(len(s.Ranges)))
+	off := 5
+	for _, r := range s.Ranges {
+		binary.LittleEndian.PutUint32(buf[off:], r.Start)
+		binary.LittleEndian.PutUint32(buf[off+4:], r.Len)
+		off += 8
+	}
+	binary.LittleEndian.PutUint32(buf[off:], uint32(len(s.Values)))
+	off += 4
+	for _, v := range s.Values {
+		binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(v))
+		off += 4
+	}
+	return buf
+}
+
+// DecodeSparse parses a payload produced by EncodeSparse.
+func DecodeSparse(buf []byte) (*Sparse, error) {
+	if len(buf) < 5 || buf[0] != magicSparse {
+		return nil, fmt.Errorf("comm: not a sparse payload")
+	}
+	nr := int(binary.LittleEndian.Uint32(buf[1:5]))
+	off := 5
+	if len(buf) < off+8*nr+4 {
+		return nil, fmt.Errorf("comm: sparse payload truncated in ranges")
+	}
+	s := &Sparse{Ranges: make([]Range, nr)}
+	for i := range s.Ranges {
+		s.Ranges[i] = Range{
+			Start: binary.LittleEndian.Uint32(buf[off:]),
+			Len:   binary.LittleEndian.Uint32(buf[off+4:]),
+		}
+		off += 8
+	}
+	nv := int(binary.LittleEndian.Uint32(buf[off:]))
+	off += 4
+	if len(buf) != off+4*nv {
+		return nil, fmt.Errorf("comm: sparse payload length %d, want %d", len(buf), off+4*nv)
+	}
+	s.Values = make([]float32, nv)
+	for i := range s.Values {
+		s.Values[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off+4*i:]))
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// GatherSparse extracts the elements of state covered by ranges into a
+// sparse payload.
+func GatherSparse(state []float32, ranges []Range) *Sparse {
+	s := &Sparse{Ranges: ranges}
+	n := 0
+	for _, r := range ranges {
+		n += int(r.Len)
+	}
+	s.Values = make([]float32, 0, n)
+	for _, r := range ranges {
+		s.Values = append(s.Values, state[r.Start:r.Start+r.Len]...)
+	}
+	return s
+}
+
+// ScatterAdd adds each sparse value into dst at its index, and increments
+// count at every touched index. The server uses this to implement
+// per-index averaged salient aggregation (SPATL eq. 12).
+func ScatterAdd(dst []float32, count []int32, s *Sparse) {
+	off := 0
+	for _, r := range s.Ranges {
+		for i := uint32(0); i < r.Len; i++ {
+			dst[r.Start+i] += s.Values[off]
+			if count != nil {
+				count[r.Start+i]++
+			}
+			off++
+		}
+	}
+}
+
+// Meter accumulates communication volume. It is safe for concurrent use
+// by parallel client updates.
+type Meter struct {
+	mu   sync.Mutex
+	up   int64
+	down int64
+}
+
+// AddUp records client→server bytes.
+func (m *Meter) AddUp(n int) {
+	m.mu.Lock()
+	m.up += int64(n)
+	m.mu.Unlock()
+}
+
+// AddDown records server→client bytes.
+func (m *Meter) AddDown(n int) {
+	m.mu.Lock()
+	m.down += int64(n)
+	m.mu.Unlock()
+}
+
+// Up returns total client→server bytes.
+func (m *Meter) Up() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.up
+}
+
+// Down returns total server→client bytes.
+func (m *Meter) Down() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.down
+}
+
+// Reset zeroes both counters.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	m.up, m.down = 0, 0
+	m.mu.Unlock()
+}
+
+// MB formats a byte count as mebibytes.
+func MB(n int64) float64 { return float64(n) / (1024 * 1024) }
+
+// GB formats a byte count as gibibytes.
+func GB(n int64) float64 { return float64(n) / (1024 * 1024 * 1024) }

@@ -1,0 +1,183 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Half-precision payloads: IEEE 754 binary16 encodings of the dense and
+// sparse payloads, halving wire volume at ~3 decimal digits of
+// precision. Federated averaging is robust to this quantization; the
+// fl.Config.HalfPrecision switch enables it end to end. This is an
+// extension beyond the paper (which ships float32), composable with
+// salient selection.
+
+const (
+	magicDenseF16  = 0x68 // 'h'
+	magicSparseF16 = 0x73 // 's'
+)
+
+// Float32ToF16 converts to IEEE 754 binary16 (round-to-nearest-even),
+// with overflow clamping to ±Inf and subnormal flushing.
+func Float32ToF16(f float32) uint16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23&0xFF) - 127 + 15
+	mant := bits & 0x7FFFFF
+
+	switch {
+	case int32(bits>>23&0xFF) == 0xFF: // Inf/NaN
+		if mant != 0 {
+			return sign | 0x7E00 // NaN
+		}
+		return sign | 0x7C00 // Inf
+	case exp >= 0x1F: // overflow → Inf
+		return sign | 0x7C00
+	case exp <= 0:
+		// Subnormal or underflow.
+		if exp < -10 {
+			return sign
+		}
+		mant |= 0x800000
+		shift := uint32(14 - exp)
+		half := uint16(mant >> shift)
+		// Round to nearest.
+		if mant>>(shift-1)&1 != 0 {
+			half++
+		}
+		return sign | half
+	default:
+		half := sign | uint16(exp)<<10 | uint16(mant>>13)
+		// Round to nearest even on the dropped bits.
+		if mant&0x1FFF > 0x1000 || (mant&0x1FFF == 0x1000 && half&1 == 1) {
+			half++
+		}
+		return half
+	}
+}
+
+// F16ToFloat32 converts an IEEE 754 binary16 value to float32.
+func F16ToFloat32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1F)
+	mant := uint32(h & 0x3FF)
+	switch {
+	case exp == 0:
+		if mant == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: normalize.
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3FF
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	case exp == 0x1F:
+		if mant == 0 {
+			return math.Float32frombits(sign | 0x7F800000)
+		}
+		return math.Float32frombits(sign | 0x7FC00000)
+	default:
+		return math.Float32frombits(sign | (exp-15+127)<<23 | mant<<13)
+	}
+}
+
+// EncodeDenseF16 serializes a flat vector at half precision.
+func EncodeDenseF16(values []float32) []byte {
+	buf := make([]byte, 1+4+2*len(values))
+	buf[0] = magicDenseF16
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(len(values)))
+	for i, v := range values {
+		binary.LittleEndian.PutUint16(buf[5+2*i:], Float32ToF16(v))
+	}
+	return buf
+}
+
+// decodeDenseF16 parses an EncodeDenseF16 payload.
+func decodeDenseF16(buf []byte) ([]float32, error) {
+	if len(buf) < 5 || buf[0] != magicDenseF16 {
+		return nil, fmt.Errorf("comm: not a dense-f16 payload")
+	}
+	n := int(binary.LittleEndian.Uint32(buf[1:5]))
+	if len(buf) != 5+2*n {
+		return nil, fmt.Errorf("comm: dense-f16 payload length %d, want %d", len(buf), 5+2*n)
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = F16ToFloat32(binary.LittleEndian.Uint16(buf[5+2*i:]))
+	}
+	return out, nil
+}
+
+// EncodeSparseF16 serializes a sparse payload with half-precision values
+// (index ranges stay 32-bit).
+func EncodeSparseF16(s *Sparse) []byte {
+	buf := make([]byte, 1+4+8*len(s.Ranges)+4+2*len(s.Values))
+	buf[0] = magicSparseF16
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(len(s.Ranges)))
+	off := 5
+	for _, r := range s.Ranges {
+		binary.LittleEndian.PutUint32(buf[off:], r.Start)
+		binary.LittleEndian.PutUint32(buf[off+4:], r.Len)
+		off += 8
+	}
+	binary.LittleEndian.PutUint32(buf[off:], uint32(len(s.Values)))
+	off += 4
+	for _, v := range s.Values {
+		binary.LittleEndian.PutUint16(buf[off:], Float32ToF16(v))
+		off += 2
+	}
+	return buf
+}
+
+// decodeSparseF16 parses an EncodeSparseF16 payload.
+func decodeSparseF16(buf []byte) (*Sparse, error) {
+	if len(buf) < 5 || buf[0] != magicSparseF16 {
+		return nil, fmt.Errorf("comm: not a sparse-f16 payload")
+	}
+	nr := int(binary.LittleEndian.Uint32(buf[1:5]))
+	off := 5
+	if len(buf) < off+8*nr+4 {
+		return nil, fmt.Errorf("comm: sparse-f16 payload truncated in ranges")
+	}
+	s := &Sparse{Ranges: make([]Range, nr)}
+	for i := range s.Ranges {
+		s.Ranges[i] = Range{
+			Start: binary.LittleEndian.Uint32(buf[off:]),
+			Len:   binary.LittleEndian.Uint32(buf[off+4:]),
+		}
+		off += 8
+	}
+	nv := int(binary.LittleEndian.Uint32(buf[off:]))
+	off += 4
+	if len(buf) != off+2*nv {
+		return nil, fmt.Errorf("comm: sparse-f16 payload length %d, want %d", len(buf), off+2*nv)
+	}
+	s.Values = make([]float32, nv)
+	for i := range s.Values {
+		s.Values[i] = F16ToFloat32(binary.LittleEndian.Uint16(buf[off+2*i:]))
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// DecodeDenseAny parses a dense payload at either precision.
+func DecodeDenseAny(buf []byte) ([]float32, error) {
+	if len(buf) > 0 && buf[0] == magicDenseF16 {
+		return decodeDenseF16(buf)
+	}
+	return DecodeDense(buf)
+}
+
+// DecodeSparseAny parses a sparse payload at either precision.
+func DecodeSparseAny(buf []byte) (*Sparse, error) {
+	if len(buf) > 0 && buf[0] == magicSparseF16 {
+		return decodeSparseF16(buf)
+	}
+	return DecodeSparse(buf)
+}

@@ -1,0 +1,40 @@
+package comm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeDense ensures arbitrary byte input never panics and that
+// valid encodings round-trip.
+func FuzzDecodeDense(f *testing.F) {
+	f.Add(EncodeDense([]float32{1, 2, 3}))
+	f.Add([]byte{})
+	f.Add([]byte{magicDense, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals, err := DecodeDense(data)
+		if err != nil {
+			return
+		}
+		re := EncodeDense(vals)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("valid dense payload did not round-trip")
+		}
+	})
+}
+
+// FuzzDecodeSparse ensures arbitrary byte input never panics and that
+// accepted payloads validate.
+func FuzzDecodeSparse(f *testing.F) {
+	f.Add(EncodeSparse(&Sparse{Ranges: []Range{{0, 2}}, Values: []float32{1, 2}}))
+	f.Add([]byte{magicSparse, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSparse(data)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("decoded sparse payload fails validation: %v", err)
+		}
+	})
+}

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"math/rand"
+
+	"spatl/internal/data"
+	"spatl/internal/models"
+	"spatl/internal/prune"
+	"spatl/internal/rl"
+)
+
+// PretrainAgent trains a selection agent from scratch on a network
+// pruning task — the paper pre-trains on ResNet-56 pruning (§V-A) — and
+// returns the agent together with its per-update average-reward
+// trajectory (the curves of Fig. 6).
+func PretrainAgent(cfg rl.AgentConfig, m *models.SplitModel, val *data.Dataset, budget float64, rounds, batch int, seed int64) (*rl.Agent, []rl.TrainResult) {
+	agent := rl.NewAgent(cfg)
+	ppo := rl.NewPPO(agent, false)
+	env := prune.NewEnv(m, val, budget)
+	results := rl.Train(ppo, env, rounds, batch, rand.New(rand.NewSource(seed)))
+	return agent, results
+}
+
+// FineTuneAgent transfers a pre-trained agent to a different model by
+// updating only its MLP heads through online PPO (§IV-B) and returns the
+// reward trajectory.
+func FineTuneAgent(agent *rl.Agent, m *models.SplitModel, val *data.Dataset, budget float64, rounds, batch int, seed int64) []rl.TrainResult {
+	ppo := rl.NewPPO(agent, true)
+	env := prune.NewEnv(m, val, budget)
+	return rl.Train(ppo, env, rounds, batch, rand.New(rand.NewSource(seed)))
+}

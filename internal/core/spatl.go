@@ -1,0 +1,370 @@
+// Package core implements SPATL — Salient Parameter Aggregation and
+// Transfer Learning for heterogeneous federated learning (SC 2022).
+//
+// SPATL differs from the uniform-model baselines in three ways, each
+// independently switchable for the paper's ablations (§V-F):
+//
+//  1. Heterogeneous knowledge transfer (§IV-A): only the encoder is
+//     shared with the aggregation server; every client keeps a private
+//     predictor head that adapts the shared representation to its
+//     non-IID data.
+//  2. Salient parameter selection (§IV-B): a pre-trained GNN+PPO agent,
+//     fine-tuned per client (MLP head only), selects the encoder's
+//     salient filters; only the selected parameters and their index
+//     ranges are uploaded, and the server aggregates per index (eq. 12).
+//  3. Generic-parameter gradient control (§IV-C): SCAFFOLD-style control
+//     variates correct gradient drift, but only on the encoder (the
+//     generic parameters); the predictor's gradients stay heterogeneous.
+//
+// The package provides the fl.Algorithm implementation, the cold-start
+// transfer path for never-selected clients (eq. 4), and the agent
+// pre-training entry point used by the experiment harness.
+package core
+
+import (
+	"math/rand"
+	"sync"
+
+	"spatl/internal/comm"
+	"spatl/internal/fl"
+	"spatl/internal/models"
+	"spatl/internal/nn"
+	"spatl/internal/prune"
+	"spatl/internal/rl"
+)
+
+// Options configures SPATL. The zero value enables everything with the
+// paper's defaults; the Disable* switches drive the ablation studies.
+type Options struct {
+	// DisableSelection uploads the full encoder instead of the salient
+	// subset (Fig. 4 ablation).
+	DisableSelection bool
+	// DisableTransfer shares the predictor as well as the encoder — a
+	// uniform model, as the baselines use (Fig. 5a ablation).
+	DisableTransfer bool
+	// DisableGradControl removes the control-variate correction
+	// (Fig. 5b ablation).
+	DisableGradControl bool
+
+	// FLOPsBudget is the agent's sub-network FLOPs constraint as a
+	// fraction of the full model (default 0.6).
+	FLOPsBudget float64
+	// AgentCfg configures the selection agent.
+	AgentCfg rl.AgentConfig
+	// Pretrained, when non-nil, initializes every client's agent from
+	// pre-trained weights (see PretrainAgent); fine-tuning then updates
+	// only the MLP heads, as in §V-A.
+	Pretrained []float32
+	// FineTuneRounds is the number of initial communication rounds during
+	// which selected clients fine-tune their agents (default 10).
+	FineTuneRounds int
+	// FineTuneEpisodes is the rollout batch per fine-tune update
+	// (default 4).
+	FineTuneEpisodes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.FLOPsBudget == 0 {
+		o.FLOPsBudget = 0.6
+	}
+	if o.FineTuneRounds == 0 {
+		o.FineTuneRounds = 10
+	}
+	if o.FineTuneEpisodes == 0 {
+		o.FineTuneEpisodes = 4
+	}
+	return o
+}
+
+// SPATL implements fl.Algorithm.
+type SPATL struct {
+	Opts Options
+
+	c []float32 // server control variate over encoder trainable params
+
+	mu     sync.Mutex
+	agents map[int]*rl.Agent // per-client fine-tuned selection agents
+
+	// LastSelections records each client's most recent selection, for
+	// the inference-acceleration analysis (§V-D).
+	LastSelections map[int]*prune.Selection
+}
+
+// New constructs a SPATL instance.
+func New(opts Options) *SPATL {
+	return &SPATL{
+		Opts:           opts.withDefaults(),
+		agents:         map[int]*rl.Agent{},
+		LastSelections: map[int]*prune.Selection{},
+	}
+}
+
+// Name implements fl.Algorithm.
+func (s *SPATL) Name() string { return "spatl" }
+
+// scope returns the communication scope: encoder-only normally, the full
+// model when transfer learning is disabled.
+func (s *SPATL) scope() models.Scope {
+	if s.Opts.DisableTransfer {
+		return models.ScopeAll
+	}
+	return models.ScopeEncoder
+}
+
+// ctrlParams returns the parameters subject to gradient control — the
+// generic (encoder) parameters (§IV-C), or all parameters when transfer
+// is disabled.
+func (s *SPATL) ctrlParams(m *models.SplitModel) []*nn.Param {
+	if s.Opts.DisableTransfer {
+		return m.Params()
+	}
+	return m.EncoderParams()
+}
+
+// Setup implements fl.Algorithm.
+func (s *SPATL) Setup(env *fl.Env) {
+	n := nn.ParamCount(s.ctrlParams(env.Global))
+	s.c = make([]float32, n)
+	for _, c := range env.Clients {
+		c.Control = make([]float32, n)
+	}
+}
+
+// agentFor returns the client's selection agent, creating it from the
+// pre-trained weights (or fresh) on first use.
+func (s *SPATL) agentFor(clientID int) *rl.Agent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if a, ok := s.agents[clientID]; ok {
+		return a
+	}
+	cfg := s.Opts.AgentCfg
+	cfg.Seed += int64(clientID)
+	a := rl.NewAgent(cfg)
+	if s.Opts.Pretrained != nil {
+		a.Load(s.Opts.Pretrained)
+	}
+	s.agents[clientID] = a
+	return a
+}
+
+// EvalModel implements fl.Algorithm: the client's deployed model is the
+// current global encoder composed with its private predictor. The global
+// encoder state is installed into the client's model (what a client does
+// before deployment, §IV-A). Inference acceleration (§V-D) additionally
+// prunes this model to the client's salient sub-network; see
+// prune.ZeroPruned / prune.Extract and the inference experiment.
+func (s *SPATL) EvalModel(env *fl.Env, c *Client) *models.SplitModel {
+	c.Model.SetState(s.scope(), env.Global.State(s.scope()))
+	return c.Model
+}
+
+// Client aliases fl.Client for readability of the public API.
+type Client = fl.Client
+
+// Round implements fl.Algorithm: one SPATL communication round.
+func (s *SPATL) Round(env *fl.Env, round int, selected []int) {
+	scope := s.scope()
+	globalState := env.Global.State(scope)
+	statePayload := env.EncodeDense(globalState)
+	ctrlPayload := env.EncodeDense(s.c)
+
+	type upload struct {
+		dW *comm.Sparse
+		dC *comm.Sparse
+	}
+	uploads := make([]upload, len(selected))
+
+	fl.ParallelClients(selected, func(pos int) {
+		ci := selected[pos]
+		c := env.Clients[ci]
+		// ➊ download the shared encoder (and control variate).
+		env.Meter.AddDown(len(statePayload))
+		if env.ClientFailed(round, ci) {
+			return // crashed after download: nothing uploads
+		}
+		c.Model.SetState(scope, mustDense(statePayload))
+		var serverC []float32
+		if !s.Opts.DisableGradControl {
+			env.Meter.AddDown(len(ctrlPayload))
+			serverC = mustDense(ctrlPayload)
+		}
+
+		rng := rand.New(rand.NewSource(env.ClientSeed(round, ci)))
+
+		// ➋ local update: transfer the encoder's knowledge through the
+		// local predictor; gradient control corrects only the generic
+		// (encoder) parameters.
+		ctrlP := s.ctrlParams(c.Model)
+		nCtrl := nn.ParamCount(ctrlP)
+		var hook func([]*nn.Param)
+		if !s.Opts.DisableGradControl {
+			ctrl := serverC
+			ci2 := c.Control
+			hook = func(params []*nn.Param) {
+				off := 0
+				for _, p := range ctrlP {
+					for j := range p.G.Data {
+						p.G.Data[j] += ctrl[off+j] - ci2[off+j]
+					}
+					off += p.W.Len()
+				}
+				_ = params
+			}
+		}
+		gBefore := nn.FlattenParams(ctrlP)
+		steps, _ := fl.LocalSGD(c, fl.LocalOpts{
+			Params: c.Model.Params(), Epochs: env.Cfg.LocalEpochs, BatchSize: env.Cfg.BatchSize,
+			LR: env.LRAt(round), Momentum: env.Cfg.Momentum, WeightDecay: env.Cfg.WeightDecay,
+			GradClip: env.Cfg.GradClip,
+			Hook:     hook,
+		}, rng)
+
+		// Control variate update (option II of SCAFFOLD, over the
+		// generic parameters only).
+		var dC []float32
+		if !s.Opts.DisableGradControl {
+			localCtrl := nn.FlattenParams(ctrlP)
+			inv := 1.0 / (float64(steps) * fl.EffectiveLR(env.LRAt(round), env.Cfg.Momentum))
+			newCi := make([]float32, nCtrl)
+			dC = make([]float32, nCtrl)
+			for j := 0; j < nCtrl; j++ {
+				newCi[j] = c.Control[j] - serverC[j] + float32(float64(gBefore[j]-localCtrl[j])*inv)
+				dC[j] = newCi[j] - c.Control[j]
+			}
+			c.Control = newCi
+		}
+
+		// ➌ salient parameter selection on the trained encoder.
+		sel := s.selectSalient(env, c, round, rng)
+		s.mu.Lock()
+		s.LastSelections[ci] = sel
+		s.mu.Unlock()
+
+		// ➍ upload only the salient parameter deltas and their indices.
+		localState := c.Model.State(scope)
+		dW := make([]float32, len(localState))
+		for j := range localState {
+			dW[j] = localState[j] - globalState[j]
+		}
+		sw := comm.GatherSparse(dW, sel.Ranges)
+		bufW := env.EncodeSparse(sw)
+		env.Meter.AddUp(len(bufW))
+		uploads[pos].dW = mustSparse(bufW)
+
+		if !s.Opts.DisableGradControl {
+			ctrlRanges := clipRanges(sel.Ranges, nCtrl)
+			sc := comm.GatherSparse(dC, ctrlRanges)
+			bufC := env.EncodeSparse(sc)
+			env.Meter.AddUp(len(bufC))
+			uploads[pos].dC = mustSparse(bufC)
+		}
+	})
+
+	// Server: per-index averaged aggregation of salient deltas (eq. 12).
+	sum := make([]float32, len(globalState))
+	count := make([]int32, len(globalState))
+	for _, u := range uploads {
+		if u.dW == nil {
+			continue
+		}
+		comm.ScatterAdd(sum, count, u.dW)
+	}
+	newState := append([]float32(nil), globalState...)
+	for j := range newState {
+		if count[j] > 0 {
+			newState[j] += sum[j] / float32(count[j])
+		}
+	}
+	env.Global.SetState(scope, newState)
+
+	// Control variate: c += (1/N)·ΣΔcᵢ at the uploaded indices (eq. 11).
+	if !s.Opts.DisableGradControl {
+		invN := float32(1.0 / float64(env.Cfg.NumClients))
+		for _, u := range uploads {
+			if u.dC == nil {
+				continue
+			}
+			off := 0
+			for _, r := range u.dC.Ranges {
+				for k := uint32(0); k < r.Len; k++ {
+					s.c[r.Start+k] += invN * u.dC.Values[off]
+					off++
+				}
+			}
+		}
+	}
+}
+
+// selectSalient runs the client's selection agent: fine-tune (head-only
+// PPO) during the first FineTuneRounds rounds, then act greedily. With
+// selection disabled, everything is salient.
+func (s *SPATL) selectSalient(env *fl.Env, c *Client, round int, rng *rand.Rand) *prune.Selection {
+	units := c.Model.PrunableUnits()
+	if s.Opts.DisableSelection || len(units) == 0 {
+		ratios := make([]float64, len(units))
+		for i := range ratios {
+			ratios[i] = 1
+		}
+		return prune.Select(c.Model, ratios)
+	}
+	agent := s.agentFor(c.ID)
+	penv := prune.NewEnv(c.Model, c.Val, s.Opts.FLOPsBudget)
+	if round < s.Opts.FineTuneRounds {
+		ppo := rl.NewPPO(agent, s.Opts.Pretrained != nil)
+		rl.Train(ppo, penv, 1, s.Opts.FineTuneEpisodes, rng)
+	}
+	action := rl.BestAction(agent, penv)
+	return prune.Select(c.Model, action)
+}
+
+// ColdStart adapts a client that never participated in training (eq. 4):
+// it downloads the current global encoder and fits only its local
+// predictor, leaving the shared representation untouched.
+func (s *SPATL) ColdStart(env *fl.Env, c *Client, epochs int, rng *rand.Rand) {
+	scope := s.scope()
+	payload := env.EncodeDense(env.Global.State(scope))
+	env.Meter.AddDown(len(payload))
+	c.Model.SetState(scope, mustDense(payload))
+	fl.LocalSGD(c, fl.LocalOpts{
+		Params: c.Model.PredictorParams(), Epochs: epochs, BatchSize: env.Cfg.BatchSize,
+		LR: env.Cfg.LR, Momentum: env.Cfg.Momentum, WeightDecay: env.Cfg.WeightDecay,
+		FreezeEncoder: true,
+	}, rng)
+}
+
+func mustDense(buf []byte) []float32 {
+	v, err := comm.DecodeDenseAny(buf)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func mustSparse(buf []byte) *comm.Sparse {
+	v, err := comm.DecodeSparseAny(buf)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// clipRanges restricts ranges to [0, n): ranges entirely above n are
+// dropped; a straddling range is truncated. Used to map encoder-state
+// index ranges onto the (prefix) trainable-parameter vector that control
+// variates cover.
+func clipRanges(ranges []comm.Range, n int) []comm.Range {
+	out := make([]comm.Range, 0, len(ranges))
+	for _, r := range ranges {
+		if int(r.Start) >= n {
+			break
+		}
+		if int(r.Start+r.Len) > n {
+			r.Len = uint32(n) - r.Start
+		}
+		if r.Len > 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}

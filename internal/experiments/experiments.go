@@ -1,0 +1,320 @@
+// Package experiments is the reproduction harness: one driver per table
+// and figure of the SPATL paper (see DESIGN.md §3 for the experiment
+// index). Each driver builds its workload, runs every algorithm through
+// the fl engine, and prints the same rows/series the paper reports.
+// Drivers run at a configurable Scale so the full suite works as quick
+// `go test -bench` smoke runs (Tiny), laptop-scale reproductions
+// (Small, the default for the spatl-bench CLI), or the paper's client
+// counts (Paper).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"text/tabwriter"
+
+	"spatl/internal/core"
+	"spatl/internal/data"
+	"spatl/internal/fl"
+	"spatl/internal/models"
+	"spatl/internal/plot"
+	"spatl/internal/rl"
+	"spatl/internal/stats"
+)
+
+// Scale bundles every knob that trades fidelity for runtime.
+type Scale struct {
+	Name        string
+	Width       float64 // model width multiplier
+	H, W        int     // CIFAR-analog image size
+	Classes     int
+	PerClient   int // examples per client
+	Rounds      int // cap for convergence runs
+	CurveRounds int // rounds for learning-curve figures
+	LocalEpochs int
+	BatchSize   int
+	LR          float64
+	TargetAcc   float64 // Table I target accuracy (paper: 80%)
+
+	AgentDim       int
+	AgentHidden    int
+	PretrainRounds int
+	FineTuneRounds int
+	FLOPsBudget    float64
+
+	// ClientSets mirrors the paper's (clients, sample-ratio) sweep.
+	ClientSets []ClientSet
+	// Archs is the CIFAR-model sweep used by the multi-architecture
+	// drivers (Table I, learning curves, inference).
+	Archs []string
+}
+
+// ClientSet is one federated population setting.
+type ClientSet struct {
+	Clients int
+	Ratio   float64
+}
+
+// Tiny finishes each driver in seconds — used by bench_test.go. The
+// 16×16 resolution is the minimum VGG-11's four max-pools accept.
+var Tiny = Scale{
+	Name: "tiny", Width: 0.25, H: 16, W: 16, Classes: 6, PerClient: 90,
+	Rounds: 10, CurveRounds: 6, LocalEpochs: 2, BatchSize: 16, LR: 0.02,
+	TargetAcc: 0.45, AgentDim: 8, AgentHidden: 8, PretrainRounds: 3,
+	FineTuneRounds: 1, FLOPsBudget: 0.6,
+	ClientSets: []ClientSet{{4, 1.0}, {8, 0.5}},
+	Archs:      []string{"resnet20"},
+}
+
+// Small is the default reproduction scale for the spatl-bench CLI:
+// minutes per experiment on a laptop, with the paper's relationships
+// clearly visible.
+var Small = Scale{
+	Name: "small", Width: 0.25, H: 16, W: 16, Classes: 10, PerClient: 250,
+	Rounds: 40, CurveRounds: 20, LocalEpochs: 5, BatchSize: 32, LR: 0.02,
+	TargetAcc: 0.55, AgentDim: 16, AgentHidden: 32, PretrainRounds: 10,
+	FineTuneRounds: 5, FLOPsBudget: 0.6,
+	ClientSets: []ClientSet{{10, 1.0}, {30, 0.4}, {50, 0.7}},
+	Archs:      []string{"resnet20", "resnet32", "vgg11"},
+}
+
+// Paper matches the paper's client populations and model widths. Pure-Go
+// training at this scale takes many hours; provided for completeness.
+var Paper = Scale{
+	Name: "paper", Width: 1.0, H: 32, W: 32, Classes: 10, PerClient: 500,
+	Rounds: 200, CurveRounds: 100, LocalEpochs: 10, BatchSize: 64, LR: 0.02,
+	TargetAcc: 0.8, AgentDim: 32, AgentHidden: 64, PretrainRounds: 40,
+	FineTuneRounds: 10, FLOPsBudget: 0.6,
+	ClientSets: []ClientSet{{10, 1.0}, {30, 0.4}, {50, 0.7}, {100, 0.4}},
+	Archs:      []string{"resnet20", "resnet32", "vgg11"},
+}
+
+// ScaleByName resolves a scale preset.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "tiny":
+		return Tiny, nil
+	case "small":
+		return Small, nil
+	case "paper":
+		return Paper, nil
+	}
+	return Scale{}, fmt.Errorf("experiments: unknown scale %q (tiny|small|paper)", name)
+}
+
+// Options configures a driver invocation.
+type Options struct {
+	Scale  Scale
+	Out    io.Writer
+	CSVDir string // when set, drivers export plotted series as CSV here
+	Seed   int64
+}
+
+func (o Options) out() io.Writer {
+	if o.Out == nil {
+		return os.Stdout
+	}
+	return o.Out
+}
+
+// Runner is one experiment driver.
+type Runner func(o Options) error
+
+// Registry maps experiment ids (the -exp flag of spatl-bench) to
+// drivers. See DESIGN.md §3 for the paper mapping.
+var Registry = map[string]Runner{
+	"learning":          LearningEfficiency,
+	"femnist":           FEMNISTLearning,
+	"converge":          ConvergeAccuracy,
+	"localacc":          LocalAccuracy,
+	"table1":            Table1Communication,
+	"rounds":            RoundsToTarget,
+	"table2":            Table2Convergence,
+	"table3":            Table3Transfer,
+	"inference":         InferenceAcceleration,
+	"table4":            Table4Pruning,
+	"ablation-select":   AblationSelection,
+	"ablation-transfer": AblationTransfer,
+	"ablation-gradctl":  AblationGradientControl,
+	"rlagent":           RLAgentFineTune,
+	// Extensions beyond the paper (DESIGN.md §6).
+	"compression": Compression,
+	"robustness":  Robustness,
+	"walltime":    WallTime,
+}
+
+// Names returns the registered experiment ids, sorted.
+func Names() []string {
+	var out []string
+	for k := range Registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// specFor builds the model spec for an architecture at this scale.
+func specFor(s Scale, arch string) models.Spec {
+	switch arch {
+	case "cnn2":
+		return models.Spec{Arch: arch, Classes: 62, InC: 1, H: 28, W: 28, Width: s.Width}
+	default:
+		return models.Spec{Arch: arch, Classes: s.Classes, InC: 3, H: s.H, W: s.W, Width: s.Width}
+	}
+}
+
+// cifarConfig is the synthetic CIFAR generator configuration at scale.
+func cifarConfig(s Scale) data.SynthCIFARConfig {
+	return data.SynthCIFARConfig{Classes: s.Classes, H: s.H, W: s.W, Noise: 0.3}
+}
+
+// BuildCIFAREnv constructs the standard Non-IID-benchmark environment:
+// SynthCIFAR partitioned across clients by Dirichlet(α=0.5) label skew.
+func BuildCIFAREnv(s Scale, arch string, cs ClientSet, seed int64) *fl.Env {
+	cfg := fl.Config{
+		NumClients: cs.Clients, SampleRatio: cs.Ratio,
+		LocalEpochs: s.LocalEpochs, BatchSize: s.BatchSize,
+		LR: s.LR, Momentum: 0.9, Seed: seed,
+	}
+	total := cs.Clients * s.PerClient
+	ds := data.SynthCIFAR(cifarConfig(s), total, seed*3+101, seed*7+303)
+	parts := data.DirichletPartition(ds.Y, s.Classes, cs.Clients, 0.5, 10, rand.New(rand.NewSource(seed+11)))
+	cd := make([]fl.ClientData, len(parts))
+	for i, p := range parts {
+		sub := ds.Subset(p)
+		tr, va := sub.Split(0.8)
+		cd[i] = fl.ClientData{Train: tr, Val: va}
+	}
+	return fl.NewEnv(specFor(s, arch), cfg, cd)
+}
+
+// BuildFEMNISTEnv constructs the LEAF-style environment: SynthFEMNIST
+// with whole writers assigned to clients.
+func BuildFEMNISTEnv(s Scale, cs ClientSet, seed int64) *fl.Env {
+	cfg := fl.Config{
+		NumClients: cs.Clients, SampleRatio: cs.Ratio,
+		LocalEpochs: s.LocalEpochs, BatchSize: s.BatchSize,
+		LR: s.LR, Momentum: 0.9, Seed: seed,
+	}
+	total := cs.Clients * s.PerClient
+	set := data.SynthFEMNIST(data.SynthFEMNISTConfig{Writers: cs.Clients * 3}, total, seed*3+401, seed*7+409)
+	parts := data.ByWriterPartition(set, cs.Clients, rand.New(rand.NewSource(seed+13)))
+	cd := make([]fl.ClientData, len(parts))
+	for i, p := range parts {
+		sub := set.Subset(p)
+		tr, va := sub.Split(0.8)
+		cd[i] = fl.ClientData{Train: tr, Val: va}
+	}
+	return fl.NewEnv(specFor(s, "cnn2"), cfg, cd)
+}
+
+// pretrainCache memoizes the pre-trained selection agent per scale so a
+// multi-experiment run pays for ResNet-56 pre-training once.
+var pretrainCache sync.Map
+
+// PretrainedAgent returns (and caches) an agent pre-trained on the
+// ResNet-56 pruning task at this scale — the paper's §V-A setup.
+func PretrainedAgent(s Scale, seed int64) []float32 {
+	key := fmt.Sprintf("%s-%d", s.Name, seed)
+	if v, ok := pretrainCache.Load(key); ok {
+		return v.([]float32)
+	}
+	spec := specFor(s, "resnet56")
+	m := models.Build(spec, seed+21)
+	val := data.SynthCIFAR(cifarConfig(s), 40*s.Classes, seed*3+101, seed+23)
+	agent, _ := core.PretrainAgent(agentCfg(s, seed), m, val, s.FLOPsBudget, s.PretrainRounds, 4, seed+25)
+	blob := agent.Save()
+	pretrainCache.Store(key, blob)
+	return blob
+}
+
+func agentCfg(s Scale, seed int64) rl.AgentConfig {
+	return rl.AgentConfig{Dim: s.AgentDim, HeadHidden: s.AgentHidden, Seed: seed + 31}
+}
+
+// NewAlgorithm instantiates a fresh algorithm by name. SPATL instances
+// receive the scale's pre-trained selection agent.
+func NewAlgorithm(name string, s Scale, seed int64) fl.Algorithm {
+	switch name {
+	case "fedavg":
+		return fl.FedAvg{}
+	case "fedprox":
+		return fl.FedProx{}
+	case "fednova":
+		return &fl.FedNova{}
+	case "scaffold":
+		return &fl.SCAFFOLD{}
+	case "spatl":
+		return core.New(core.Options{
+			FLOPsBudget:      s.FLOPsBudget,
+			AgentCfg:         agentCfg(s, seed),
+			Pretrained:       PretrainedAgent(s, seed),
+			FineTuneRounds:   s.FineTuneRounds,
+			FineTuneEpisodes: 2,
+		})
+	}
+	panic(fmt.Sprintf("experiments: unknown algorithm %q", name))
+}
+
+// Baselines is the comparison set used throughout the paper.
+var Baselines = []string{"fedavg", "fedprox", "fednova", "scaffold"}
+
+// AllAlgos is the baselines plus SPATL.
+var AllAlgos = []string{"fedavg", "fedprox", "fednova", "scaffold", "spatl"}
+
+// table returns a tabwriter over the options' output.
+func table(o Options) *tabwriter.Writer {
+	return tabwriter.NewWriter(o.out(), 2, 4, 2, ' ', 0)
+}
+
+// writeCSV exports plotted series when CSVDir is set — both as raw CSV
+// and as a rendered SVG figure.
+func writeCSV(o Options, name, xLabel string, series ...stats.Series) error {
+	if o.CSVDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(o.CSVDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(o.CSVDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := stats.WriteCSV(f, xLabel, series...); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	svg, err := os.Create(filepath.Join(o.CSVDir, name+".svg"))
+	if err != nil {
+		return err
+	}
+	defer svg.Close()
+	return plot.Line(svg, plot.Config{Title: name, XLabel: xLabel, YLabel: "accuracy"}, series...)
+}
+
+// accSeries converts a run trajectory into a plot series.
+func accSeries(name string, res *fl.Result) stats.Series {
+	s := stats.Series{Name: name}
+	for _, r := range res.Records {
+		s.X = append(s.X, float64(r.Round+1))
+		s.Y = append(s.Y, r.AvgAcc)
+	}
+	return s
+}
+
+// ys extracts the accuracy column.
+func ys(res *fl.Result) []float64 {
+	out := make([]float64, len(res.Records))
+	for i, r := range res.Records {
+		out[i] = r.AvgAcc
+	}
+	return out
+}

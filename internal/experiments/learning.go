@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spatl/internal/fl"
+	"spatl/internal/stats"
+)
+
+// LearningEfficiency reproduces the paper's learning-curve figure
+// (§V-B, Fig. "vgg_cifar"): average client accuracy vs communication
+// round for SPATL and the four baselines, across architectures and
+// client populations.
+func LearningEfficiency(o Options) error {
+	w := o.out()
+	for _, arch := range o.Scale.Archs {
+		for _, cs := range o.Scale.ClientSets {
+			fmt.Fprintf(w, "\n== learning efficiency: %s, %d clients, sample ratio %.1f ==\n",
+				arch, cs.Clients, cs.Ratio)
+			var series []stats.Series
+			tw := table(o)
+			fmt.Fprintf(tw, "algo\tfinal acc\tbest acc\tcurve\n")
+			for _, algo := range AllAlgos {
+				env := BuildCIFAREnv(o.Scale, arch, cs, o.Seed)
+				res := fl.Run(env, NewAlgorithm(algo, o.Scale, o.Seed), fl.RunOpts{Rounds: o.Scale.CurveRounds})
+				series = append(series, accSeries(algo, res))
+				fmt.Fprintf(tw, "%s\t%.4f\t%.4f\t%s\n", algo, res.FinalAcc(), res.BestAcc(), stats.Sparkline(ys(res)))
+			}
+			tw.Flush()
+			if err := writeCSV(o, fmt.Sprintf("learning_%s_c%d", arch, cs.Clients), "round", series...); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// FEMNISTLearning reproduces the 2-layer-CNN-on-FEMNIST curve — the one
+// setting where the paper reports SPATL slightly *behind* the baselines
+// because the small model breaks the over-parameterization assumption.
+func FEMNISTLearning(o Options) error {
+	w := o.out()
+	cs := o.Scale.ClientSets[0]
+	fmt.Fprintf(w, "\n== FEMNIST (LEAF), 2-layer CNN, %d clients ==\n", cs.Clients)
+	var series []stats.Series
+	tw := table(o)
+	fmt.Fprintf(tw, "algo\tfinal acc\tbest acc\tcurve\n")
+	for _, algo := range AllAlgos {
+		env := BuildFEMNISTEnv(o.Scale, cs, o.Seed)
+		res := fl.Run(env, NewAlgorithm(algo, o.Scale, o.Seed), fl.RunOpts{Rounds: o.Scale.CurveRounds})
+		series = append(series, accSeries(algo, res))
+		fmt.Fprintf(tw, "%s\t%.4f\t%.4f\t%s\n", algo, res.FinalAcc(), res.BestAcc(), stats.Sparkline(ys(res)))
+	}
+	tw.Flush()
+	return writeCSV(o, "learning_femnist", "round", series...)
+}
+
+// ConvergeAccuracy reproduces Fig. 3: converged accuracy per method per
+// FL setting (the bar chart form of the learning curves).
+func ConvergeAccuracy(o Options) error {
+	w := o.out()
+	for _, arch := range o.Scale.Archs {
+		for _, cs := range o.Scale.ClientSets {
+			fmt.Fprintf(w, "\n== converge accuracy: %s, %d clients (ratio %.1f) ==\n", arch, cs.Clients, cs.Ratio)
+			tw := table(o)
+			fmt.Fprintf(tw, "algo\tconverge acc\tΔ vs fedavg\n")
+			var fedavgAcc float64
+			for _, algo := range AllAlgos {
+				env := BuildCIFAREnv(o.Scale, arch, cs, o.Seed)
+				res := fl.Run(env, NewAlgorithm(algo, o.Scale, o.Seed), fl.RunOpts{Rounds: o.Scale.Rounds})
+				acc := res.BestAcc()
+				if algo == "fedavg" {
+					fedavgAcc = acc
+				}
+				fmt.Fprintf(tw, "%s\t%.4f\t%+.4f\n", algo, acc, acc-fedavgAcc)
+			}
+			tw.Flush()
+		}
+	}
+	return nil
+}
+
+// LocalAccuracy reproduces Fig. "local_acc": per-client accuracy after
+// training completes (ResNet-20, first client set), comparing SPATL's
+// personalized models with SCAFFOLD's uniform model. The paper's finding:
+// SPATL's per-client accuracies are higher and tighter.
+func LocalAccuracy(o Options) error {
+	w := o.out()
+	cs := o.Scale.ClientSets[0]
+	fmt.Fprintf(w, "\n== per-client local accuracy: resnet20, %d clients ==\n", cs.Clients)
+	type row struct {
+		name string
+		per  []float64
+	}
+	var rows []row
+	for _, algo := range []string{"spatl", "scaffold", "fedavg"} {
+		env := BuildCIFAREnv(o.Scale, "resnet20", cs, o.Seed)
+		res := fl.Run(env, NewAlgorithm(algo, o.Scale, o.Seed), fl.RunOpts{Rounds: o.Scale.Rounds})
+		last := res.Records[len(res.Records)-1]
+		rows = append(rows, row{algo, last.PerClient})
+	}
+	tw := table(o)
+	fmt.Fprintf(tw, "algo\tmean\tstd\tmin\tmax\tper-client\n")
+	var series []stats.Series
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.4f\t%.4f\t%.4f\t%.4f\t", r.name,
+			stats.Mean(r.per), stats.Std(r.per), stats.Min(r.per), stats.Max(r.per))
+		for _, v := range r.per {
+			fmt.Fprintf(tw, "%.2f ", v)
+		}
+		fmt.Fprintln(tw)
+		s := stats.Series{Name: r.name}
+		for i, v := range r.per {
+			s.X = append(s.X, float64(i))
+			s.Y = append(s.Y, v)
+		}
+		series = append(series, s)
+	}
+	tw.Flush()
+	return writeCSV(o, "local_accuracy", "client", series...)
+}
+
+// RoundsToTarget reproduces Fig. "train_rounds": communication rounds
+// each method needs to reach the target accuracy, across FL settings.
+func RoundsToTarget(o Options) error {
+	w := o.out()
+	target := o.Scale.TargetAcc
+	for _, arch := range o.Scale.Archs {
+		for _, cs := range o.Scale.ClientSets {
+			fmt.Fprintf(w, "\n== rounds to %.0f%% accuracy: %s, %d clients ==\n", target*100, arch, cs.Clients)
+			tw := table(o)
+			fmt.Fprintf(tw, "algo\trounds\treached\n")
+			for _, algo := range AllAlgos {
+				env := BuildCIFAREnv(o.Scale, arch, cs, o.Seed)
+				res := fl.Run(env, NewAlgorithm(algo, o.Scale, o.Seed),
+					fl.RunOpts{Rounds: o.Scale.Rounds, TargetAcc: target})
+				r := res.RoundsToAcc(target)
+				if r < 0 {
+					fmt.Fprintf(tw, "%s\t>%d\tno (best %.3f)\n", algo, o.Scale.Rounds, res.BestAcc())
+				} else {
+					fmt.Fprintf(tw, "%s\t%d\tyes\n", algo, r)
+				}
+			}
+			tw.Flush()
+		}
+	}
+	return nil
+}

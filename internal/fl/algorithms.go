@@ -1,0 +1,399 @@
+package fl
+
+import (
+	"math/rand"
+
+	"spatl/internal/comm"
+	"spatl/internal/models"
+	"spatl/internal/nn"
+)
+
+// EffectiveLR is the asymptotic per-gradient step size of momentum SGD:
+// η/(1−µ). Control-variate updates (SCAFFOLD, SPATL) divide cumulative
+// weight movement by it to recover average gradients.
+func EffectiveLR(lr, momentum float64) float64 {
+	if momentum > 0 && momentum < 1 {
+		return lr / (1 - momentum)
+	}
+	return lr
+}
+
+// decodeDense decodes a broadcast payload, panicking on corruption (the
+// simulation transports bytes in-process, so corruption is a bug).
+func decodeDense(buf []byte) []float32 {
+	v, err := comm.DecodeDenseAny(buf)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// weightedAverage returns Σ wᵢ·stateᵢ / Σ wᵢ computed in float64,
+// skipping nil states (clients whose upload was lost to failure
+// injection). Returns nil when no state survives.
+func weightedAverage(states [][]float32, weights []float64) []float32 {
+	total := 0.0
+	var first []float32
+	for si, st := range states {
+		if st == nil {
+			continue
+		}
+		if first == nil {
+			first = st
+		}
+		total += weights[si]
+	}
+	if first == nil || total == 0 {
+		return nil
+	}
+	acc := make([]float64, len(first))
+	for si, st := range states {
+		if st == nil {
+			continue
+		}
+		w := weights[si] / total
+		for i, v := range st {
+			acc[i] += w * float64(v)
+		}
+	}
+	out := make([]float32, len(acc))
+	for i, v := range acc {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// addProx returns a LocalOpts hook adding FedProx's proximal gradient
+// term μ(w − w_global) against the flattened global trainable weights.
+func addProx(mu float64, globalFlat []float32) func(params []*nn.Param) {
+	return func(params []*nn.Param) {
+		off := 0
+		m := float32(mu)
+		for _, p := range params {
+			for j := range p.G.Data {
+				p.G.Data[j] += m * (p.W.Data[j] - globalFlat[off+j])
+			}
+			off += p.W.Len()
+		}
+	}
+}
+
+// addControl returns a hook applying SCAFFOLD-style gradient correction
+// g += c − cᵢ over the flattened trainable parameters.
+func addControl(c, ci []float32) func(params []*nn.Param) {
+	return func(params []*nn.Param) {
+		off := 0
+		for _, p := range params {
+			for j := range p.G.Data {
+				p.G.Data[j] += c[off+j] - ci[off+j]
+			}
+			off += p.W.Len()
+		}
+	}
+}
+
+// FedAvg is the McMahan et al. baseline: clients train the full model
+// locally; the server averages uploaded models weighted by local data
+// size.
+type FedAvg struct{}
+
+// Name implements Algorithm.
+func (FedAvg) Name() string { return "fedavg" }
+
+// Setup implements Algorithm.
+func (FedAvg) Setup(env *Env) {}
+
+// EvalModel implements Algorithm.
+func (FedAvg) EvalModel(env *Env, c *Client) *models.SplitModel { return env.Global }
+
+// Round implements Algorithm.
+func (FedAvg) Round(env *Env, round int, selected []int) {
+	payload := env.EncodeDense(env.Global.State(models.ScopeAll))
+	uploads := make([][]float32, len(selected))
+	ParallelClients(selected, func(pos int) {
+		ci := selected[pos]
+		c := env.Clients[ci]
+		env.Meter.AddDown(len(payload))
+		if env.ClientFailed(round, ci) {
+			return // crashed after download: upload lost
+		}
+		c.Model.SetState(models.ScopeAll, decodeDense(payload))
+		rng := rand.New(rand.NewSource(env.ClientSeed(round, ci)))
+		LocalSGD(c, LocalOpts{
+			Params: c.Model.Params(), Epochs: env.Cfg.LocalEpochs, BatchSize: env.Cfg.BatchSize,
+			LR: env.LRAt(round), Momentum: env.Cfg.Momentum, WeightDecay: env.Cfg.WeightDecay,
+			GradClip: env.Cfg.GradClip,
+		}, rng)
+		up := env.EncodeDense(c.Model.State(models.ScopeAll))
+		env.Meter.AddUp(len(up))
+		uploads[pos] = decodeDense(up)
+	})
+	ws, _ := env.TrainSizes(selected)
+	if avg := weightedAverage(uploads, ws); avg != nil {
+		env.Global.SetState(models.ScopeAll, avg)
+	}
+}
+
+// FedProx (Li et al.) augments FedAvg's local objective with a proximal
+// term restraining drift from the global model; per-round payload equals
+// FedAvg's.
+type FedProx struct{}
+
+// Name implements Algorithm.
+func (FedProx) Name() string { return "fedprox" }
+
+// Setup implements Algorithm.
+func (FedProx) Setup(env *Env) {}
+
+// EvalModel implements Algorithm.
+func (FedProx) EvalModel(env *Env, c *Client) *models.SplitModel { return env.Global }
+
+// Round implements Algorithm.
+func (FedProx) Round(env *Env, round int, selected []int) {
+	mu := env.Cfg.ProxMu
+	if mu == 0 {
+		mu = 0.01
+	}
+	globalFlat := nn.FlattenParams(env.Global.Params())
+	payload := env.EncodeDense(env.Global.State(models.ScopeAll))
+	uploads := make([][]float32, len(selected))
+	ParallelClients(selected, func(pos int) {
+		ci := selected[pos]
+		c := env.Clients[ci]
+		env.Meter.AddDown(len(payload))
+		if env.ClientFailed(round, ci) {
+			return
+		}
+		c.Model.SetState(models.ScopeAll, decodeDense(payload))
+		rng := rand.New(rand.NewSource(env.ClientSeed(round, ci)))
+		LocalSGD(c, LocalOpts{
+			Params: c.Model.Params(), Epochs: env.Cfg.LocalEpochs, BatchSize: env.Cfg.BatchSize,
+			LR: env.LRAt(round), Momentum: env.Cfg.Momentum, WeightDecay: env.Cfg.WeightDecay,
+			GradClip: env.Cfg.GradClip,
+			Hook:     addProx(mu, globalFlat),
+		}, rng)
+		up := env.EncodeDense(c.Model.State(models.ScopeAll))
+		env.Meter.AddUp(len(up))
+		uploads[pos] = decodeDense(up)
+	})
+	ws, _ := env.TrainSizes(selected)
+	if avg := weightedAverage(uploads, ws); avg != nil {
+		env.Global.SetState(models.ScopeAll, avg)
+	}
+}
+
+// SCAFFOLD (Karimireddy et al.) corrects client drift with control
+// variates: the server holds c, each client cᵢ; local gradients receive
+// c − cᵢ; clients upload both the model delta and the control delta, so
+// the per-round payload is ≈2× FedAvg's — the trade-off the SPATL paper
+// highlights.
+type SCAFFOLD struct {
+	c []float32 // server control variate over trainable params
+}
+
+// Name implements Algorithm.
+func (*SCAFFOLD) Name() string { return "scaffold" }
+
+// Setup implements Algorithm.
+func (s *SCAFFOLD) Setup(env *Env) {
+	n := nn.ParamCount(env.Global.Params())
+	s.c = make([]float32, n)
+	for _, c := range env.Clients {
+		c.Control = make([]float32, n)
+	}
+}
+
+// EvalModel implements Algorithm.
+func (*SCAFFOLD) EvalModel(env *Env, c *Client) *models.SplitModel { return env.Global }
+
+// Round implements Algorithm.
+func (s *SCAFFOLD) Round(env *Env, round int, selected []int) {
+	globalState := env.Global.State(models.ScopeAll)
+	globalFlat := nn.FlattenParams(env.Global.Params())
+	statePayload := env.EncodeDense(globalState)
+	ctrlPayload := env.EncodeDense(s.c)
+
+	deltaW := make([][]float32, len(selected))
+	deltaC := make([][]float32, len(selected))
+	ParallelClients(selected, func(pos int) {
+		ci := selected[pos]
+		c := env.Clients[ci]
+		env.Meter.AddDown(len(statePayload) + len(ctrlPayload))
+		if env.ClientFailed(round, ci) {
+			return
+		}
+		c.Model.SetState(models.ScopeAll, decodeDense(statePayload))
+		serverC := decodeDense(ctrlPayload)
+		rng := rand.New(rand.NewSource(env.ClientSeed(round, ci)))
+		steps, _ := LocalSGD(c, LocalOpts{
+			Params: c.Model.Params(), Epochs: env.Cfg.LocalEpochs, BatchSize: env.Cfg.BatchSize,
+			LR: env.LRAt(round), Momentum: env.Cfg.Momentum, WeightDecay: env.Cfg.WeightDecay,
+			GradClip: env.Cfg.GradClip,
+			Hook:     addControl(serverC, c.Control),
+		}, rng)
+
+		localFlat := nn.FlattenParams(c.Model.Params())
+		localState := c.Model.State(models.ScopeAll)
+		// Option-II control update: cᵢ⁺ = cᵢ − c + (x_g − x_i)/(K·η_eff).
+		// With classical momentum each unit of gradient moves the weights
+		// by ≈ η/(1−µ) over time, so the effective step size is scaled
+		// accordingly; without the correction the control variates
+		// overestimate gradients by 1/(1−µ) and training explodes.
+		inv := 1.0 / (float64(steps) * EffectiveLR(env.LRAt(round), env.Cfg.Momentum))
+		newCi := make([]float32, len(localFlat))
+		dC := make([]float32, len(localFlat))
+		for j := range localFlat {
+			newCi[j] = c.Control[j] - serverC[j] + float32(float64(globalFlat[j]-localFlat[j])*inv)
+			dC[j] = newCi[j] - c.Control[j]
+		}
+		c.Control = newCi
+
+		dW := make([]float32, len(localState))
+		for j := range localState {
+			dW[j] = localState[j] - globalState[j]
+		}
+		upW := env.EncodeDense(dW)
+		upC := env.EncodeDense(dC)
+		env.Meter.AddUp(len(upW) + len(upC))
+		deltaW[pos] = decodeDense(upW)
+		deltaC[pos] = decodeDense(upC)
+	})
+
+	// Server: x += (1/|S|)·ΣΔw ; c += (1/N)·ΣΔc, where S is the set of
+	// clients whose uploads actually arrived.
+	survivors := 0
+	for _, dw := range deltaW {
+		if dw != nil {
+			survivors++
+		}
+	}
+	if survivors == 0 {
+		return
+	}
+	invS := 1.0 / float64(survivors)
+	newState := append([]float32(nil), globalState...)
+	for _, dw := range deltaW {
+		if dw == nil {
+			continue
+		}
+		for j, v := range dw {
+			newState[j] += float32(invS * float64(v))
+		}
+	}
+	env.Global.SetState(models.ScopeAll, newState)
+	invN := 1.0 / float64(env.Cfg.NumClients)
+	for _, dc := range deltaC {
+		if dc == nil {
+			continue
+		}
+		for j, v := range dc {
+			s.c[j] += float32(invN * float64(v))
+		}
+	}
+}
+
+// FedNova (Wang et al.) normalizes each client's cumulative update by
+// its local step count before aggregation, removing objective
+// inconsistency under heterogeneous local work. This implementation
+// includes the momentum variant: clients also ship their momentum
+// buffers, which the server averages and redistributes — giving the ≈2×
+// per-round uplink the SPATL paper reports for FedNova.
+type FedNova struct {
+	velocity []float32 // server-averaged momentum over trainable params
+}
+
+// Name implements Algorithm.
+func (*FedNova) Name() string { return "fednova" }
+
+// Setup implements Algorithm.
+func (f *FedNova) Setup(env *Env) {
+	f.velocity = make([]float32, nn.ParamCount(env.Global.Params()))
+}
+
+// EvalModel implements Algorithm.
+func (*FedNova) EvalModel(env *Env, c *Client) *models.SplitModel { return env.Global }
+
+// Round implements Algorithm.
+func (f *FedNova) Round(env *Env, round int, selected []int) {
+	globalState := env.Global.State(models.ScopeAll)
+	statePayload := env.EncodeDense(globalState)
+	velPayload := env.EncodeDense(f.velocity)
+
+	ds := make([][]float32, len(selected)) // normalized update d_i over full state
+	vs := make([][]float32, len(selected)) // final momentum buffers
+	taus := make([]float64, len(selected))
+	ParallelClients(selected, func(pos int) {
+		ci := selected[pos]
+		c := env.Clients[ci]
+		env.Meter.AddDown(len(statePayload) + len(velPayload))
+		if env.ClientFailed(round, ci) {
+			return
+		}
+		c.Model.SetState(models.ScopeAll, decodeDense(statePayload))
+		rng := rand.New(rand.NewSource(env.ClientSeed(round, ci)))
+		steps, vel := LocalSGD(c, LocalOpts{
+			Params: c.Model.Params(), Epochs: env.Cfg.LocalEpochs, BatchSize: env.Cfg.BatchSize,
+			LR: env.LRAt(round), Momentum: env.Cfg.Momentum, WeightDecay: env.Cfg.WeightDecay,
+			GradClip:     env.Cfg.GradClip,
+			InitVelocity: decodeDense(velPayload),
+		}, rng)
+		taus[pos] = float64(steps)
+		localState := c.Model.State(models.ScopeAll)
+		d := make([]float32, len(localState))
+		inv := 1.0 / float64(steps)
+		for j := range d {
+			d[j] = float32(float64(globalState[j]-localState[j]) * inv)
+		}
+		upD := env.EncodeDense(d)
+		if vel == nil {
+			vel = make([]float32, nn.ParamCount(c.Model.Params()))
+		}
+		upV := env.EncodeDense(vel)
+		env.Meter.AddUp(len(upD) + len(upV))
+		ds[pos] = decodeDense(upD)
+		vs[pos] = decodeDense(upV)
+	})
+
+	// Restrict the weighting to clients whose uploads arrived.
+	ws, _ := env.TrainSizes(selected)
+	total := 0.0
+	for i := range ds {
+		if ds[i] != nil {
+			total += ws[i]
+		}
+	}
+	if total == 0 {
+		return
+	}
+	// τ_eff = Σ pᵢ·τᵢ ; x_g ← x_g − τ_eff · Σ pᵢ·dᵢ.
+	var tauEff float64
+	for i := range ds {
+		if ds[i] != nil {
+			tauEff += (ws[i] / total) * taus[i]
+		}
+	}
+	newState := append([]float32(nil), globalState...)
+	for i, d := range ds {
+		if d == nil {
+			continue
+		}
+		p := ws[i] / total
+		for j, v := range d {
+			newState[j] -= float32(tauEff * p * float64(v))
+		}
+	}
+	env.Global.SetState(models.ScopeAll, newState)
+	// Server momentum = Σ pᵢ·vᵢ.
+	for j := range f.velocity {
+		f.velocity[j] = 0
+	}
+	for i, v := range vs {
+		if v == nil {
+			continue
+		}
+		p := ws[i] / total
+		for j, vv := range v {
+			f.velocity[j] += float32(p * float64(vv))
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package flnet
+
+import (
+	"math/rand"
+
+	"spatl/internal/comm"
+	"spatl/internal/data"
+	"spatl/internal/fl"
+	"spatl/internal/models"
+)
+
+// FedAvgAggregator implements Aggregator with data-size-weighted model
+// averaging over dense checkpoint payloads — FedAvg deployed on the
+// wire.
+type FedAvgAggregator struct {
+	Global *models.SplitModel
+
+	sum    []float64
+	weight float64
+}
+
+// Broadcast implements Aggregator.
+func (a *FedAvgAggregator) Broadcast(round int) []byte {
+	return comm.EncodeDense(a.Global.State(models.ScopeAll))
+}
+
+// Collect implements Aggregator.
+func (a *FedAvgAggregator) Collect(round int, client uint32, trainSize int, payload []byte) {
+	state, err := comm.DecodeDense(payload)
+	if err != nil {
+		// A corrupt upload is dropped; the round proceeds with the rest.
+		return
+	}
+	if a.sum == nil {
+		a.sum = make([]float64, len(state))
+	}
+	w := float64(trainSize)
+	for i, v := range state {
+		a.sum[i] += w * float64(v)
+	}
+	a.weight += w
+}
+
+// FinishRound implements Aggregator.
+func (a *FedAvgAggregator) FinishRound(round int) {
+	if a.weight == 0 {
+		return
+	}
+	state := make([]float32, len(a.sum))
+	for i, v := range a.sum {
+		state[i] = float32(v / a.weight)
+	}
+	a.Global.SetState(models.ScopeAll, state)
+	a.sum, a.weight = nil, 0
+}
+
+// Final implements Aggregator.
+func (a *FedAvgAggregator) Final() []byte {
+	return comm.EncodeDense(a.Global.State(models.ScopeAll))
+}
+
+// FedAvgTrainer implements Trainer: install the broadcast model, run
+// local SGD on the private shard, upload the result.
+type FedAvgTrainer struct {
+	Client *fl.Client
+	Opts   fl.LocalOpts
+	Seed   int64
+
+	// FinalModel is populated by Finish.
+	FinalModel []float32
+}
+
+// NewFedAvgTrainer wires a trainer around a client's model and data.
+func NewFedAvgTrainer(spec models.Spec, train, val *data.Dataset, id int, opts fl.LocalOpts, seed int64) *FedAvgTrainer {
+	m := models.Build(spec, seed)
+	c := &fl.Client{ID: id, Train: train, Val: val, Model: m}
+	if opts.Params == nil {
+		opts.Params = m.Params()
+	}
+	return &FedAvgTrainer{Client: c, Opts: opts, Seed: seed}
+}
+
+// LocalUpdate implements Trainer.
+func (t *FedAvgTrainer) LocalUpdate(round int, payload []byte) []byte {
+	state, err := comm.DecodeDense(payload)
+	if err != nil {
+		return comm.EncodeDense(t.Client.Model.State(models.ScopeAll))
+	}
+	t.Client.Model.SetState(models.ScopeAll, state)
+	rng := rand.New(rand.NewSource(t.Seed*1009 + int64(round)*31 + int64(t.Client.ID)))
+	opts := t.Opts
+	opts.Params = t.Client.Model.Params()
+	fl.LocalSGD(t.Client, opts, rng)
+	return comm.EncodeDense(t.Client.Model.State(models.ScopeAll))
+}
+
+// Finish implements Trainer.
+func (t *FedAvgTrainer) Finish(payload []byte) {
+	if state, err := comm.DecodeDense(payload); err == nil {
+		t.Client.Model.SetState(models.ScopeAll, state)
+		t.FinalModel = state
+	}
+}

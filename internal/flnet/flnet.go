@@ -1,0 +1,271 @@
+// Package flnet runs federated learning over real TCP connections: a
+// central aggregation server and one process (or goroutine) per client,
+// exchanging the same wire payloads the in-process simulator meters
+// (internal/comm). The in-process engine (internal/fl) is the tool for
+// experiments; flnet demonstrates that the algorithms deploy unchanged
+// across a network — the scalability claim of the paper's HPC framing.
+//
+// The protocol is deliberately small: length-prefixed frames carrying a
+// message type, a round number, and an opaque payload whose encoding is
+// owned by the algorithm layer (dense or sparse comm payloads).
+package flnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+)
+
+// Message types.
+const (
+	// MsgHello registers a client: payload is 4 bytes of training-set
+	// size (for data-weighted aggregation).
+	MsgHello = uint8(iota + 1)
+	// MsgRoundStart carries the server's broadcast for a round.
+	MsgRoundStart
+	// MsgUpdate carries a client's upload for a round.
+	MsgUpdate
+	// MsgDone carries the final model; the client disconnects after it.
+	MsgDone
+)
+
+// maxFrame bounds a frame to guard against corrupt length prefixes.
+const maxFrame = 1 << 30
+
+// Frame is one protocol message.
+type Frame struct {
+	Type    uint8
+	Client  uint32
+	Round   uint32
+	Payload []byte
+}
+
+// WriteFrame writes f to w: uint32 total length, type, client, round,
+// payload.
+func WriteFrame(w io.Writer, f Frame) error {
+	header := make([]byte, 4+1+4+4)
+	binary.LittleEndian.PutUint32(header[0:4], uint32(1+4+4+len(f.Payload)))
+	header[4] = f.Type
+	binary.LittleEndian.PutUint32(header[5:9], f.Client)
+	binary.LittleEndian.PutUint32(header[9:13], f.Round)
+	if _, err := w.Write(header); err != nil {
+		return err
+	}
+	if len(f.Payload) > 0 {
+		if _, err := w.Write(f.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame from r.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n < 9 || n > maxFrame {
+		return Frame{}, fmt.Errorf("flnet: implausible frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Frame{}, err
+	}
+	return Frame{
+		Type:    body[0],
+		Client:  binary.LittleEndian.Uint32(body[1:5]),
+		Round:   binary.LittleEndian.Uint32(body[5:9]),
+		Payload: body[9:],
+	}, nil
+}
+
+// Aggregator is the server-side algorithm hook. Implementations own the
+// payload encoding; flnet only transports bytes.
+type Aggregator interface {
+	// Broadcast produces the payload sent to every sampled client at the
+	// start of round.
+	Broadcast(round int) []byte
+	// Collect consumes one sampled client's upload. Called sequentially.
+	Collect(round int, client uint32, trainSize int, payload []byte)
+	// FinishRound runs after all sampled clients reported.
+	FinishRound(round int)
+	// Final produces the payload broadcast with MsgDone.
+	Final() []byte
+}
+
+// Trainer is the client-side algorithm hook.
+type Trainer interface {
+	// LocalUpdate consumes a round broadcast and returns the upload.
+	LocalUpdate(round int, payload []byte) []byte
+	// Finish consumes the final model payload.
+	Finish(payload []byte)
+}
+
+// ServerConfig configures a federation server.
+type ServerConfig struct {
+	// Addr to listen on; ":0" picks a free port.
+	Addr string
+	// Clients is the number of registrations to wait for.
+	Clients int
+	// Rounds of federated training to run.
+	Rounds int
+	// PerRound is how many clients participate each round (0 = all).
+	PerRound int
+	// Seed drives client sampling.
+	Seed int64
+}
+
+// Server orchestrates rounds over TCP.
+type Server struct {
+	cfg ServerConfig
+	ln  net.Listener
+
+	// Stats, populated by Run.
+	UpBytes   int64
+	DownBytes int64
+}
+
+// NewServer starts listening (so clients can connect before Run).
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Clients <= 0 || cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("flnet: Clients and Rounds must be positive")
+	}
+	if cfg.PerRound <= 0 || cfg.PerRound > cfg.Clients {
+		cfg.PerRound = cfg.Clients
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{cfg: cfg, ln: ln}, nil
+}
+
+// Addr returns the listening address (use after NewServer with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// clientConn is the server's view of one registered client.
+type clientConn struct {
+	id        uint32
+	trainSize int
+	conn      net.Conn
+}
+
+// Run accepts registrations, executes the round loop and broadcasts the
+// final model. It returns after all clients have been served.
+func (s *Server) Run(agg Aggregator) error {
+	defer s.ln.Close()
+	clients := make([]*clientConn, 0, s.cfg.Clients)
+	for len(clients) < s.cfg.Clients {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("flnet: accept: %w", err)
+		}
+		f, err := ReadFrame(conn)
+		if err != nil || f.Type != MsgHello || len(f.Payload) < 4 {
+			conn.Close()
+			return fmt.Errorf("flnet: bad hello from %s: %v", conn.RemoteAddr(), err)
+		}
+		clients = append(clients, &clientConn{
+			id:        f.Client,
+			trainSize: int(binary.LittleEndian.Uint32(f.Payload)),
+			conn:      conn,
+		})
+	}
+	defer func() {
+		for _, c := range clients {
+			c.conn.Close()
+		}
+	}()
+
+	rng := newRng(s.cfg.Seed)
+	for round := 0; round < s.cfg.Rounds; round++ {
+		payload := agg.Broadcast(round)
+		selected := samplePerm(rng, len(clients), s.cfg.PerRound)
+		// Broadcast to the sampled clients.
+		for _, ci := range selected {
+			c := clients[ci]
+			f := Frame{Type: MsgRoundStart, Client: c.id, Round: uint32(round), Payload: payload}
+			if err := WriteFrame(c.conn, f); err != nil {
+				return fmt.Errorf("flnet: broadcast to client %d: %w", c.id, err)
+			}
+			s.DownBytes += int64(len(payload))
+		}
+		// Collect uploads concurrently, aggregate sequentially in
+		// selection order for determinism.
+		type result struct {
+			idx   int
+			frame Frame
+			err   error
+		}
+		results := make(chan result, len(selected))
+		for pos, ci := range selected {
+			go func(pos, ci int) {
+				f, err := ReadFrame(clients[ci].conn)
+				results <- result{idx: pos, frame: f, err: err}
+			}(pos, ci)
+		}
+		frames := make([]Frame, len(selected))
+		for range selected {
+			r := <-results
+			if r.err != nil {
+				return fmt.Errorf("flnet: collect round %d: %w", round, r.err)
+			}
+			if r.frame.Type != MsgUpdate || int(r.frame.Round) != round {
+				return fmt.Errorf("flnet: unexpected frame type=%d round=%d", r.frame.Type, r.frame.Round)
+			}
+			frames[r.idx] = r.frame
+		}
+		for pos, ci := range selected {
+			c := clients[ci]
+			s.UpBytes += int64(len(frames[pos].Payload))
+			agg.Collect(round, c.id, c.trainSize, frames[pos].Payload)
+		}
+		agg.FinishRound(round)
+	}
+
+	final := agg.Final()
+	for _, c := range clients {
+		f := Frame{Type: MsgDone, Client: c.id, Payload: final}
+		if err := WriteFrame(c.conn, f); err != nil {
+			return fmt.Errorf("flnet: final broadcast to %d: %w", c.id, err)
+		}
+		s.DownBytes += int64(len(final))
+	}
+	return nil
+}
+
+// RunClient connects to a federation server, participates in every round
+// it is sampled for, and returns after receiving the final model.
+func RunClient(addr string, clientID uint32, trainSize int, tr Trainer) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	hello := make([]byte, 4)
+	binary.LittleEndian.PutUint32(hello, uint32(trainSize))
+	if err := WriteFrame(conn, Frame{Type: MsgHello, Client: clientID, Payload: hello}); err != nil {
+		return err
+	}
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			return fmt.Errorf("flnet: client %d read: %w", clientID, err)
+		}
+		switch f.Type {
+		case MsgRoundStart:
+			up := tr.LocalUpdate(int(f.Round), f.Payload)
+			if err := WriteFrame(conn, Frame{Type: MsgUpdate, Client: clientID, Round: f.Round, Payload: up}); err != nil {
+				return err
+			}
+		case MsgDone:
+			tr.Finish(f.Payload)
+			return nil
+		default:
+			return fmt.Errorf("flnet: client %d: unexpected frame type %d", clientID, f.Type)
+		}
+	}
+}

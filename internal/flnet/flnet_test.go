@@ -1,0 +1,184 @@
+package flnet
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+
+	"spatl/internal/data"
+	"spatl/internal/fl"
+	"spatl/internal/models"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Frame{Type: MsgUpdate, Client: 7, Round: 42, Payload: []byte{1, 2, 3, 4, 5}}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != in.Type || out.Client != in.Client || out.Round != in.Round {
+		t.Fatalf("header mismatch: %+v", out)
+	}
+	if !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Type: MsgHello, Client: 1}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Payload) != 0 {
+		t.Fatalf("payload length %d", len(f.Payload))
+	}
+}
+
+func TestReadFrameRejectsCorruptLength(t *testing.T) {
+	buf := bytes.NewBuffer([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0, 0})
+	if _, err := ReadFrame(buf); err == nil {
+		t.Fatal("expected error for implausible length")
+	}
+	buf = bytes.NewBuffer([]byte{1, 0, 0, 0, 0})
+	if _, err := ReadFrame(buf); err == nil {
+		t.Fatal("expected error for undersized frame")
+	}
+}
+
+func TestSamplePerm(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := samplePerm(rng, 10, 4)
+	if len(s) != 4 {
+		t.Fatalf("len %d", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			t.Fatal("not sorted/unique")
+		}
+	}
+	s = samplePerm(rng, 3, 5)
+	if len(s) != 3 {
+		t.Fatal("k>n must return all")
+	}
+}
+
+// TestFederationOverTCP runs a complete FedAvg federation over loopback
+// TCP: one server, four client goroutines, three rounds — asserting the
+// final model learns above chance and every client converges on the
+// same final weights.
+func TestFederationOverTCP(t *testing.T) {
+	const (
+		clients = 4
+		rounds  = 3
+		classes = 4
+	)
+	spec := models.Spec{Arch: "mlp", Classes: classes, InC: 3, H: 8, W: 8, Width: 0.5}
+	ds := data.SynthCIFAR(data.SynthCIFARConfig{Classes: classes, H: 8, W: 8, Noise: 0.25}, clients*80, 1, 2)
+	parts := data.DirichletPartition(ds.Y, classes, clients, 0.5, 10, rand.New(rand.NewSource(3)))
+
+	srv, err := NewServer(ServerConfig{Addr: "127.0.0.1:0", Clients: clients, Rounds: rounds, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := models.Build(spec, 5)
+	agg := &FedAvgAggregator{Global: global}
+
+	serverErr := make(chan error, 1)
+	go func() { serverErr <- srv.Run(agg) }()
+
+	var wg sync.WaitGroup
+	trainers := make([]*FedAvgTrainer, clients)
+	clientErrs := make([]error, clients)
+	var val *data.Dataset
+	for i := 0; i < clients; i++ {
+		tr, va := ds.Subset(parts[i]).Split(0.8)
+		if val == nil {
+			val = va
+		}
+		trainers[i] = NewFedAvgTrainer(spec, tr, va, i, fl.LocalOpts{
+			Epochs: 2, BatchSize: 16, LR: 0.05, Momentum: 0.9,
+		}, int64(10+i))
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			clientErrs[i] = RunClient(srv.Addr(), uint32(i), trainers[i].Client.Train.Len(), trainers[i])
+		}(i)
+	}
+	wg.Wait()
+	if err := <-serverErr; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	for i, err := range clientErrs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+
+	// Every client must hold the identical final model.
+	for i := 1; i < clients; i++ {
+		a, b := trainers[0].FinalModel, trainers[i].FinalModel
+		if len(a) == 0 || len(a) != len(b) {
+			t.Fatalf("client %d final model missing or mis-sized", i)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("clients 0 and %d disagree on the final model", i)
+			}
+		}
+	}
+	// The federation must have learned something.
+	var total float64
+	for _, tr := range trainers {
+		total += fl.EvalAccuracy(tr.Client.Model, tr.Client.Val, 32)
+	}
+	avg := total / clients
+	if avg < 0.40 {
+		t.Fatalf("federated accuracy %.3f after %d rounds over TCP; want > 0.40 (chance 0.25)", avg, rounds)
+	}
+	// Byte accounting moved in both directions.
+	if srv.UpBytes == 0 || srv.DownBytes == 0 {
+		t.Fatal("server recorded no traffic")
+	}
+}
+
+func TestServerRejectsBadConfig(t *testing.T) {
+	if _, err := NewServer(ServerConfig{Addr: "127.0.0.1:0", Clients: 0, Rounds: 1}); err == nil {
+		t.Fatal("expected error for zero clients")
+	}
+	if _, err := NewServer(ServerConfig{Addr: "127.0.0.1:0", Clients: 1, Rounds: 0}); err == nil {
+		t.Fatal("expected error for zero rounds")
+	}
+}
+
+func TestServerRejectsBadHello(t *testing.T) {
+	srv, err := NewServer(ServerConfig{Addr: "127.0.0.1:0", Clients: 1, Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- srv.Run(&FedAvgAggregator{Global: models.Build(models.Spec{Arch: "mlp", Classes: 2, InC: 1, H: 2, W: 2}, 1)})
+	}()
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Send a non-hello frame.
+	if err := WriteFrame(conn, Frame{Type: MsgUpdate, Client: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("server should reject a bad hello")
+	}
+	conn.Close()
+}

@@ -1,0 +1,34 @@
+package flnet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame ensures the frame parser never panics or over-allocates
+// on hostile input, and that valid frames round-trip.
+func FuzzReadFrame(f *testing.F) {
+	var seed bytes.Buffer
+	WriteFrame(&seed, Frame{Type: MsgUpdate, Client: 3, Round: 9, Payload: []byte("abc")})
+	f.Add(seed.Bytes())
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, 1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, fr); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		fr2, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if fr2.Type != fr.Type || fr2.Client != fr.Client || fr2.Round != fr.Round ||
+			!bytes.Equal(fr2.Payload, fr.Payload) {
+			t.Fatal("frame round trip mismatch")
+		}
+	})
+}

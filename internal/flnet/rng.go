@@ -1,0 +1,25 @@
+package flnet
+
+import "math/rand"
+
+// newRng builds the server's sampling source.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// samplePerm draws k distinct indices from [0,n), sorted ascending.
+func samplePerm(rng *rand.Rand, n, k int) []int {
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	perm := rng.Perm(n)[:k]
+	// insertion sort — k is small
+	for i := 1; i < len(perm); i++ {
+		for j := i; j > 0 && perm[j] < perm[j-1]; j-- {
+			perm[j], perm[j-1] = perm[j-1], perm[j]
+		}
+	}
+	return perm
+}

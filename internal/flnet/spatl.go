@@ -1,0 +1,251 @@
+package flnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"spatl/internal/comm"
+	"spatl/internal/data"
+	"spatl/internal/fl"
+	"spatl/internal/models"
+	"spatl/internal/nn"
+	"spatl/internal/prune"
+	"spatl/internal/rl"
+)
+
+// JoinPayloads concatenates multiple byte payloads into one frame body
+// with uint32 length prefixes, so an algorithm can ship several comm
+// blobs (model delta + control delta) per message.
+func JoinPayloads(parts ...[]byte) []byte {
+	n := 0
+	for _, p := range parts {
+		n += 4 + len(p)
+	}
+	out := make([]byte, 0, n)
+	var lenBuf [4]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(p)))
+		out = append(out, lenBuf[:]...)
+		out = append(out, p...)
+	}
+	return out
+}
+
+// SplitPayloads reverses JoinPayloads.
+func SplitPayloads(buf []byte) ([][]byte, error) {
+	var out [][]byte
+	for len(buf) > 0 {
+		if len(buf) < 4 {
+			return nil, fmt.Errorf("flnet: truncated payload header")
+		}
+		n := binary.LittleEndian.Uint32(buf[:4])
+		buf = buf[4:]
+		if int(n) > len(buf) {
+			return nil, fmt.Errorf("flnet: payload part length %d exceeds remaining %d", n, len(buf))
+		}
+		out = append(out, buf[:n])
+		buf = buf[n:]
+	}
+	return out, nil
+}
+
+// SPATLAggregator implements Aggregator with SPATL's server side:
+// encoder-only broadcast (plus the control variate), per-index averaged
+// aggregation of the salient sparse deltas (eq. 12), and eq. 11's
+// control-variate update.
+type SPATLAggregator struct {
+	Global *models.SplitModel
+	// Clients is the federation size N (for the 1/N control update).
+	Clients int
+
+	c     []float32
+	sum   []float32
+	count []int32
+}
+
+// NewSPATLAggregator wires the aggregator around the global model.
+func NewSPATLAggregator(global *models.SplitModel, clients int) *SPATLAggregator {
+	return &SPATLAggregator{
+		Global:  global,
+		Clients: clients,
+		c:       make([]float32, nn.ParamCount(global.EncoderParams())),
+	}
+}
+
+// Broadcast implements Aggregator.
+func (a *SPATLAggregator) Broadcast(round int) []byte {
+	return JoinPayloads(
+		comm.EncodeDense(a.Global.State(models.ScopeEncoder)),
+		comm.EncodeDense(a.c),
+	)
+}
+
+// Collect implements Aggregator.
+func (a *SPATLAggregator) Collect(round int, client uint32, trainSize int, payload []byte) {
+	parts, err := SplitPayloads(payload)
+	if err != nil || len(parts) != 2 {
+		return // drop malformed upload
+	}
+	dW, err := comm.DecodeSparse(parts[0])
+	if err != nil {
+		return
+	}
+	if a.sum == nil {
+		n := a.Global.StateLen(models.ScopeEncoder)
+		a.sum = make([]float32, n)
+		a.count = make([]int32, n)
+	}
+	comm.ScatterAdd(a.sum, a.count, dW)
+	if dC, err := comm.DecodeSparse(parts[1]); err == nil {
+		invN := float32(1.0 / float64(a.Clients))
+		off := 0
+		for _, r := range dC.Ranges {
+			for k := uint32(0); k < r.Len; k++ {
+				a.c[r.Start+k] += invN * dC.Values[off]
+				off++
+			}
+		}
+	}
+}
+
+// FinishRound implements Aggregator.
+func (a *SPATLAggregator) FinishRound(round int) {
+	if a.sum == nil {
+		return
+	}
+	state := a.Global.State(models.ScopeEncoder)
+	for i := range state {
+		if a.count[i] > 0 {
+			state[i] += a.sum[i] / float32(a.count[i])
+		}
+	}
+	a.Global.SetState(models.ScopeEncoder, state)
+	a.sum, a.count = nil, nil
+}
+
+// Final implements Aggregator.
+func (a *SPATLAggregator) Final() []byte {
+	return JoinPayloads(comm.EncodeDense(a.Global.State(models.ScopeEncoder)))
+}
+
+// SPATLTrainer implements Trainer with SPATL's client side: encoder
+// install, gradient-controlled local update through the private
+// predictor, salient selection via the RL agent, sparse upload.
+type SPATLTrainer struct {
+	Client *fl.Client
+	Opts   fl.LocalOpts
+	Agent  *rl.Agent
+	// FLOPsBudget for the selection agent (default 0.6).
+	FLOPsBudget float64
+	// FineTuneRounds of agent head adaptation at the start (default 2).
+	FineTuneRounds int
+	Seed           int64
+
+	control []float32
+}
+
+// NewSPATLTrainer builds a client-side SPATL participant.
+func NewSPATLTrainer(spec models.Spec, train, val *data.Dataset, id int, opts fl.LocalOpts, agentCfg rl.AgentConfig, seed int64) *SPATLTrainer {
+	m := models.Build(spec, seed)
+	agentCfg.Seed += int64(id)
+	t := &SPATLTrainer{
+		Client:         &fl.Client{ID: id, Train: train, Val: val, Model: m},
+		Opts:           opts,
+		Agent:          rl.NewAgent(agentCfg),
+		FLOPsBudget:    0.6,
+		FineTuneRounds: 2,
+		Seed:           seed,
+	}
+	t.control = make([]float32, nn.ParamCount(m.EncoderParams()))
+	return t
+}
+
+// LocalUpdate implements Trainer.
+func (t *SPATLTrainer) LocalUpdate(round int, payload []byte) []byte {
+	parts, err := SplitPayloads(payload)
+	if err != nil || len(parts) != 2 {
+		return JoinPayloads(nil, nil)
+	}
+	globalState, err1 := comm.DecodeDense(parts[0])
+	serverC, err2 := comm.DecodeDense(parts[1])
+	if err1 != nil || err2 != nil {
+		return JoinPayloads(nil, nil)
+	}
+	m := t.Client.Model
+	m.SetState(models.ScopeEncoder, globalState)
+
+	encP := m.EncoderParams()
+	gBefore := nn.FlattenParams(encP)
+	rng := rand.New(rand.NewSource(t.Seed*1013 + int64(round)*37 + int64(t.Client.ID)))
+	opts := t.Opts
+	opts.Params = m.Params()
+	opts.Hook = func(params []*nn.Param) {
+		off := 0
+		for _, p := range encP {
+			for j := range p.G.Data {
+				p.G.Data[j] += serverC[off+j] - t.control[off+j]
+			}
+			off += p.W.Len()
+		}
+	}
+	steps, _ := fl.LocalSGD(t.Client, opts, rng)
+
+	// Control update (option II) over the encoder.
+	localCtrl := nn.FlattenParams(encP)
+	inv := 1.0 / (float64(steps) * fl.EffectiveLR(opts.LR, opts.Momentum))
+	dC := make([]float32, len(localCtrl))
+	for j := range localCtrl {
+		newC := t.control[j] - serverC[j] + float32(float64(gBefore[j]-localCtrl[j])*inv)
+		dC[j] = newC - t.control[j]
+		t.control[j] = newC
+	}
+
+	// Salient selection.
+	env := prune.NewEnv(m, t.Client.Val, t.FLOPsBudget)
+	if round < t.FineTuneRounds {
+		ppo := rl.NewPPO(t.Agent, true)
+		rl.Train(ppo, env, 1, 2, rng)
+	}
+	sel := prune.Select(m, rl.BestAction(t.Agent, env))
+
+	localState := m.State(models.ScopeEncoder)
+	dW := make([]float32, len(localState))
+	for j := range localState {
+		dW[j] = localState[j] - globalState[j]
+	}
+	ctrlRanges := clipRangesTo(sel.Ranges, len(dC))
+	return JoinPayloads(
+		comm.EncodeSparse(comm.GatherSparse(dW, sel.Ranges)),
+		comm.EncodeSparse(comm.GatherSparse(dC, ctrlRanges)),
+	)
+}
+
+// Finish implements Trainer.
+func (t *SPATLTrainer) Finish(payload []byte) {
+	parts, err := SplitPayloads(payload)
+	if err != nil || len(parts) < 1 {
+		return
+	}
+	if state, err := comm.DecodeDense(parts[0]); err == nil {
+		t.Client.Model.SetState(models.ScopeEncoder, state)
+	}
+}
+
+// clipRangesTo restricts index ranges to [0, n) — the control vector is
+// the trainable prefix of the encoder state vector.
+func clipRangesTo(ranges []comm.Range, n int) []comm.Range {
+	out := make([]comm.Range, 0, len(ranges))
+	for _, r := range ranges {
+		if int(r.Start) >= n {
+			break
+		}
+		if int(r.Start+r.Len) > n {
+			r.Len = uint32(n) - r.Start
+		}
+		if r.Len > 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}

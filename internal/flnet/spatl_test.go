@@ -1,0 +1,105 @@
+package flnet
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"spatl/internal/data"
+	"spatl/internal/fl"
+	"spatl/internal/models"
+	"spatl/internal/rl"
+)
+
+func TestJoinSplitPayloads(t *testing.T) {
+	parts := [][]byte{[]byte("abc"), {}, []byte("xy")}
+	joined := JoinPayloads(parts...)
+	got, err := SplitPayloads(joined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parts = %d", len(got))
+	}
+	for i := range parts {
+		if !bytes.Equal(got[i], parts[i]) {
+			t.Fatalf("part %d mismatch", i)
+		}
+	}
+}
+
+func TestSplitPayloadsRejectsGarbage(t *testing.T) {
+	if _, err := SplitPayloads([]byte{1, 2}); err == nil {
+		t.Fatal("expected error for truncated header")
+	}
+	if _, err := SplitPayloads([]byte{0xFF, 0, 0, 0, 1}); err == nil {
+		t.Fatal("expected error for oversized part")
+	}
+}
+
+// TestSPATLOverTCP runs the full SPATL algorithm — encoder-only sharing,
+// gradient control, salient sparse uploads — across real loopback TCP
+// connections, and verifies (a) learning above chance, (b) that the
+// sparse uploads are smaller than a dense encoder would be.
+func TestSPATLOverTCP(t *testing.T) {
+	const (
+		clients = 3
+		rounds  = 3
+		classes = 4
+	)
+	spec := models.Spec{Arch: "resnet20", Classes: classes, InC: 3, H: 8, W: 8, Width: 0.25}
+	ds := data.SynthCIFAR(data.SynthCIFARConfig{Classes: classes, H: 8, W: 8, Noise: 0.25}, clients*70, 1, 2)
+	parts := data.DirichletPartition(ds.Y, classes, clients, 0.5, 10, rand.New(rand.NewSource(3)))
+
+	srv, err := NewServer(ServerConfig{Addr: "127.0.0.1:0", Clients: clients, Rounds: rounds, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := models.Build(spec, 5)
+	agg := NewSPATLAggregator(global, clients)
+
+	serverErr := make(chan error, 1)
+	go func() { serverErr <- srv.Run(agg) }()
+
+	var wg sync.WaitGroup
+	trainers := make([]*SPATLTrainer, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		tr, va := ds.Subset(parts[i]).Split(0.8)
+		trainers[i] = NewSPATLTrainer(spec, tr, va, i, fl.LocalOpts{
+			Epochs: 1, BatchSize: 16, LR: 0.02, Momentum: 0.9,
+		}, rl.AgentConfig{Dim: 8, HeadHidden: 8, Seed: 6}, int64(20+i))
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = RunClient(srv.Addr(), uint32(i), trainers[i].Client.Train.Len(), trainers[i])
+		}(i)
+	}
+	wg.Wait()
+	if err := <-serverErr; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+
+	// Learning: personalized models (global encoder + private predictor)
+	// must beat chance on their own validation sets.
+	var total float64
+	for _, tr := range trainers {
+		total += fl.EvalAccuracy(tr.Client.Model, tr.Client.Val, 32)
+	}
+	if avg := total / clients; avg < 0.35 {
+		t.Fatalf("SPATL-over-TCP accuracy %.3f, want > 0.35 (chance 0.25)", avg)
+	}
+
+	// Sparsity: measured uplink must undercut the dense 2× (state +
+	// control) equivalent a SCAFFOLD-style exchange would ship.
+	denseTwoX := int64(rounds * clients * 2 * 4 * global.StateLen(models.ScopeEncoder))
+	if srv.UpBytes >= denseTwoX {
+		t.Fatalf("uplink %d not below dense 2x equivalent %d", srv.UpBytes, denseTwoX)
+	}
+}

@@ -1,0 +1,223 @@
+package models
+
+import (
+	"fmt"
+
+	"spatl/internal/nn"
+	"spatl/internal/tensor"
+)
+
+// Scope selects which part of a SplitModel a state vector covers.
+type Scope int
+
+const (
+	// ScopeAll covers encoder and predictor — what the dense baseline
+	// algorithms (FedAvg, FedProx, FedNova, SCAFFOLD) communicate.
+	ScopeAll Scope = iota
+	// ScopeEncoder covers only the shared encoder — what SPATL
+	// communicates (§IV-A).
+	ScopeEncoder
+)
+
+// Segment locates one named component inside a flat state vector.
+type Segment struct {
+	Name     string
+	Off, Len int
+}
+
+// StateSpec describes the layout of a model's flat state vector: all
+// trainable parameters in Params order, followed by BatchNorm running
+// means and variances in layer order. BN statistics are part of the
+// state (they must travel with the model for eval-mode inference) but
+// are not touched by optimizers.
+type StateSpec struct {
+	Segments []Segment
+	Total    int
+}
+
+// Segment returns the segment with the given name.
+func (s StateSpec) Segment(name string) (Segment, bool) {
+	for _, seg := range s.Segments {
+		if seg.Name == name {
+			return seg, true
+		}
+	}
+	return Segment{}, false
+}
+
+// scopeParams returns the trainable parameters covered by scope.
+func (m *SplitModel) scopeParams(scope Scope) []*nn.Param {
+	switch scope {
+	case ScopeAll:
+		return m.Params()
+	case ScopeEncoder:
+		return m.EncoderParams()
+	}
+	panic(fmt.Sprintf("models: unknown scope %d", scope))
+}
+
+// scopeBNs returns the BatchNorm layers covered by scope in stable order.
+func (m *SplitModel) scopeBNs(scope Scope) []*nn.BatchNorm2D {
+	var bns []*nn.BatchNorm2D
+	collect := func(root nn.Layer) {
+		nn.Walk(root, func(l nn.Layer) {
+			if bn, ok := l.(*nn.BatchNorm2D); ok {
+				bns = append(bns, bn)
+			}
+		})
+	}
+	collect(m.Encoder)
+	if scope == ScopeAll {
+		collect(m.Predictor)
+	}
+	return bns
+}
+
+// StateSpec computes the layout of the scope's flat state vector.
+func (m *SplitModel) StateSpec(scope Scope) StateSpec {
+	var spec StateSpec
+	off := 0
+	for _, p := range m.scopeParams(scope) {
+		spec.Segments = append(spec.Segments, Segment{Name: p.Name, Off: off, Len: p.W.Len()})
+		off += p.W.Len()
+	}
+	for i, bn := range m.scopeBNs(scope) {
+		spec.Segments = append(spec.Segments, Segment{Name: fmt.Sprintf("bn%d.rmean", i), Off: off, Len: bn.C})
+		off += bn.C
+		spec.Segments = append(spec.Segments, Segment{Name: fmt.Sprintf("bn%d.rvar", i), Off: off, Len: bn.C})
+		off += bn.C
+	}
+	spec.Total = off
+	return spec
+}
+
+// StateLen returns the length of the scope's flat state vector.
+func (m *SplitModel) StateLen(scope Scope) int {
+	n := nn.ParamCount(m.scopeParams(scope))
+	for _, bn := range m.scopeBNs(scope) {
+		n += 2 * bn.C
+	}
+	return n
+}
+
+// State serializes the scope into a fresh flat vector.
+func (m *SplitModel) State(scope Scope) []float32 {
+	out := make([]float32, 0, m.StateLen(scope))
+	for _, p := range m.scopeParams(scope) {
+		out = append(out, p.W.Data...)
+	}
+	for _, bn := range m.scopeBNs(scope) {
+		out = append(out, bn.RunMean...)
+		out = append(out, bn.RunVar...)
+	}
+	return out
+}
+
+// SetState writes a flat vector produced by State back into the model.
+func (m *SplitModel) SetState(scope Scope, flat []float32) {
+	want := m.StateLen(scope)
+	if len(flat) != want {
+		panic(fmt.Sprintf("models: SetState length %d, want %d", len(flat), want))
+	}
+	off := 0
+	for _, p := range m.scopeParams(scope) {
+		n := p.W.Len()
+		copy(p.W.Data, flat[off:off+n])
+		off += n
+	}
+	for _, bn := range m.scopeBNs(scope) {
+		copy(bn.RunMean, flat[off:off+bn.C])
+		off += bn.C
+		copy(bn.RunVar, flat[off:off+bn.C])
+		off += bn.C
+	}
+}
+
+// PrunableUnit groups a prunable convolution with the structures its
+// output channels flow through: the BatchNorm normalizing them (nil when
+// absent) and the consumer convolution whose input channels align (nil
+// when the output feeds something that cannot be sliced). Pruning — and
+// SPATL's salient-parameter selection — operates on these units: dropping
+// output channel k of Conv removes row k of Conv's weight, entry k of the
+// BN affine/statistics, and the k-th input-channel column group of Next.
+type PrunableUnit struct {
+	Conv *nn.Conv2D
+	BN   *nn.BatchNorm2D
+	Next *nn.Conv2D
+}
+
+// PrunableUnits enumerates the encoder's prunable units: every
+// basic-block's internal conv1 for ResNets (residual-safe), all VGG convs
+// except the final one (whose width the shared predictor input depends
+// on), and CNN2's first conv.
+func (m *SplitModel) PrunableUnits() []PrunableUnit {
+	var units []PrunableUnit
+	switch m.Spec.Arch {
+	case "resnet20", "resnet32", "resnet56", "resnet18":
+		nn.Walk(m.Encoder, func(l nn.Layer) {
+			if b, ok := l.(*nn.BasicBlock); ok {
+				c1, c2, _ := b.Convs()
+				var bn1 *nn.BatchNorm2D
+				// bn1 is the second sublayer of the block's main path.
+				if bn, ok := b.SubLayers()[1].(*nn.BatchNorm2D); ok {
+					bn1 = bn
+				}
+				units = append(units, PrunableUnit{Conv: c1, BN: bn1, Next: c2})
+			}
+		})
+	case "vgg11", "cnn2":
+		// Chain architectures: pair each conv with its following BN (if
+		// any) and the next conv in the chain.
+		var convs []*nn.Conv2D
+		bnAfter := map[*nn.Conv2D]*nn.BatchNorm2D{}
+		var lastConv *nn.Conv2D
+		nn.Walk(m.Encoder, func(l nn.Layer) {
+			switch v := l.(type) {
+			case *nn.Conv2D:
+				convs = append(convs, v)
+				lastConv = v
+			case *nn.BatchNorm2D:
+				if lastConv != nil {
+					bnAfter[lastConv] = v
+					lastConv = nil
+				}
+			}
+		})
+		for i := 0; i+1 < len(convs); i++ {
+			units = append(units, PrunableUnit{Conv: convs[i], BN: bnAfter[convs[i]], Next: convs[i+1]})
+		}
+	}
+	return units
+}
+
+// PrunableConvs returns just the convolutions of PrunableUnits, in order.
+func (m *SplitModel) PrunableConvs() []*nn.Conv2D {
+	units := m.PrunableUnits()
+	convs := make([]*nn.Conv2D, len(units))
+	for i, u := range units {
+		convs[i] = u.Conv
+	}
+	return convs
+}
+
+// EncoderOffsets maps each encoder component to its Segment inside the
+// ScopeEncoder state vector: trainable parameters are keyed by their
+// weight tensor; BatchNorm running statistics are returned separately in
+// layer order (mean segment, variance segment per BN).
+func (m *SplitModel) EncoderOffsets() (params map[*tensor.Tensor]Segment, bnStats map[*nn.BatchNorm2D][2]Segment) {
+	params = map[*tensor.Tensor]Segment{}
+	bnStats = map[*nn.BatchNorm2D][2]Segment{}
+	off := 0
+	for _, p := range m.EncoderParams() {
+		params[p.W] = Segment{Name: p.Name, Off: off, Len: p.W.Len()}
+		off += p.W.Len()
+	}
+	for _, bn := range m.scopeBNs(ScopeEncoder) {
+		mean := Segment{Name: "rmean", Off: off, Len: bn.C}
+		off += bn.C
+		vari := Segment{Name: "rvar", Off: off, Len: bn.C}
+		off += bn.C
+		bnStats[bn] = [2]Segment{mean, vari}
+	}
+	return params, bnStats
+}

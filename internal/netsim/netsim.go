@@ -1,0 +1,91 @@
+// Package netsim converts measured communication volume into simulated
+// wall-clock time over heterogeneous edge links. The paper argues from
+// bytes; deployments care about seconds — synchronous federated rounds
+// wait for the slowest selected client (the straggler), so per-round
+// time is the max over participants of download + compute + upload.
+//
+// Link populations are sampled log-normally around profile medians,
+// reflecting the long-tailed uplink distributions of real mobile fleets.
+package netsim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Link is one client's connectivity.
+type Link struct {
+	UpMbps    float64
+	DownMbps  float64
+	LatencyMs float64
+}
+
+// UploadSec returns the time to push n bytes over the uplink, including
+// one latency round trip.
+func (l Link) UploadSec(n int64) float64 {
+	return float64(n)*8/(l.UpMbps*1e6) + l.LatencyMs/1000
+}
+
+// DownloadSec returns the time to pull n bytes over the downlink,
+// including one latency round trip.
+func (l Link) DownloadSec(n int64) float64 {
+	return float64(n)*8/(l.DownMbps*1e6) + l.LatencyMs/1000
+}
+
+// Profile parameterizes a link population: medians plus a log-normal
+// spread (sigma of ln-rate; 0 = homogeneous fleet).
+type Profile struct {
+	MedianUpMbps   float64
+	MedianDownMbps float64
+	Spread         float64
+	LatencyMs      float64
+}
+
+// Mobile approximates a 4G edge fleet: asymmetric, long-tailed.
+var Mobile = Profile{MedianUpMbps: 8, MedianDownMbps: 40, Spread: 0.6, LatencyMs: 50}
+
+// Broadband approximates fixed-line clients.
+var Broadband = Profile{MedianUpMbps: 40, MedianDownMbps: 200, Spread: 0.4, LatencyMs: 15}
+
+// SampleLinks draws n client links from the profile.
+func SampleLinks(n int, p Profile, seed int64) []Link {
+	rng := rand.New(rand.NewSource(seed))
+	links := make([]Link, n)
+	for i := range links {
+		links[i] = Link{
+			UpMbps:    p.MedianUpMbps * math.Exp(rng.NormFloat64()*p.Spread),
+			DownMbps:  p.MedianDownMbps * math.Exp(rng.NormFloat64()*p.Spread),
+			LatencyMs: p.LatencyMs * (0.5 + rng.Float64()),
+		}
+	}
+	return links
+}
+
+// RoundTime returns the synchronous-round wall time for the selected
+// clients: every participant downloads downBytes, computes for
+// computeSec, uploads upBytes; the server waits for the slowest.
+func RoundTime(links []Link, selected []int, downBytes, upBytes int64, computeSec float64) float64 {
+	var worst float64
+	for _, ci := range selected {
+		l := links[ci]
+		t := l.DownloadSec(downBytes) + computeSec + l.UploadSec(upBytes)
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// TimeToTarget integrates per-round times until accuracies (aligned with
+// times) reach target, returning the cumulative seconds and the 1-based
+// round index, or (-1, -1) if never reached.
+func TimeToTarget(roundTimes, accs []float64, target float64) (seconds float64, round int) {
+	var cum float64
+	for i, t := range roundTimes {
+		cum += t
+		if i < len(accs) && accs[i] >= target {
+			return cum, i + 1
+		}
+	}
+	return -1, -1
+}

@@ -1,0 +1,83 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLinkTransferTimes(t *testing.T) {
+	l := Link{UpMbps: 8, DownMbps: 80, LatencyMs: 100}
+	// 1 MB up at 8 Mbps = 1 second + 0.1 latency.
+	if got := l.UploadSec(1e6); math.Abs(got-1.1) > 1e-9 {
+		t.Fatalf("UploadSec = %v, want 1.1", got)
+	}
+	// 1 MB down at 80 Mbps = 0.1 + 0.1.
+	if got := l.DownloadSec(1e6); math.Abs(got-0.2) > 1e-9 {
+		t.Fatalf("DownloadSec = %v, want 0.2", got)
+	}
+}
+
+func TestSampleLinksDistribution(t *testing.T) {
+	links := SampleLinks(2000, Mobile, 1)
+	if len(links) != 2000 {
+		t.Fatalf("len = %d", len(links))
+	}
+	// Median of samples should be near the profile median (log-normal is
+	// median-preserving).
+	ups := make([]float64, len(links))
+	for i, l := range links {
+		if l.UpMbps <= 0 || l.DownMbps <= 0 || l.LatencyMs <= 0 {
+			t.Fatal("non-positive link parameter")
+		}
+		ups[i] = l.UpMbps
+	}
+	// Crude median via counting below the profile median.
+	below := 0
+	for _, u := range ups {
+		if u < Mobile.MedianUpMbps {
+			below++
+		}
+	}
+	frac := float64(below) / float64(len(ups))
+	if frac < 0.42 || frac > 0.58 {
+		t.Fatalf("fraction below median = %.3f, want ≈0.5", frac)
+	}
+	// Deterministic by seed.
+	again := SampleLinks(2000, Mobile, 1)
+	if again[7] != links[7] {
+		t.Fatal("same seed must give same links")
+	}
+}
+
+func TestRoundTimeIsStragglerBound(t *testing.T) {
+	links := []Link{
+		{UpMbps: 100, DownMbps: 100, LatencyMs: 0},
+		{UpMbps: 1, DownMbps: 1, LatencyMs: 0}, // straggler
+	}
+	fast := RoundTime(links, []int{0}, 1e6, 1e6, 0)
+	both := RoundTime(links, []int{0, 1}, 1e6, 1e6, 0)
+	if both <= fast {
+		t.Fatal("round time must be bound by the slowest participant")
+	}
+	slow := RoundTime(links, []int{1}, 1e6, 1e6, 0)
+	if math.Abs(both-slow) > 1e-9 {
+		t.Fatal("with the straggler selected, it dominates")
+	}
+	// Compute time adds to everyone.
+	withCompute := RoundTime(links, []int{1}, 1e6, 1e6, 5)
+	if math.Abs(withCompute-(slow+5)) > 1e-9 {
+		t.Fatalf("compute time not added: %v vs %v", withCompute, slow+5)
+	}
+}
+
+func TestTimeToTarget(t *testing.T) {
+	times := []float64{10, 10, 10}
+	accs := []float64{0.3, 0.6, 0.9}
+	sec, round := TimeToTarget(times, accs, 0.5)
+	if sec != 20 || round != 2 {
+		t.Fatalf("TimeToTarget = (%v, %d), want (20, 2)", sec, round)
+	}
+	if sec, round = TimeToTarget(times, accs, 0.99); sec != -1 || round != -1 {
+		t.Fatal("unreachable target must return -1")
+	}
+}

@@ -1,0 +1,85 @@
+package nn
+
+import "spatl/internal/tensor"
+
+// ReLU applies max(0,x) elementwise.
+type ReLU struct {
+	name string
+	mask []bool
+	n    int64
+}
+
+// NewReLU constructs a ReLU activation.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	if train {
+		if cap(r.mask) < x.Len() {
+			r.mask = make([]bool, x.Len())
+		}
+		r.mask = r.mask[:x.Len()]
+	}
+	for i, v := range x.Data {
+		pos := v > 0
+		if pos {
+			out.Data[i] = v
+		}
+		if train {
+			r.mask[i] = pos
+		}
+	}
+	r.n = int64(x.Len() / x.Dim(0))
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(dout.Shape()...)
+	for i, v := range dout.Data {
+		if r.mask[i] {
+			dx.Data[i] = v
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// FLOPs implements Layer: one comparison per element.
+func (r *ReLU) FLOPs() int64 { return r.n }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// Flatten reshapes (N, C, H, W) to (N, C·H·W); it is a no-op for 2-D
+// inputs.
+type Flatten struct {
+	name  string
+	shape []int
+}
+
+// NewFlatten constructs a Flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.shape = append(f.shape[:0], x.Shape()...)
+	return x.Reshape(x.Dim(0), x.Len()/x.Dim(0))
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	return dout.Reshape(f.shape...)
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// FLOPs implements Layer.
+func (f *Flatten) FLOPs() int64 { return 0 }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return f.name }

@@ -1,0 +1,167 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"spatl/internal/tensor"
+)
+
+// BatchNorm2D normalizes each channel of an (N,C,H,W) batch to zero mean
+// and unit variance using batch statistics during training and running
+// statistics during evaluation, followed by a learned affine transform.
+type BatchNorm2D struct {
+	name     string
+	C        int
+	Momentum float64
+	Eps      float64
+	gamma    *Param
+	beta     *Param
+
+	// Running statistics, shipped with the model but not trained by SGD.
+	RunMean []float32
+	RunVar  []float32
+
+	// Backward caches (training mode only).
+	x      *tensor.Tensor
+	xhat   []float32
+	mean   []float64
+	invStd []float64
+
+	lastPlane int // H*W at the most recent Forward, for FLOPs accounting
+}
+
+// NewBatchNorm2D constructs a batch-norm layer for C channels with
+// gamma=1, beta=0, running stats at (0,1).
+func NewBatchNorm2D(name string, c int) *BatchNorm2D {
+	bn := &BatchNorm2D{name: name, C: c, Momentum: 0.1, Eps: 1e-5}
+	bn.gamma = newParam("gamma", c)
+	bn.gamma.W.Fill(1)
+	bn.beta = newParam("beta", c)
+	bn.RunMean = make([]float32, c)
+	bn.RunVar = make([]float32, c)
+	for i := range bn.RunVar {
+		bn.RunVar[i] = 1
+	}
+	return bn
+}
+
+// Forward implements Layer.
+func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(1) != bn.C {
+		panic(fmt.Sprintf("nn: %s expects (N,%d,H,W), got %v", bn.name, bn.C, x.Shape()))
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	plane := h * w
+	bn.lastPlane = plane
+	cnt := n * plane
+	out := tensor.New(n, bn.C, h, w)
+
+	if train {
+		bn.x = x
+		bn.mean = make([]float64, bn.C)
+		bn.invStd = make([]float64, bn.C)
+		bn.xhat = make([]float32, x.Len())
+		tensor.Parallel(bn.C, func(clo, chi int) {
+			for c := clo; c < chi; c++ {
+				var sum float64
+				for i := 0; i < n; i++ {
+					base := (i*bn.C + c) * plane
+					for j := 0; j < plane; j++ {
+						sum += float64(x.Data[base+j])
+					}
+				}
+				mean := sum / float64(cnt)
+				var vs float64
+				for i := 0; i < n; i++ {
+					base := (i*bn.C + c) * plane
+					for j := 0; j < plane; j++ {
+						d := float64(x.Data[base+j]) - mean
+						vs += d * d
+					}
+				}
+				variance := vs / float64(cnt)
+				inv := 1.0 / math.Sqrt(variance+bn.Eps)
+				bn.mean[c] = mean
+				bn.invStd[c] = inv
+				g, b := float64(bn.gamma.W.Data[c]), float64(bn.beta.W.Data[c])
+				for i := 0; i < n; i++ {
+					base := (i*bn.C + c) * plane
+					for j := 0; j < plane; j++ {
+						xh := (float64(x.Data[base+j]) - mean) * inv
+						bn.xhat[base+j] = float32(xh)
+						out.Data[base+j] = float32(g*xh + b)
+					}
+				}
+				bn.RunMean[c] = float32((1-bn.Momentum)*float64(bn.RunMean[c]) + bn.Momentum*mean)
+				bn.RunVar[c] = float32((1-bn.Momentum)*float64(bn.RunVar[c]) + bn.Momentum*variance)
+			}
+		})
+		return out
+	}
+
+	tensor.Parallel(bn.C, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			inv := 1.0 / math.Sqrt(float64(bn.RunVar[c])+bn.Eps)
+			mean := float64(bn.RunMean[c])
+			g, b := float64(bn.gamma.W.Data[c]), float64(bn.beta.W.Data[c])
+			for i := 0; i < n; i++ {
+				base := (i*bn.C + c) * plane
+				for j := 0; j < plane; j++ {
+					out.Data[base+j] = float32(g*(float64(x.Data[base+j])-mean)*inv + b)
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Backward implements Layer (training-mode statistics).
+func (bn *BatchNorm2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if bn.x == nil {
+		panic("nn: BatchNorm2D.Backward before training-mode Forward")
+	}
+	n, h, w := bn.x.Dim(0), bn.x.Dim(2), bn.x.Dim(3)
+	plane := h * w
+	cnt := float64(n * plane)
+	dx := tensor.New(n, bn.C, h, w)
+
+	tensor.Parallel(bn.C, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			var dgamma, dbeta float64
+			for i := 0; i < n; i++ {
+				base := (i*bn.C + c) * plane
+				for j := 0; j < plane; j++ {
+					g := float64(dout.Data[base+j])
+					dgamma += g * float64(bn.xhat[base+j])
+					dbeta += g
+				}
+			}
+			bn.gamma.G.Data[c] += float32(dgamma)
+			bn.beta.G.Data[c] += float32(dbeta)
+
+			// dx = (gamma*invStd/cnt) * (cnt*dout - dbeta - xhat*dgamma)
+			scale := float64(bn.gamma.W.Data[c]) * bn.invStd[c] / cnt
+			for i := 0; i < n; i++ {
+				base := (i*bn.C + c) * plane
+				for j := 0; j < plane; j++ {
+					g := float64(dout.Data[base+j])
+					xh := float64(bn.xhat[base+j])
+					dx.Data[base+j] = float32(scale * (cnt*g - dbeta - xh*dgamma))
+				}
+			}
+		}
+	})
+	return dx
+}
+
+// Params implements Layer.
+func (bn *BatchNorm2D) Params() []*Param { return []*Param{bn.gamma, bn.beta} }
+
+// FLOPs implements Layer: ~4 ops per element (normalize + affine).
+func (bn *BatchNorm2D) FLOPs() int64 {
+	return 4 * int64(bn.C) * int64(bn.lastPlane)
+}
+
+// Name implements Layer.
+func (bn *BatchNorm2D) Name() string { return bn.name }

@@ -1,0 +1,194 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spatl/internal/tensor"
+)
+
+// Conv2D is a 2D convolution with square kernels, shared stride/padding on
+// both axes and optional bias. Forward lowers each image to a column
+// matrix (im2col) and multiplies by the filter matrix; backward recomputes
+// the columns rather than caching them, trading FLOPs for memory.
+type Conv2D struct {
+	name                      string
+	InC, OutC, K, Stride, Pad int
+	weight, bias              *Param
+	useBias                   bool
+	dims                      tensor.ConvDims
+	haveDims                  bool
+	x                         *tensor.Tensor // cached input for backward
+}
+
+// NewConv2D constructs a convolution layer with He-normal initialized
+// filters. Bias is included when useBias is true (models that follow the
+// conv with BatchNorm typically disable it).
+func NewConv2D(name string, inC, outC, k, stride, pad int, useBias bool, rng *rand.Rand) *Conv2D {
+	c := &Conv2D{
+		name: name, InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad,
+		useBias: useBias,
+	}
+	c.weight = newParam("weight", outC, inC*k*k)
+	c.weight.W.KaimingNormal(rng, inC*k*k)
+	if useBias {
+		c.bias = newParam("bias", outC)
+	}
+	return c
+}
+
+// Forward implements Layer. Input shape (N, InC, H, W).
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(1) != c.InC {
+		panic(fmt.Sprintf("nn: %s expects (N,%d,H,W), got %v", c.name, c.InC, x.Shape()))
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	if !c.haveDims || c.dims.H != h || c.dims.W != w {
+		c.dims = tensor.NewConvDims(c.InC, h, w, c.OutC, c.K, c.Stride, c.Pad)
+		c.haveDims = true
+	}
+	d := c.dims
+	out := tensor.New(n, c.OutC, d.OutH, d.OutW)
+	inStride := c.InC * h * w
+	outStride := c.OutC * d.OutH * d.OutW
+	colRows := c.InC * c.K * c.K
+	cols := d.OutH * d.OutW
+	tensor.Parallel(n, func(lo, hi int) {
+		col := tensor.New(colRows, cols)
+		for i := lo; i < hi; i++ {
+			tensor.Im2Col(col.Data, x.Data[i*inStride:(i+1)*inStride], d)
+			oi := tensor.FromSlice(out.Data[i*outStride:(i+1)*outStride], c.OutC, cols)
+			tensor.MatMulInto(oi, c.weight.W, col)
+		}
+	})
+	if c.useBias {
+		for i := 0; i < n; i++ {
+			for oc := 0; oc < c.OutC; oc++ {
+				b := c.bias.W.Data[oc]
+				base := i*outStride + oc*cols
+				for j := 0; j < cols; j++ {
+					out.Data[base+j] += b
+				}
+			}
+		}
+	}
+	c.x = x
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	x := c.x
+	if x == nil {
+		panic("nn: Conv2D.Backward before Forward")
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	d := c.dims
+	cols := d.OutH * d.OutW
+	colRows := c.InC * c.K * c.K
+	inStride := c.InC * h * w
+	outStride := c.OutC * cols
+
+	dx := tensor.New(n, c.InC, h, w)
+
+	// Shard the batch; each shard accumulates its own dW (and db), then
+	// shards are summed in fixed order for deterministic results at a
+	// fixed worker count.
+	type shard struct {
+		dw *tensor.Tensor
+		db []float64
+	}
+	nw := parallelShards(n)
+	shards := make([]shard, nw)
+	chunk := (n + nw - 1) / nw
+	tensor.Parallel(nw, func(slo, shi int) {
+		for s := slo; s < shi; s++ {
+			lo, hi := s*chunk, (s+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			sh := shard{dw: tensor.New(c.OutC, colRows)}
+			if c.useBias {
+				sh.db = make([]float64, c.OutC)
+			}
+			col := tensor.New(colRows, cols)
+			for i := lo; i < hi; i++ {
+				tensor.Im2Col(col.Data, x.Data[i*inStride:(i+1)*inStride], d)
+				gi := tensor.FromSlice(dout.Data[i*outStride:(i+1)*outStride], c.OutC, cols)
+				// dW += gi · colᵀ
+				dwi := tensor.MatMulTransB(gi, col)
+				sh.dw.AddInPlace(dwi)
+				// dcol = Wᵀ · gi ; dx_i = col2im(dcol)
+				dcol := tensor.MatMulTransA(c.weight.W, gi)
+				tensor.Col2Im(dx.Data[i*inStride:(i+1)*inStride], dcol.Data, d)
+				if c.useBias {
+					for oc := 0; oc < c.OutC; oc++ {
+						var s float64
+						row := gi.Data[oc*cols : (oc+1)*cols]
+						for _, v := range row {
+							s += float64(v)
+						}
+						sh.db[oc] += s
+					}
+				}
+			}
+			shards[s] = sh
+		}
+	})
+	for _, sh := range shards {
+		if sh.dw == nil {
+			continue
+		}
+		c.weight.G.AddInPlace(sh.dw)
+		if c.useBias {
+			for oc, v := range sh.db {
+				c.bias.G.Data[oc] += float32(v)
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param {
+	if c.useBias {
+		return []*Param{c.weight, c.bias}
+	}
+	return []*Param{c.weight}
+}
+
+// FLOPs implements Layer: 2·K²·InC·OutC·OutH·OutW per instance (multiply
+// and add), plus bias adds.
+func (c *Conv2D) FLOPs() int64 {
+	if !c.haveDims {
+		return 0
+	}
+	d := c.dims
+	f := int64(2) * int64(c.K*c.K*c.InC) * int64(c.OutC) * int64(d.OutH*d.OutW)
+	if c.useBias {
+		f += int64(c.OutC) * int64(d.OutH*d.OutW)
+	}
+	return f
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+// Weight exposes the filter parameter (shape OutC × InC·K·K); used by the
+// pruning subsystem to rank filters.
+func (c *Conv2D) Weight() *Param { return c.weight }
+
+// OutDims returns the cached convolution geometry (valid after Forward).
+func (c *Conv2D) OutDims() (tensor.ConvDims, bool) { return c.dims, c.haveDims }
+
+// parallelShards picks a shard count for deterministic batched gradient
+// accumulation: min(batch, GOMAXPROCS via tensor.Parallel behaviour).
+func parallelShards(n int) int {
+	if n < 4 {
+		return 1
+	}
+	if n < 16 {
+		return 4
+	}
+	return 8
+}

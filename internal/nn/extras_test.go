@@ -1,0 +1,176 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spatl/internal/tensor"
+)
+
+func TestDropoutEvalIsIdentity(t *testing.T) {
+	d := NewDropout("drop", 0.5, 1)
+	x := tensor.New(4, 10)
+	x.Randn(rand.New(rand.NewSource(2)), 1)
+	y := d.Forward(x, false)
+	for i := range x.Data {
+		if y.Data[i] != x.Data[i] {
+			t.Fatal("eval-mode dropout must be identity")
+		}
+	}
+}
+
+func TestDropoutTrainDropsAndRescales(t *testing.T) {
+	d := NewDropout("drop", 0.5, 3)
+	x := tensor.New(1, 10000)
+	x.Fill(1)
+	y := d.Forward(x, true)
+	zeros, scaled := 0, 0
+	for _, v := range y.Data {
+		switch v {
+		case 0:
+			zeros++
+		case 2:
+			scaled++
+		default:
+			t.Fatalf("unexpected value %v (want 0 or 2)", v)
+		}
+	}
+	frac := float64(zeros) / float64(x.Len())
+	if math.Abs(frac-0.5) > 0.03 {
+		t.Fatalf("dropped fraction %.3f, want ≈0.5", frac)
+	}
+	// Expectation preserved: mean of y ≈ 1.
+	var mean float64
+	for _, v := range y.Data {
+		mean += float64(v)
+	}
+	mean /= float64(y.Len())
+	if math.Abs(mean-1) > 0.06 {
+		t.Fatalf("mean %.3f, want ≈1 (inverted dropout)", mean)
+	}
+}
+
+func TestDropoutBackwardMatchesMask(t *testing.T) {
+	d := NewDropout("drop", 0.3, 4)
+	x := tensor.New(2, 50)
+	x.Fill(1)
+	y := d.Forward(x, true)
+	dout := tensor.New(2, 50)
+	dout.Fill(1)
+	dx := d.Backward(dout)
+	scale := float32(1 / 0.7)
+	for i := range y.Data {
+		want := float32(0)
+		if y.Data[i] != 0 {
+			want = scale
+		}
+		if dx.Data[i] != want {
+			t.Fatalf("grad[%d] = %v, want %v", i, dx.Data[i], want)
+		}
+	}
+}
+
+func TestDropoutZeroProbPassthrough(t *testing.T) {
+	d := NewDropout("drop", 0, 5)
+	x := tensor.New(2, 4)
+	x.Randn(rand.New(rand.NewSource(6)), 1)
+	if y := d.Forward(x, true); y != x {
+		t.Fatal("p=0 should pass the input through unchanged")
+	}
+}
+
+func TestDropoutRejectsBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDropout("drop", 1.0, 1)
+}
+
+func TestConstantLR(t *testing.T) {
+	s := ConstantLR(0.1)
+	if s.LRAt(0) != 0.1 || s.LRAt(1000) != 0.1 {
+		t.Fatal("constant LR must not change")
+	}
+}
+
+func TestStepLR(t *testing.T) {
+	s := StepLR{Base: 1, Gamma: 0.1, Every: 10}
+	if s.LRAt(0) != 1 || s.LRAt(9) != 1 {
+		t.Fatal("no decay before the first boundary")
+	}
+	if math.Abs(s.LRAt(10)-0.1) > 1e-12 || math.Abs(s.LRAt(25)-0.01) > 1e-12 {
+		t.Fatalf("staircase wrong: %v %v", s.LRAt(10), s.LRAt(25))
+	}
+	if (StepLR{Base: 2, Gamma: 0.5, Every: 0}).LRAt(100) != 2 {
+		t.Fatal("Every=0 must disable decay")
+	}
+}
+
+func TestCosineLR(t *testing.T) {
+	s := CosineLR{Base: 1, Min: 0.01, Horizon: 100}
+	if s.LRAt(0) != 1 {
+		t.Fatalf("start %v, want Base", s.LRAt(0))
+	}
+	mid := s.LRAt(50)
+	if math.Abs(mid-(0.01+0.495)) > 1e-9 {
+		t.Fatalf("midpoint %v", mid)
+	}
+	if s.LRAt(100) != 0.01 || s.LRAt(500) != 0.01 {
+		t.Fatal("past horizon must clamp at Min")
+	}
+	// Monotone non-increasing over the horizon.
+	prev := math.Inf(1)
+	for i := 0; i <= 100; i += 5 {
+		v := s.LRAt(i)
+		if v > prev+1e-12 {
+			t.Fatalf("cosine not monotone at %d", i)
+		}
+		prev = v
+	}
+}
+
+func TestWarmupLR(t *testing.T) {
+	s := WarmupLR{Steps: 4, Then: ConstantLR(1)}
+	want := []float64{0.25, 0.5, 0.75, 1, 1, 1}
+	for i, w := range want {
+		if math.Abs(s.LRAt(i)-w) > 1e-12 {
+			t.Fatalf("warmup LRAt(%d) = %v, want %v", i, s.LRAt(i), w)
+		}
+	}
+}
+
+func TestDropoutInNetworkGradcheck(t *testing.T) {
+	// With a fixed mask (single forward), dropout is a linear map, so
+	// the network gradient check applies: use the shared helper but make
+	// dropout deterministic by setting p=0.5 and re-seeding before each
+	// forward via a wrapper is impractical — instead check that
+	// train-forward + backward are mutually consistent on a frozen mask.
+	rng := rand.New(rand.NewSource(7))
+	fc1 := NewLinear("fc1", 6, 12, rng)
+	drop := NewDropout("drop", 0.4, 8)
+	fc2 := NewLinear("fc2", 12, 3, rng)
+	x := tensor.New(5, 6)
+	x.Randn(rng, 1)
+	labels := []int{0, 1, 2, 0, 1}
+
+	ZeroGrad(append(fc1.Params(), fc2.Params()...))
+	h := fc1.Forward(x, true)
+	hd := drop.Forward(h, true)
+	out := fc2.Forward(hd, true)
+	_, grad := SoftmaxCrossEntropy(out, labels)
+	d2 := fc2.Backward(grad)
+	dd := drop.Backward(d2)
+	fc1.Backward(dd)
+
+	// Consistency: gradient w.r.t. dropped units must be zero.
+	for i := range hd.Data {
+		if hd.Data[i] == 0 && h.Data[i] != 0 {
+			if dd.Data[i] != 0 {
+				t.Fatal("gradient leaked through a dropped unit")
+			}
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spatl/internal/tensor"
+)
+
+// Linear is a fully connected layer computing y = x·Wᵀ + b for input
+// (N, In) and weight (Out, In).
+type Linear struct {
+	name    string
+	In, Out int
+	weight  *Param
+	bias    *Param
+	x       *tensor.Tensor
+}
+
+// NewLinear constructs a fully connected layer with He-normal weights and
+// zero bias.
+func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
+	l := &Linear{name: name, In: in, Out: out}
+	l.weight = newParam("weight", out, in)
+	l.weight.W.KaimingNormal(rng, in)
+	l.bias = newParam("bias", out)
+	return l
+}
+
+// Forward implements Layer.
+func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != l.In {
+		panic(fmt.Sprintf("nn: %s expects (N,%d), got %v", l.name, l.In, x.Shape()))
+	}
+	out := tensor.MatMulTransB(x, l.weight.W)
+	n := x.Dim(0)
+	for i := 0; i < n; i++ {
+		row := out.Data[i*l.Out : (i+1)*l.Out]
+		for j := range row {
+			row[j] += l.bias.W.Data[j]
+		}
+	}
+	l.x = x
+	return out
+}
+
+// Backward implements Layer.
+func (l *Linear) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if l.x == nil {
+		panic("nn: Linear.Backward before Forward")
+	}
+	// dW += doutᵀ·x ; db += column sums of dout ; dx = dout·W
+	dw := tensor.MatMulTransA(dout, l.x)
+	l.weight.G.AddInPlace(dw)
+	n := dout.Dim(0)
+	for i := 0; i < n; i++ {
+		row := dout.Data[i*l.Out : (i+1)*l.Out]
+		for j, v := range row {
+			l.bias.G.Data[j] += v
+		}
+	}
+	return tensor.MatMul(dout, l.weight.W)
+}
+
+// Params implements Layer.
+func (l *Linear) Params() []*Param { return []*Param{l.weight, l.bias} }
+
+// FLOPs implements Layer: 2·In·Out multiply-adds plus Out bias adds.
+func (l *Linear) FLOPs() int64 { return 2*int64(l.In)*int64(l.Out) + int64(l.Out) }
+
+// Name implements Layer.
+func (l *Linear) Name() string { return l.name }
+
+// Weight exposes the weight parameter for pruning and inspection.
+func (l *Linear) Weight() *Param { return l.weight }

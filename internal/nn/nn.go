@@ -1,0 +1,194 @@
+// Package nn is a from-scratch neural-network substrate: layers with
+// explicit forward/backward passes, SGD/Adam optimizers, cross-entropy
+// loss, parameter handling, and per-layer FLOPs accounting. It exists
+// because Go has no mature DNN training library; SPATL and all baseline
+// federated-learning algorithms in this repository train real networks
+// through this package.
+//
+// Tensors flow through layers in NCHW layout: conv inputs are
+// (batch, channels, height, width); linear inputs are (batch, features).
+// Backward passes mirror forward passes layer by layer; gradients
+// accumulate into each Param's G tensor, so callers must ZeroGrad between
+// steps.
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spatl/internal/tensor"
+)
+
+// Param is a named trainable parameter with its gradient accumulator.
+type Param struct {
+	Name string
+	W    *tensor.Tensor
+	G    *tensor.Tensor
+}
+
+// newParam allocates a parameter and matching zero gradient.
+func newParam(name string, shape ...int) *Param {
+	return &Param{Name: name, W: tensor.New(shape...), G: tensor.New(shape...)}
+}
+
+// Layer is a differentiable network module.
+type Layer interface {
+	// Forward runs the layer on a batch. train selects training-mode
+	// behaviour (batch statistics, dropout); layers cache whatever they
+	// need for Backward.
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward consumes the gradient w.r.t. the layer output and returns
+	// the gradient w.r.t. the layer input, accumulating parameter
+	// gradients as a side effect. Must follow a training-mode Forward.
+	Backward(dout *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameters (empty for
+	// stateless layers).
+	Params() []*Param
+	// FLOPs reports the forward floating-point operation count for a
+	// single input instance, based on the geometry seen at the most
+	// recent Forward. Returns 0 before any Forward.
+	FLOPs() int64
+	// Name returns a short human-readable layer identifier.
+	Name() string
+}
+
+// Sequential chains layers; it is itself a Layer.
+type Sequential struct {
+	name   string
+	Layers []Layer
+}
+
+// NewSequential builds a named layer chain.
+func NewSequential(name string, layers ...Layer) *Sequential {
+	return &Sequential{name: name, Layers: layers}
+}
+
+// Append adds layers to the end of the chain.
+func (s *Sequential) Append(layers ...Layer) {
+	s.Layers = append(s.Layers, layers...)
+}
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dout = s.Layers[i].Backward(dout)
+	}
+	return dout
+}
+
+// Params implements Layer; parameter names are prefixed with the
+// sequential's name and the layer position so they are unique and stable.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for i, l := range s.Layers {
+		for _, p := range l.Params() {
+			q := *p
+			q.Name = fmt.Sprintf("%s.%d.%s", s.name, i, p.Name)
+			// Share the underlying tensors: copy of the struct keeps the
+			// same W/G pointers, only the reported name changes.
+			ps = append(ps, &Param{Name: q.Name, W: p.W, G: p.G})
+		}
+	}
+	return ps
+}
+
+// FLOPs implements Layer.
+func (s *Sequential) FLOPs() int64 {
+	var total int64
+	for _, l := range s.Layers {
+		total += l.FLOPs()
+	}
+	return total
+}
+
+// Name implements Layer.
+func (s *Sequential) Name() string { return s.name }
+
+// ZeroGrad zeroes every gradient in the parameter list.
+func ZeroGrad(params []*Param) {
+	for _, p := range params {
+		p.G.Zero()
+	}
+}
+
+// ParamCount returns the total number of scalar weights.
+func ParamCount(params []*Param) int {
+	n := 0
+	for _, p := range params {
+		n += p.W.Len()
+	}
+	return n
+}
+
+// CopyParams copies weights from src into dst (matched by position;
+// shapes must agree).
+func CopyParams(dst, src []*Param) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("nn: CopyParams length mismatch %d vs %d", len(dst), len(src)))
+	}
+	for i := range dst {
+		dst[i].W.CopyFrom(src[i].W)
+	}
+}
+
+// FlattenParams concatenates all weights into one vector (a fresh slice).
+func FlattenParams(params []*Param) []float32 {
+	out := make([]float32, 0, ParamCount(params))
+	for _, p := range params {
+		out = append(out, p.W.Data...)
+	}
+	return out
+}
+
+// UnflattenParams writes a flat vector back into the parameter tensors.
+func UnflattenParams(params []*Param, flat []float32) {
+	off := 0
+	for _, p := range params {
+		n := p.W.Len()
+		if off+n > len(flat) {
+			panic("nn: UnflattenParams vector too short")
+		}
+		copy(p.W.Data, flat[off:off+n])
+		off += n
+	}
+	if off != len(flat) {
+		panic(fmt.Sprintf("nn: UnflattenParams vector length %d, consumed %d", len(flat), off))
+	}
+}
+
+// FlattenGrads concatenates all gradients into one vector.
+func FlattenGrads(params []*Param) []float32 {
+	out := make([]float32, 0, ParamCount(params))
+	for _, p := range params {
+		out = append(out, p.G.Data...)
+	}
+	return out
+}
+
+// Rng is a convenience constructor for a seeded random source.
+func Rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Walk visits l and all of its descendants depth-first in forward order.
+// It understands the composite layers defined in this package
+// (Sequential and BasicBlock).
+func Walk(l Layer, fn func(Layer)) {
+	fn(l)
+	switch v := l.(type) {
+	case *Sequential:
+		for _, c := range v.Layers {
+			Walk(c, fn)
+		}
+	case *BasicBlock:
+		for _, c := range v.SubLayers() {
+			Walk(c, fn)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package nn
+
+import (
+	"math"
+
+	"spatl/internal/tensor"
+)
+
+// Optimizer updates a fixed parameter list from accumulated gradients.
+type Optimizer interface {
+	// Step applies one update from the parameters' current gradients.
+	Step()
+	// LR returns the current learning rate.
+	LR() float64
+	// SetLR changes the learning rate.
+	SetLR(lr float64)
+}
+
+// SGD implements stochastic gradient descent with classical momentum and
+// decoupled-from-loss L2 weight decay (decay is added to the gradient, as
+// in the reference implementations of the FL baselines).
+type SGD struct {
+	params      []*Param
+	lr          float64
+	Momentum    float64
+	WeightDecay float64
+	velocity    []*tensor.Tensor
+}
+
+// NewSGD constructs an SGD optimizer over params.
+func NewSGD(params []*Param, lr, momentum, weightDecay float64) *SGD {
+	s := &SGD{params: params, lr: lr, Momentum: momentum, WeightDecay: weightDecay}
+	if momentum != 0 {
+		s.velocity = make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			s.velocity[i] = tensor.New(p.W.Shape()...)
+		}
+	}
+	return s
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step() {
+	lr := float32(s.lr)
+	wd := float32(s.WeightDecay)
+	mu := float32(s.Momentum)
+	for i, p := range s.params {
+		if s.velocity == nil {
+			for j, g := range p.G.Data {
+				p.W.Data[j] -= lr * (g + wd*p.W.Data[j])
+			}
+			continue
+		}
+		v := s.velocity[i]
+		for j, g := range p.G.Data {
+			gj := g + wd*p.W.Data[j]
+			v.Data[j] = mu*v.Data[j] + gj
+			p.W.Data[j] -= lr * v.Data[j]
+		}
+	}
+}
+
+// LR implements Optimizer.
+func (s *SGD) LR() float64 { return s.lr }
+
+// SetLR implements Optimizer.
+func (s *SGD) SetLR(lr float64) { s.lr = lr }
+
+// ResetState zeroes the momentum buffers; federated algorithms call this
+// when a fresh global model is installed at the start of a round.
+func (s *SGD) ResetState() {
+	for _, v := range s.velocity {
+		v.Zero()
+	}
+}
+
+// Velocity returns the flattened momentum buffers (nil when momentum is
+// disabled). FedNova ships these so the server can aggregate and
+// redistribute momentum state.
+func (s *SGD) Velocity() []float32 {
+	if s.velocity == nil {
+		return nil
+	}
+	n := 0
+	for _, v := range s.velocity {
+		n += v.Len()
+	}
+	out := make([]float32, 0, n)
+	for _, v := range s.velocity {
+		out = append(out, v.Data...)
+	}
+	return out
+}
+
+// SetVelocity installs flattened momentum buffers previously produced by
+// Velocity.
+func (s *SGD) SetVelocity(flat []float32) {
+	off := 0
+	for _, v := range s.velocity {
+		copy(v.Data, flat[off:off+v.Len()])
+		off += v.Len()
+	}
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba); the paper uses it to
+// update the PPO agent (lr 1e-4, default betas).
+type Adam struct {
+	params []*Param
+	lr     float64
+	Beta1  float64
+	Beta2  float64
+	Eps    float64
+	t      int
+	m, v   []*tensor.Tensor
+}
+
+// NewAdam constructs an Adam optimizer with standard defaults
+// (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(params []*Param, lr float64) *Adam {
+	a := &Adam{params: params, lr: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+	a.m = make([]*tensor.Tensor, len(params))
+	a.v = make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		a.m[i] = tensor.New(p.W.Shape()...)
+		a.v[i] = tensor.New(p.W.Shape()...)
+	}
+	return a
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step() {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range a.params {
+		m, v := a.m[i], a.v[i]
+		for j, g := range p.G.Data {
+			gf := float64(g)
+			mj := a.Beta1*float64(m.Data[j]) + (1-a.Beta1)*gf
+			vj := a.Beta2*float64(v.Data[j]) + (1-a.Beta2)*gf*gf
+			m.Data[j] = float32(mj)
+			v.Data[j] = float32(vj)
+			mhat := mj / bc1
+			vhat := vj / bc2
+			p.W.Data[j] -= float32(a.lr * mhat / (math.Sqrt(vhat) + a.Eps))
+		}
+	}
+}
+
+// LR implements Optimizer.
+func (a *Adam) LR() float64 { return a.lr }
+
+// SetLR implements Optimizer.
+func (a *Adam) SetLR(lr float64) { a.lr = lr }
+
+// ClipGradNorm scales all gradients so their global L2 norm does not
+// exceed maxNorm; returns the pre-clip norm. A no-op when maxNorm <= 0.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.G.Data {
+			sq += float64(g) * float64(g)
+		}
+	}
+	norm := math.Sqrt(sq)
+	if maxNorm > 0 && norm > maxNorm {
+		scale := float32(maxNorm / (norm + 1e-12))
+		for _, p := range params {
+			p.G.Scale(scale)
+		}
+	}
+	return norm
+}

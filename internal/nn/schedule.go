@@ -1,0 +1,67 @@
+package nn
+
+import "math"
+
+// Schedule maps a step (or round) index to a learning rate. Federated
+// experiments pass communication rounds; centralized training passes
+// epochs.
+type Schedule interface {
+	// LRAt returns the learning rate for step t (0-based).
+	LRAt(t int) float64
+}
+
+// ConstantLR always returns the same rate.
+type ConstantLR float64
+
+// LRAt implements Schedule.
+func (c ConstantLR) LRAt(int) float64 { return float64(c) }
+
+// StepLR multiplies the base rate by Gamma every Every steps — the
+// classic staircase decay used when training VGG/ResNet.
+type StepLR struct {
+	Base  float64
+	Gamma float64
+	Every int
+}
+
+// LRAt implements Schedule.
+func (s StepLR) LRAt(t int) float64 {
+	if s.Every <= 0 {
+		return s.Base
+	}
+	return s.Base * math.Pow(s.Gamma, float64(t/s.Every))
+}
+
+// CosineLR anneals from Base to Min over Horizon steps and stays at Min
+// afterwards.
+type CosineLR struct {
+	Base    float64
+	Min     float64
+	Horizon int
+}
+
+// LRAt implements Schedule.
+func (c CosineLR) LRAt(t int) float64 {
+	if c.Horizon <= 0 || t >= c.Horizon {
+		return c.Min
+	}
+	frac := float64(t) / float64(c.Horizon)
+	return c.Min + 0.5*(c.Base-c.Min)*(1+math.Cos(math.Pi*frac))
+}
+
+// WarmupLR ramps linearly from 0 to the wrapped schedule's rate over
+// Steps, then delegates. Stabilizes the first federated rounds when
+// control variates are still cold.
+type WarmupLR struct {
+	Steps int
+	Then  Schedule
+}
+
+// LRAt implements Schedule.
+func (w WarmupLR) LRAt(t int) float64 {
+	base := w.Then.LRAt(t)
+	if w.Steps <= 0 || t >= w.Steps {
+		return base
+	}
+	return base * float64(t+1) / float64(w.Steps)
+}

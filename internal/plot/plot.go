@@ -1,0 +1,154 @@
+// Package plot renders experiment series as standalone SVG line charts
+// using only the standard library, so `spatl-bench -csv dir` regenerates
+// the paper's figures as image files alongside the raw CSV data.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"spatl/internal/stats"
+)
+
+// Config controls chart geometry and labeling.
+type Config struct {
+	Title  string
+	XLabel string
+	YLabel string
+	W, H   int // canvas size in px (default 640×400)
+}
+
+func (c Config) withDefaults() Config {
+	if c.W == 0 {
+		c.W = 640
+	}
+	if c.H == 0 {
+		c.H = 400
+	}
+	return c
+}
+
+// palette holds distinguishable series colors (colorblind-safe family).
+var palette = []string{
+	"#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#F0E442", "#000000",
+}
+
+// Line renders the series as an SVG line chart.
+func Line(w io.Writer, cfg Config, series ...stats.Series) error {
+	cfg = cfg.withDefaults()
+	const (
+		padL = 60.0
+		padR = 130.0
+		padT = 36.0
+		padB = 44.0
+	)
+	plotW := float64(cfg.W) - padL - padR
+	plotH := float64(cfg.H) - padT - padB
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+		}
+		for _, y := range s.Y {
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// A little vertical headroom.
+	yr := ymax - ymin
+	ymin -= 0.05 * yr
+	ymax += 0.05 * yr
+
+	px := func(x float64) float64 { return padL + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return padT + (1-(y-ymin)/(ymax-ymin))*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		cfg.W, cfg.H, cfg.W, cfg.H)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	// Title and axis labels.
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="22" font-family="sans-serif" font-size="15" text-anchor="middle">%s</text>`+"\n",
+			cfg.W/2, escape(cfg.Title))
+	}
+	if cfg.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%g" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			padL+plotW/2, cfg.H-8, escape(cfg.XLabel))
+	}
+	if cfg.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 14 %g)">%s</text>`+"\n",
+			padT+plotH/2, padT+plotH/2, escape(cfg.YLabel))
+	}
+	// Grid and ticks: 5 divisions per axis.
+	for i := 0; i <= 5; i++ {
+		fx := xmin + float64(i)/5*(xmax-xmin)
+		fy := ymin + float64(i)/5*(ymax-ymin)
+		gx, gy := px(fx), py(fy)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`+"\n", gx, padT, gx, padT+plotH)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`+"\n", padL, gy, padL+plotW, gy)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			gx, padT+plotH+14, trimNum(fx))
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`+"\n",
+			padL-4, gy+3, trimNum(fy))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<rect x="%g" y="%g" width="%g" height="%g" fill="none" stroke="#444"/>`+"\n",
+		padL, padT, plotW, plotH)
+	// Series.
+	for si, s := range series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		if len(pts) > 0 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		// Legend entry.
+		ly := padT + 14 + 18*float64(si)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="3"/>`+"\n",
+			padL+plotW+10, ly, padL+plotW+30, ly, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			padL+plotW+34, ly+4, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// escape sanitizes text for SVG.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// trimNum formats a tick value compactly.
+func trimNum(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

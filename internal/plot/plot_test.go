@@ -1,0 +1,92 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spatl/internal/stats"
+)
+
+func sampleSeries() []stats.Series {
+	return []stats.Series{
+		{Name: "spatl", X: []float64{1, 2, 3}, Y: []float64{0.2, 0.5, 0.8}},
+		{Name: "fedavg", X: []float64{1, 2, 3}, Y: []float64{0.2, 0.4, 0.6}},
+	}
+}
+
+func TestLineProducesValidSVG(t *testing.T) {
+	var buf bytes.Buffer
+	err := Line(&buf, Config{Title: "learning", XLabel: "round", YLabel: "accuracy"}, sampleSeries()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	for _, want := range []string{"learning", "round", "accuracy", "spatl", "fedavg", "polyline"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Fatalf("expected 2 polylines, got %d", strings.Count(out, "<polyline"))
+	}
+}
+
+func TestLineEscapesText(t *testing.T) {
+	var buf bytes.Buffer
+	s := stats.Series{Name: `a<b&"c"`, X: []float64{0, 1}, Y: []float64{0, 1}}
+	if err := Line(&buf, Config{Title: "x<y"}, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "a<b") || strings.Contains(out, "x<y") {
+		t.Fatal("unescaped markup in SVG text")
+	}
+	if !strings.Contains(out, "a&lt;b&amp;") {
+		t.Fatal("escape missing")
+	}
+}
+
+func TestLineHandlesDegenerateInput(t *testing.T) {
+	var buf bytes.Buffer
+	// No series at all.
+	if err := Line(&buf, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	// Constant series (zero range) must not divide by zero.
+	buf.Reset()
+	s := stats.Series{Name: "flat", X: []float64{1, 1, 1}, Y: []float64{5, 5, 5}}
+	if err := Line(&buf, Config{}, s); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") || strings.Contains(buf.String(), "Inf") {
+		t.Fatal("SVG contains non-finite coordinates")
+	}
+}
+
+func TestLineMismatchedXYLengths(t *testing.T) {
+	var buf bytes.Buffer
+	s := stats.Series{Name: "short-y", X: []float64{1, 2, 3, 4}, Y: []float64{1, 2}}
+	if err := Line(&buf, Config{}, s); err != nil {
+		t.Fatal(err)
+	}
+	// Only the first two points plot.
+	if !strings.Contains(buf.String(), "polyline") {
+		t.Fatal("polyline missing")
+	}
+}
+
+func TestTrimNum(t *testing.T) {
+	if trimNum(1234.5) != "1235" && trimNum(1234.5) != "1234" {
+		t.Fatalf("big tick %q", trimNum(1234.5))
+	}
+	if trimNum(12.34) != "12.3" {
+		t.Fatalf("mid tick %q", trimNum(12.34))
+	}
+	if trimNum(0.123) != "0.12" {
+		t.Fatalf("small tick %q", trimNum(0.123))
+	}
+}

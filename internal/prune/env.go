@@ -1,0 +1,54 @@
+package prune
+
+import (
+	"spatl/internal/data"
+	"spatl/internal/fl"
+	"spatl/internal/graph"
+	"spatl/internal/models"
+)
+
+// Env is the network-pruning reinforcement-learning environment of
+// §IV-B1: the state is the model's computational graph, the action is
+// the per-unit keep-ratio vector, and the reward is the selected
+// sub-network's validation accuracy (eq. 7), penalized when the analytic
+// FLOPs ratio exceeds the budget — the "size constraint" of the search
+// loop.
+type Env struct {
+	Model *models.SplitModel
+	Val   *data.Dataset
+	// FLOPsBudget is the allowed pruned/total FLOPs ratio (e.g. 0.6).
+	FLOPsBudget float64
+	// Penalty scales the constraint violation term. Default 2.
+	Penalty float64
+
+	// LastSelection is the selection evaluated by the most recent Step.
+	LastSelection *Selection
+	// LastAcc and LastFLOPsRatio expose the components of the last reward.
+	LastAcc        float64
+	LastFLOPsRatio float64
+}
+
+// NewEnv constructs a pruning environment.
+func NewEnv(m *models.SplitModel, val *data.Dataset, budget float64) *Env {
+	return &Env{Model: m, Val: val, FLOPsBudget: budget, Penalty: 2}
+}
+
+// State implements rl.Environment: the graph is rebuilt each call so
+// edge weight statistics reflect the model's current parameters.
+func (e *Env) State() *graph.Graph { return graph.FromEncoder(e.Model) }
+
+// Step implements rl.Environment.
+func (e *Env) Step(action []float64) float64 {
+	sel := Select(e.Model, action)
+	e.LastSelection = sel
+	pr, tot := MaskedFLOPs(e.Model, sel.Masks)
+	e.LastFLOPsRatio = float64(pr) / float64(tot)
+	WithMasked(e.Model, sel, func() {
+		e.LastAcc = fl.EvalAccuracy(e.Model, e.Val, 64)
+	})
+	r := e.LastAcc
+	if e.LastFLOPsRatio > e.FLOPsBudget {
+		r -= e.Penalty * (e.LastFLOPsRatio - e.FLOPsBudget)
+	}
+	return r
+}

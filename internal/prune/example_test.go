@@ -1,0 +1,34 @@
+package prune_test
+
+import (
+	"fmt"
+
+	"spatl/internal/models"
+	"spatl/internal/prune"
+)
+
+// ExampleExtract shows the deployment path of a salient selection: pick
+// per-layer keep ratios, extract the physically smaller sub-network, and
+// compare its real parameter/FLOPs footprint against the original.
+func ExampleExtract() {
+	spec := models.Spec{Arch: "resnet20", Classes: 10, InC: 3, H: 16, W: 16, Width: 0.25}
+	m := models.Build(spec, 1)
+	m.Describe()
+
+	ratios := make([]float64, len(m.PrunableUnits()))
+	for i := range ratios {
+		ratios[i] = 0.5 // keep the top half of each block's filters by L1
+	}
+	sel := prune.Select(m, ratios)
+	sub := prune.Extract(m, sel)
+
+	pFull, fFull := m.Describe()
+	pSub, fSub := sub.Describe()
+	fmt.Println("params shrink:", pSub < pFull)
+	fmt.Println("flops shrink:", fSub < fFull)
+	fmt.Printf("kept state fraction: %.2f\n", sel.KeepFrac())
+	// Output:
+	// params shrink: true
+	// flops shrink: true
+	// kept state fraction: 0.53
+}

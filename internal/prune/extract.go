@@ -1,0 +1,235 @@
+package prune
+
+import (
+	"fmt"
+
+	"spatl/internal/models"
+	"spatl/internal/nn"
+)
+
+// Extract materializes a selection as a physically smaller model:
+// pruned channels are removed from the tensors instead of masked to
+// zero, so the returned model really runs with fewer FLOPs and
+// parameters — the deployed form behind the paper's inference
+// acceleration results (§V-D). In evaluation mode the extracted model
+// computes exactly the same function as the masked original.
+//
+// The returned model shares no tensors with the input. Its Spec is
+// copied verbatim for reference, but the model's channel widths no
+// longer follow the spec — Clone/Build round-trips are not meaningful
+// on extracted models; use them for inference and fine-tuning.
+func Extract(m *models.SplitModel, sel *Selection) *models.SplitModel {
+	switch m.Spec.Arch {
+	case "resnet20", "resnet32", "resnet56", "resnet18":
+		return extractResNet(m, sel)
+	case "vgg11", "cnn2":
+		return extractChain(m, sel)
+	}
+	panic(fmt.Sprintf("prune: Extract does not support architecture %q", m.Spec.Arch))
+}
+
+// keepIndices lists the surviving channel indices of a mask in order.
+func keepIndices(mask Mask) []int {
+	out := make([]int, 0, mask.Kept)
+	for i, k := range mask.Keep {
+		if k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// copyConv copies src's filters into dst, keeping only the given output
+// rows and input channel groups (nil means all).
+func copyConv(dst, src *nn.Conv2D, keepOut, keepIn []int) {
+	kk := src.K * src.K
+	srcW, dstW := src.Weight().W, dst.Weight().W
+	srcCols, dstCols := srcW.Dim(1), dstW.Dim(1)
+	if keepOut == nil {
+		keepOut = allIndices(src.OutC)
+	}
+	if keepIn == nil {
+		keepIn = allIndices(src.InC)
+	}
+	if len(keepOut) != dstW.Dim(0) || len(keepIn)*kk != dstCols {
+		panic(fmt.Sprintf("prune: copyConv shape mismatch dst(%d,%d) keepOut=%d keepIn=%d",
+			dstW.Dim(0), dstCols, len(keepOut), len(keepIn)))
+	}
+	for di, so := range keepOut {
+		srcRow := srcW.Data[so*srcCols : (so+1)*srcCols]
+		dstRow := dstW.Data[di*dstCols : (di+1)*dstCols]
+		for dj, si := range keepIn {
+			copy(dstRow[dj*kk:(dj+1)*kk], srcRow[si*kk:(si+1)*kk])
+		}
+	}
+	// Bias, when present, follows the output channels.
+	sp, dp := src.Params(), dst.Params()
+	if len(sp) > 1 && len(dp) > 1 {
+		for di, so := range keepOut {
+			dp[1].W.Data[di] = sp[1].W.Data[so]
+		}
+	}
+}
+
+// copyBN copies the kept channels of src's affine parameters and running
+// statistics into dst (nil keeps all).
+func copyBN(dst, src *nn.BatchNorm2D, keep []int) {
+	if keep == nil {
+		keep = allIndices(src.C)
+	}
+	sg, sb := src.Params()[0].W.Data, src.Params()[1].W.Data
+	dg, db := dst.Params()[0].W.Data, dst.Params()[1].W.Data
+	for di, si := range keep {
+		dg[di] = sg[si]
+		db[di] = sb[si]
+		dst.RunMean[di] = src.RunMean[si]
+		dst.RunVar[di] = src.RunVar[si]
+	}
+}
+
+// copyLinear copies a fully connected layer verbatim.
+func copyLinear(dst, src *nn.Linear) {
+	dst.Weight().W.CopyFrom(src.Weight().W)
+	dst.Params()[1].W.CopyFrom(src.Params()[1].W)
+}
+
+func allIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// extractResNet rebuilds a ResNet with each block's internal width
+// reduced to its mask's kept channels. Block outputs (and therefore the
+// residual adds and shortcuts) keep their original widths.
+func extractResNet(m *models.SplitModel, sel *Selection) *models.SplitModel {
+	rng := nn.Rng(0)
+	out := &models.SplitModel{Spec: m.Spec}
+	enc := nn.NewSequential("encoder")
+	unit := 0
+	for _, l := range m.Encoder.Layers {
+		switch v := l.(type) {
+		case *nn.Conv2D: // stem conv
+			c := nn.NewConv2D(v.Name(), v.InC, v.OutC, v.K, v.Stride, v.Pad, len(v.Params()) > 1, rng)
+			copyConv(c, v, nil, nil)
+			enc.Append(c)
+		case *nn.BatchNorm2D:
+			bn := nn.NewBatchNorm2D(v.Name(), v.C)
+			copyBN(bn, v, nil)
+			enc.Append(bn)
+		case *nn.ReLU:
+			enc.Append(nn.NewReLU(v.Name()))
+		case *nn.GlobalAvgPool:
+			enc.Append(nn.NewGlobalAvgPool(v.Name()))
+		case *nn.BasicBlock:
+			conv1, conv2, sc := v.Convs()
+			mask := sel.Masks[unit]
+			keep := keepIndices(mask)
+			unit++
+			nb := nn.NewBasicBlockInternal(v.Name(), conv1.InC, len(keep), conv2.OutC, conv1.Stride, rng)
+			nc1, nc2, nsc := nb.Convs()
+			copyConv(nc1, conv1, keep, nil)
+			copyConv(nc2, conv2, nil, keep)
+			subs, nsubs := v.SubLayers(), nb.SubLayers()
+			copyBN(nsubs[1].(*nn.BatchNorm2D), subs[1].(*nn.BatchNorm2D), keep) // bn1
+			copyBN(nsubs[4].(*nn.BatchNorm2D), subs[4].(*nn.BatchNorm2D), nil)  // bn2
+			if sc != nil {
+				copyConv(nsc, sc, nil, nil)
+				copyBN(nsubs[6].(*nn.BatchNorm2D), subs[6].(*nn.BatchNorm2D), nil)
+			}
+			enc.Append(nb)
+		default:
+			panic(fmt.Sprintf("prune: unexpected resnet encoder layer %T", l))
+		}
+	}
+	if unit != len(sel.Masks) {
+		panic(fmt.Sprintf("prune: used %d of %d masks", unit, len(sel.Masks)))
+	}
+	out.Encoder = enc
+	out.Predictor = clonePredictor(m.Predictor)
+	return out
+}
+
+// extractChain rebuilds a sequential conv chain (VGG-11, CNN2): each
+// pruned conv shrinks its output channels, and the following conv's
+// input channels shrink to match. The final conv keeps its width so the
+// predictor input is unchanged.
+func extractChain(m *models.SplitModel, sel *Selection) *models.SplitModel {
+	rng := nn.Rng(0)
+	out := &models.SplitModel{Spec: m.Spec}
+	enc := nn.NewSequential("encoder")
+	ci := 0
+	var prevKeep []int // nil = all input channels survive
+	for _, l := range m.Encoder.Layers {
+		switch v := l.(type) {
+		case *nn.Conv2D:
+			var keep []int
+			if ci < len(sel.Masks) {
+				keep = keepIndices(sel.Masks[ci])
+			}
+			outC := v.OutC
+			if keep != nil {
+				outC = len(keep)
+			}
+			inC := v.InC
+			if prevKeep != nil {
+				inC = len(prevKeep)
+			}
+			c := nn.NewConv2D(v.Name(), inC, outC, v.K, v.Stride, v.Pad, len(v.Params()) > 1, rng)
+			copyConv(c, v, keep, prevKeep)
+			enc.Append(c)
+			prevKeep = keep
+			ci++
+		case *nn.BatchNorm2D:
+			n := v.C
+			if prevKeep != nil {
+				n = len(prevKeep)
+			}
+			bn := nn.NewBatchNorm2D(v.Name(), n)
+			copyBN(bn, v, prevKeep)
+			enc.Append(bn)
+		case *nn.ReLU:
+			enc.Append(nn.NewReLU(v.Name()))
+		case *nn.MaxPool2D:
+			enc.Append(nn.NewMaxPool2D(v.Name(), v.K))
+		case *nn.GlobalAvgPool:
+			enc.Append(nn.NewGlobalAvgPool(v.Name()))
+		case *nn.Flatten:
+			enc.Append(nn.NewFlatten(v.Name()))
+		case *nn.Linear:
+			// Encoder linears (CNN2's fc1) follow the final, unpruned
+			// conv, so they copy verbatim.
+			fc := nn.NewLinear(v.Name(), v.In, v.Out, rng)
+			copyLinear(fc, v)
+			enc.Append(fc)
+		default:
+			panic(fmt.Sprintf("prune: unexpected chain encoder layer %T", l))
+		}
+	}
+	out.Encoder = enc
+	out.Predictor = clonePredictor(m.Predictor)
+	return out
+}
+
+// clonePredictor deep-copies a predictor head (linears and ReLUs).
+func clonePredictor(p *nn.Sequential) *nn.Sequential {
+	rng := nn.Rng(0)
+	out := nn.NewSequential(p.Name())
+	for _, l := range p.Layers {
+		switch v := l.(type) {
+		case *nn.Linear:
+			fc := nn.NewLinear(v.Name(), v.In, v.Out, rng)
+			copyLinear(fc, v)
+			out.Append(fc)
+		case *nn.ReLU:
+			out.Append(nn.NewReLU(v.Name()))
+		case *nn.Flatten:
+			out.Append(nn.NewFlatten(v.Name()))
+		default:
+			panic(fmt.Sprintf("prune: unexpected predictor layer %T", l))
+		}
+	}
+	return out
+}

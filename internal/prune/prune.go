@@ -1,0 +1,326 @@
+// Package prune implements salient parameter selection — the mechanism
+// SPATL uses both to cut communication (only salient encoder parameters
+// travel, §IV-B/§IV-C1) and to accelerate local inference (the selection
+// is a structured channel pruning, §V-D). Filters are ranked by L1
+// magnitude within each prunable unit; a keep-ratio vector (the RL
+// agent's action) determines how many survive. The package also provides
+// the classic pruning baselines the paper compares against in Table IV
+// (L1-uniform, SFP, FPGM, and a DSA-style sensitivity allocation) and the
+// PPO pruning environment used to pre-train and fine-tune the agent.
+package prune
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"spatl/internal/comm"
+	"spatl/internal/models"
+	"spatl/internal/nn"
+)
+
+// Mask records which output channels of one prunable unit survive.
+type Mask struct {
+	Keep []bool
+	Kept int
+}
+
+// Frac returns the kept fraction.
+func (m Mask) Frac() float64 {
+	if len(m.Keep) == 0 {
+		return 1
+	}
+	return float64(m.Kept) / float64(len(m.Keep))
+}
+
+// FullMask keeps every channel.
+func FullMask(n int) Mask {
+	k := Mask{Keep: make([]bool, n), Kept: n}
+	for i := range k.Keep {
+		k.Keep[i] = true
+	}
+	return k
+}
+
+// ChannelScores returns each output channel's L1 norm (the salience
+// criterion used by the selection agent's action decoding).
+func ChannelScores(c *nn.Conv2D) []float64 {
+	w := c.Weight().W
+	rows, cols := w.Dim(0), w.Dim(1)
+	scores := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		var s float64
+		for j := 0; j < cols; j++ {
+			v := float64(w.Data[r*cols+j])
+			s += math.Abs(v)
+		}
+		scores[r] = s
+	}
+	return scores
+}
+
+// MaskFromScores keeps the ceil(ratio·C) highest-scoring channels
+// (always at least one).
+func MaskFromScores(scores []float64, ratio float64) Mask {
+	n := len(scores)
+	keep := int(math.Ceil(ratio * float64(n)))
+	if keep < 1 {
+		keep = 1
+	}
+	if keep > n {
+		keep = n
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+	m := Mask{Keep: make([]bool, n)}
+	for _, i := range order[:keep] {
+		m.Keep[i] = true
+	}
+	m.Kept = keep
+	return m
+}
+
+// Selection is a complete salient-parameter selection over a model's
+// encoder: per-unit channel masks plus the index ranges of the selected
+// (salient) entries in the flat ScopeEncoder state vector. The ranges
+// are what a SPATL client uploads alongside the values (eq. 12).
+type Selection struct {
+	Units  []models.PrunableUnit
+	Masks  []Mask
+	Ranges []comm.Range
+	// StateLen is the full encoder state length the ranges index into.
+	StateLen int
+}
+
+// KeepFrac returns the fraction of encoder state elements selected.
+func (s *Selection) KeepFrac() float64 {
+	kept := 0
+	for _, r := range s.Ranges {
+		kept += int(r.Len)
+	}
+	return float64(kept) / float64(s.StateLen)
+}
+
+// Ratios returns the per-unit kept fractions.
+func (s *Selection) Ratios() []float64 {
+	out := make([]float64, len(s.Masks))
+	for i, m := range s.Masks {
+		out[i] = m.Frac()
+	}
+	return out
+}
+
+// Select builds the salient selection for the given per-unit keep
+// ratios: within each prunable unit the top-L1 channels survive; every
+// encoder state element not owned by a pruned channel is salient.
+func Select(m *models.SplitModel, ratios []float64) *Selection {
+	units := m.PrunableUnits()
+	if len(ratios) != len(units) {
+		panic(fmt.Sprintf("prune: %d ratios for %d prunable units", len(ratios), len(units)))
+	}
+	masks := make([]Mask, len(units))
+	for i, u := range units {
+		masks[i] = MaskFromScores(ChannelScores(u.Conv), ratios[i])
+	}
+	return SelectWithMasks(m, masks)
+}
+
+// SelectWithMasks builds a Selection from explicit per-unit masks.
+func SelectWithMasks(m *models.SplitModel, masks []Mask) *Selection {
+	units := m.PrunableUnits()
+	if len(masks) != len(units) {
+		panic(fmt.Sprintf("prune: %d masks for %d prunable units", len(masks), len(units)))
+	}
+	total := m.StateLen(models.ScopeEncoder)
+	salient := make([]bool, total)
+	for i := range salient {
+		salient[i] = true
+	}
+	paramSeg, bnSeg := m.EncoderOffsets()
+
+	markFalse := func(off, n int) {
+		for i := off; i < off+n; i++ {
+			salient[i] = false
+		}
+	}
+	// Selection gates the filter weight tensors only: the per-channel
+	// scalars (conv bias, BN affine and running statistics) always ship.
+	// They are a negligible fraction of the payload — the paper's
+	// "negligible burdens" — and keeping them synchronized lets the
+	// global model's non-salient channels stay correctly normalized
+	// instead of freezing at initialization statistics.
+	_ = bnSeg
+	for ui, u := range units {
+		mask := masks[ui]
+		w := u.Conv.Weight()
+		wSeg := paramSeg[w.W]
+		rowLen := w.W.Dim(1)
+		var nextSeg models.Segment
+		var nextRow, kk int
+		if u.Next != nil {
+			nw := u.Next.Weight()
+			nextSeg = paramSeg[nw.W]
+			nextRow = nw.W.Dim(1)
+			kk = u.Next.K * u.Next.K
+		}
+		for ch, keep := range mask.Keep {
+			if keep {
+				continue
+			}
+			markFalse(wSeg.Off+ch*rowLen, rowLen)
+			if u.Next != nil {
+				// Input-channel column group ch of every output row.
+				for r := 0; r < u.Next.OutC; r++ {
+					markFalse(nextSeg.Off+r*nextRow+ch*kk, kk)
+				}
+			}
+		}
+	}
+
+	sel := &Selection{Units: units, Masks: masks, StateLen: total}
+	// Compress the salience bitmap into maximal ranges.
+	i := 0
+	for i < total {
+		if !salient[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < total && salient[j] {
+			j++
+		}
+		sel.Ranges = append(sel.Ranges, comm.Range{Start: uint32(i), Len: uint32(j - i)})
+		i = j
+	}
+	return sel
+}
+
+// ZeroPruned permanently zeroes the pruned channels' parameters (conv
+// rows, bias, BN affine) so the model behaves as the selected
+// sub-network. This is the deployed form of a SPATL client's model: the
+// selection both gates the upload and prunes local inference (§V-D).
+func ZeroPruned(m *models.SplitModel, sel *Selection) {
+	for ui, u := range sel.Units {
+		mask := sel.Masks[ui]
+		w := u.Conv.Weight().W
+		rowLen := w.Dim(1)
+		var bias []float32
+		if ps := u.Conv.Params(); len(ps) > 1 {
+			bias = ps[1].W.Data
+		}
+		var gamma, beta []float32
+		if u.BN != nil {
+			gamma = u.BN.Params()[0].W.Data
+			beta = u.BN.Params()[1].W.Data
+		}
+		for ch, keep := range mask.Keep {
+			if keep {
+				continue
+			}
+			row := w.Data[ch*rowLen : (ch+1)*rowLen]
+			for j := range row {
+				row[j] = 0
+			}
+			if bias != nil {
+				bias[ch] = 0
+			}
+			if gamma != nil {
+				gamma[ch] = 0
+				beta[ch] = 0
+			}
+		}
+	}
+}
+
+// WithMasked temporarily zeroes the pruned channels' parameters so the
+// model behaves as the selected sub-network, runs fn, then restores the
+// original weights. Used to score candidate selections (the RL reward,
+// eq. 7) without committing.
+func WithMasked(m *models.SplitModel, sel *Selection, fn func()) {
+	type saved struct {
+		data []float32
+		copy []float32
+	}
+	var saves []saved
+	stash := func(d []float32) {
+		cp := make([]float32, len(d))
+		copy(cp, d)
+		saves = append(saves, saved{data: d, copy: cp})
+	}
+	for _, u := range sel.Units {
+		stash(u.Conv.Weight().W.Data)
+		if ps := u.Conv.Params(); len(ps) > 1 {
+			stash(ps[1].W.Data)
+		}
+		if u.BN != nil {
+			stash(u.BN.Params()[0].W.Data)
+			stash(u.BN.Params()[1].W.Data)
+		}
+	}
+	defer func() {
+		for _, s := range saves {
+			copy(s.data, s.copy)
+		}
+	}()
+	ZeroPruned(m, sel)
+	fn()
+}
+
+// MaskedFLOPs returns the per-instance forward FLOPs of the selected
+// sub-network and of the full model. Convolution costs scale with the
+// kept output fraction and, for consumer convolutions, the kept input
+// fraction; BatchNorm scales with its channel fraction; other layers are
+// charged in full (conservative).
+func MaskedFLOPs(m *models.SplitModel, masks []Mask) (pruned, total int64) {
+	m.Describe()
+	units := m.PrunableUnits()
+	outMult := map[*nn.Conv2D]float64{}
+	inMult := map[*nn.Conv2D]float64{}
+	bnMult := map[*nn.BatchNorm2D]float64{}
+	for i, u := range units {
+		f := masks[i].Frac()
+		outMult[u.Conv] = f
+		if u.Next != nil {
+			inMult[u.Next] = f
+		}
+		if u.BN != nil {
+			bnMult[u.BN] = f
+		}
+	}
+	nn.Walk(m.Encoder, func(l nn.Layer) {
+		switch v := l.(type) {
+		case *nn.Conv2D:
+			f := v.FLOPs()
+			total += f
+			mult := 1.0
+			if o, ok := outMult[v]; ok {
+				mult *= o
+			}
+			if in, ok := inMult[v]; ok {
+				mult *= in
+			}
+			pruned += int64(float64(f) * mult)
+		case *nn.BatchNorm2D:
+			f := v.FLOPs()
+			total += f
+			mult := 1.0
+			if b, ok := bnMult[v]; ok {
+				mult = b
+			}
+			pruned += int64(float64(f) * mult)
+		case *nn.Sequential, *nn.BasicBlock:
+			// Composites are expanded by Walk; skip their aggregate FLOPs.
+		default:
+			f := l.FLOPs()
+			total += f
+			pruned += f
+		}
+	})
+	pf := m.Predictor.FLOPs()
+	total += pf
+	pruned += pf
+	return pruned, total
+}

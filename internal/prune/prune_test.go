@@ -1,0 +1,406 @@
+package prune
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spatl/internal/comm"
+	"spatl/internal/data"
+	"spatl/internal/fl"
+	"spatl/internal/models"
+	"spatl/internal/nn"
+	"spatl/internal/tensor"
+)
+
+func testModel(t testing.TB, arch string) *models.SplitModel {
+	t.Helper()
+	return models.Build(models.Spec{Arch: arch, Classes: 10, InC: 3, H: 8, W: 8, Width: 0.25}, 1)
+}
+
+func uniformRatios(n int, r float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r
+	}
+	return out
+}
+
+func TestMaskFromScores(t *testing.T) {
+	m := MaskFromScores([]float64{3, 1, 4, 1, 5}, 0.4)
+	if m.Kept != 2 {
+		t.Fatalf("kept %d, want 2", m.Kept)
+	}
+	if !m.Keep[4] || !m.Keep[2] {
+		t.Fatalf("must keep the two largest, got %v", m.Keep)
+	}
+	// Always at least one.
+	m = MaskFromScores([]float64{1, 2}, 0.0)
+	if m.Kept != 1 {
+		t.Fatal("minimum one channel")
+	}
+	// Ratio 1 keeps all.
+	m = MaskFromScores([]float64{1, 2, 3}, 1)
+	if m.Kept != 3 {
+		t.Fatal("ratio 1 keeps all")
+	}
+}
+
+func TestChannelScoresMatchManualL1(t *testing.T) {
+	m := testModel(t, "resnet20")
+	u := m.PrunableUnits()[0]
+	scores := ChannelScores(u.Conv)
+	w := u.Conv.Weight().W
+	cols := w.Dim(1)
+	var manual float64
+	for j := 0; j < cols; j++ {
+		manual += math.Abs(float64(w.Data[j]))
+	}
+	if math.Abs(scores[0]-manual) > 1e-5 {
+		t.Fatalf("score[0] = %v, manual %v", scores[0], manual)
+	}
+}
+
+func TestSelectFullRatiosSelectsEverything(t *testing.T) {
+	m := testModel(t, "resnet20")
+	sel := Select(m, uniformRatios(len(m.PrunableUnits()), 1))
+	if len(sel.Ranges) != 1 {
+		t.Fatalf("full selection should be one range, got %d", len(sel.Ranges))
+	}
+	if sel.KeepFrac() != 1 {
+		t.Fatalf("KeepFrac = %v", sel.KeepFrac())
+	}
+}
+
+func TestSelectReducesPayload(t *testing.T) {
+	for _, arch := range []string{"resnet20", "vgg11", "cnn2"} {
+		m := testModel(t, arch)
+		sel := Select(m, uniformRatios(len(m.PrunableUnits()), 0.5))
+		if sel.KeepFrac() >= 0.95 {
+			t.Fatalf("%s: 0.5 ratios kept %.3f of state", arch, sel.KeepFrac())
+		}
+		if sel.KeepFrac() <= 0.2 {
+			t.Fatalf("%s: selection dropped too much (%.3f)", arch, sel.KeepFrac())
+		}
+		// Ranges must be valid for comm transport.
+		s := &comm.Sparse{Ranges: sel.Ranges, Values: make([]float32, 0)}
+		n := 0
+		for _, r := range sel.Ranges {
+			n += int(r.Len)
+		}
+		s.Values = make([]float32, n)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: invalid ranges: %v", arch, err)
+		}
+	}
+}
+
+// Property: for random ratio vectors, selection ranges are sorted,
+// non-overlapping and within bounds, and KeepFrac is monotone in a
+// uniform ratio.
+func TestSelectionRangesWellFormedProperty(t *testing.T) {
+	m := testModel(t, "resnet20")
+	k := len(m.PrunableUnits())
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ratios := make([]float64, k)
+		for i := range ratios {
+			ratios[i] = 0.2 + 0.8*rng.Float64()
+		}
+		sel := Select(m, ratios)
+		prevEnd := uint32(0)
+		for i, r := range sel.Ranges {
+			if r.Len == 0 {
+				return false
+			}
+			if i > 0 && r.Start < prevEnd {
+				return false
+			}
+			if int(r.Start+r.Len) > sel.StateLen {
+				return false
+			}
+			prevEnd = r.Start + r.Len
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeepFracMonotone(t *testing.T) {
+	m := testModel(t, "resnet20")
+	k := len(m.PrunableUnits())
+	prev := -1.0
+	for _, r := range []float64{0.3, 0.5, 0.7, 0.9, 1.0} {
+		f := Select(m, uniformRatios(k, r)).KeepFrac()
+		if f < prev {
+			t.Fatalf("KeepFrac not monotone: %v after %v", f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestMaskedFLOPsBounds(t *testing.T) {
+	m := testModel(t, "resnet20")
+	k := len(m.PrunableUnits())
+	pr, tot := MaskedFLOPs(m, Select(m, uniformRatios(k, 1)).Masks)
+	if pr != tot {
+		t.Fatalf("full ratios: pruned %d != total %d", pr, tot)
+	}
+	pr2, tot2 := MaskedFLOPs(m, Select(m, uniformRatios(k, 0.4)).Masks)
+	if tot2 != tot {
+		t.Fatal("total must not change with masks")
+	}
+	if pr2 >= pr {
+		t.Fatal("pruning must reduce FLOPs")
+	}
+	if float64(pr2)/float64(tot2) < 0.2 {
+		t.Fatalf("0.4 ratios cut too much: %.3f", float64(pr2)/float64(tot2))
+	}
+}
+
+func TestWithMaskedZeroesAndRestores(t *testing.T) {
+	m := testModel(t, "resnet20")
+	k := len(m.PrunableUnits())
+	before := m.State(models.ScopeAll)
+	sel := Select(m, uniformRatios(k, 0.5))
+
+	x := tensor.New(2, 3, 8, 8)
+	x.Randn(nn.Rng(3), 1)
+	full := m.Forward(x, false)
+	var masked *tensor.Tensor
+	WithMasked(m, sel, func() {
+		masked = m.Forward(x, false)
+	})
+	after := m.State(models.ScopeAll)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("WithMasked must restore weights exactly")
+		}
+	}
+	same := true
+	for i := range full.Data {
+		if full.Data[i] != masked.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("masked forward should differ from full forward")
+	}
+}
+
+func TestMaskedChannelsProduceZeroOutput(t *testing.T) {
+	// After masking, a pruned channel of the unit's BN output must be
+	// exactly zero in eval mode.
+	m := testModel(t, "vgg11")
+	units := m.PrunableUnits()
+	masks := make([]Mask, len(units))
+	for i, u := range units {
+		masks[i] = FullMask(u.Conv.OutC)
+	}
+	// Prune channel 0 of unit 0.
+	masks[0].Keep[0] = false
+	masks[0].Kept--
+	sel := SelectWithMasks(m, masks)
+	x := tensor.New(1, 3, 8, 8)
+	x.Randn(nn.Rng(5), 1)
+	WithMasked(m, sel, func() {
+		// Forward through conv0+bn0 only.
+		h := units[0].Conv.Forward(x, false)
+		h = units[0].BN.Forward(h, false)
+		plane := h.Dim(2) * h.Dim(3)
+		for j := 0; j < plane; j++ {
+			if h.Data[j] != 0 {
+				t.Fatalf("pruned channel output %v at %d, want 0", h.Data[j], j)
+			}
+		}
+	})
+}
+
+func TestL1AndFPGMMasksDiffer(t *testing.T) {
+	m := testModel(t, "resnet20")
+	l1 := L1Masks(m, 0.5)
+	fpgm := FPGMMasks(m, 0.5)
+	if len(l1) != len(fpgm) {
+		t.Fatal("mask counts differ")
+	}
+	differs := false
+	for i := range l1 {
+		if l1[i].Kept != fpgm[i].Kept {
+			t.Fatal("same ratio must keep same count")
+		}
+		for j := range l1[i].Keep {
+			if l1[i].Keep[j] != fpgm[i].Keep[j] {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Log("warning: L1 and FPGM selected identical channels (possible but unusual)")
+	}
+}
+
+func trainAndVal(t testing.TB) (*data.Dataset, *data.Dataset) {
+	t.Helper()
+	ds := data.SynthCIFAR(data.SynthCIFARConfig{Classes: 10, H: 8, W: 8, Noise: 0.25}, 300, 21, 22)
+	return ds.Split(0.8)
+}
+
+func TestSFPReturnsMasksAndTrains(t *testing.T) {
+	m := testModel(t, "resnet20")
+	train, _ := trainAndVal(t)
+	masks := SFP(m, train, 0.6, 1, 0.05, rand.New(rand.NewSource(1)))
+	if len(masks) != len(m.PrunableUnits()) {
+		t.Fatalf("SFP returned %d masks", len(masks))
+	}
+	for i, mk := range masks {
+		want := int(math.Ceil(0.6 * float64(len(mk.Keep))))
+		if mk.Kept != want {
+			t.Fatalf("unit %d kept %d, want %d", i, mk.Kept, want)
+		}
+	}
+}
+
+func TestDSAMeetsBudget(t *testing.T) {
+	m := testModel(t, "resnet20")
+	_, val := trainAndVal(t)
+	masks := DSAMasks(m, val, 0.7)
+	pr, tot := MaskedFLOPs(m, masks)
+	ratio := float64(pr) / float64(tot)
+	if ratio > 0.78 {
+		t.Fatalf("DSA FLOPs ratio %.3f exceeds budget 0.7 by too much", ratio)
+	}
+}
+
+func TestUniformRatiosForBudget(t *testing.T) {
+	m := testModel(t, "resnet20")
+	r := UniformRatiosForBudget(m, 0.6)
+	masks := L1Masks(m, r)
+	pr, tot := MaskedFLOPs(m, masks)
+	got := float64(pr) / float64(tot)
+	if math.Abs(got-0.6) > 0.12 {
+		t.Fatalf("budget search gave ratio %.3f for budget 0.6", got)
+	}
+}
+
+func TestFineTunePinsPrunedChannels(t *testing.T) {
+	m := testModel(t, "resnet20")
+	train, _ := trainAndVal(t)
+	k := len(m.PrunableUnits())
+	sel := Select(m, uniformRatios(k, 0.5))
+	FineTune(m, sel, train, 1, 0.05, rand.New(rand.NewSource(2)))
+	for ui, u := range sel.Units {
+		w := u.Conv.Weight().W
+		rowLen := w.Dim(1)
+		for ch, keep := range sel.Masks[ui].Keep {
+			if keep {
+				continue
+			}
+			row := w.Data[ch*rowLen : (ch+1)*rowLen]
+			for j, v := range row {
+				if v != 0 {
+					t.Fatalf("pruned channel %d weight %d = %v after fine-tune", ch, j, v)
+				}
+			}
+		}
+	}
+}
+
+func TestEnvStepRewardComponents(t *testing.T) {
+	m := testModel(t, "resnet20")
+	train, val := trainAndVal(t)
+	_ = train
+	env := NewEnv(m, val, 0.6)
+	k := len(m.PrunableUnits())
+	r := env.Step(uniformRatios(k, 1))
+	// Keeping everything: FLOPs ratio 1 > budget 0.6, so reward is
+	// penalized below raw accuracy.
+	if env.LastFLOPsRatio < 0.99 {
+		t.Fatalf("full ratios FLOPs ratio %v", env.LastFLOPsRatio)
+	}
+	if r >= env.LastAcc {
+		t.Fatal("over-budget selection must be penalized")
+	}
+	r2 := env.Step(uniformRatios(k, 0.3))
+	if env.LastFLOPsRatio > 0.6 {
+		t.Fatalf("0.3 ratios should meet budget, got %v", env.LastFLOPsRatio)
+	}
+	if r2 != env.LastAcc {
+		t.Fatal("within-budget reward must equal accuracy")
+	}
+	if env.LastSelection == nil {
+		t.Fatal("LastSelection not recorded")
+	}
+}
+
+func TestEnvAccuracyEvaluatedUnderMask(t *testing.T) {
+	m := testModel(t, "resnet20")
+	_, val := trainAndVal(t)
+	env := NewEnv(m, val, 1.0) // no budget pressure
+	k := len(m.PrunableUnits())
+	full := fl.EvalAccuracy(m, val, 64)
+	env.Step(uniformRatios(k, 1))
+	if math.Abs(env.LastAcc-full) > 1e-9 {
+		t.Fatalf("ratio-1 masked accuracy %v != full accuracy %v", env.LastAcc, full)
+	}
+}
+
+func TestSelectionAlwaysShipsPerChannelScalars(t *testing.T) {
+	// BN affine/statistics and conv biases must be salient regardless of
+	// the masks — they are negligible bytes and keep the global model's
+	// non-salient channels correctly normalized.
+	m := testModel(t, "resnet20")
+	k := len(m.PrunableUnits())
+	sel := Select(m, uniformRatios(k, 0.3))
+	covered := make([]bool, sel.StateLen)
+	for _, r := range sel.Ranges {
+		for i := r.Start; i < r.Start+r.Len; i++ {
+			covered[i] = true
+		}
+	}
+	paramSeg, bnSeg := m.EncoderOffsets()
+	for _, u := range sel.Units {
+		if u.BN == nil {
+			continue
+		}
+		for _, p := range u.BN.Params() {
+			seg := paramSeg[p.W]
+			for i := seg.Off; i < seg.Off+seg.Len; i++ {
+				if !covered[i] {
+					t.Fatalf("BN affine entry %d not salient", i)
+				}
+			}
+		}
+		stats := bnSeg[u.BN]
+		for _, seg := range stats {
+			for i := seg.Off; i < seg.Off+seg.Len; i++ {
+				if !covered[i] {
+					t.Fatalf("BN statistic entry %d not salient", i)
+				}
+			}
+		}
+	}
+}
+
+func TestZeroPrunedMatchesWithMasked(t *testing.T) {
+	m := testModel(t, "resnet20")
+	k := len(m.PrunableUnits())
+	sel := Select(m, uniformRatios(k, 0.5))
+	x := tensor.New(2, 3, 8, 8)
+	x.Randn(nn.Rng(7), 1)
+	var masked *tensor.Tensor
+	WithMasked(m, sel, func() { masked = m.Forward(x, false) })
+	// Permanent zeroing on a clone must give the same output.
+	c := m.Clone()
+	cSel := SelectWithMasks(c, sel.Masks)
+	ZeroPruned(c, cSel)
+	got := c.Forward(x, false)
+	for i := range got.Data {
+		if got.Data[i] != masked.Data[i] {
+			t.Fatal("ZeroPruned must match WithMasked")
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package rl implements SPATL's salient-parameter selection agent: a
+// graph-neural-network encoder over the model's computational graph
+// followed by MLP actor/critic heads, trained with proximal policy
+// optimization (PPO, §IV-B). The GNN embeds network topology, which is
+// what makes the agent transferable across architectures (pre-train on
+// ResNet-56 pruning, fine-tune only the MLP head on each client).
+//
+// The message-passing forward/backward passes are written by hand on top
+// of internal/nn layers — each Linear/ReLU instance is used exactly once
+// per forward pass, so the standard layer-cache backprop applies.
+package rl
+
+import (
+	"math/rand"
+
+	"spatl/internal/graph"
+	"spatl/internal/nn"
+	"spatl/internal/tensor"
+)
+
+// GNN is a message-passing graph encoder: node states are initialized
+// from incident-edge features, then refined for a fixed number of rounds
+// by gathering neighbor messages along edges (both directions).
+type GNN struct {
+	Dim    int
+	Rounds int
+
+	init  *nn.Linear
+	initR *nn.ReLU
+	msg   []*nn.Linear
+	msgR  []*nn.ReLU
+	upd   []*nn.Linear
+	updR  []*nn.ReLU
+
+	// forward caches
+	cache *gnnCache
+}
+
+type gnnCache struct {
+	g       *graph.Graph
+	feat    *tensor.Tensor // (E, F)
+	msgFrom []int          // message source node per directed message
+	msgTo   []int          // message target node per directed message
+	msgEdge []int          // underlying edge per directed message
+	degIn   []float32      // messages received per node
+	incDeg  []float32      // incident edges per node (for init mean)
+	hs      []*tensor.Tensor
+	gathers []*tensor.Tensor // gathered [h_from ; f_e] per round
+	aggs    []*tensor.Tensor // aggregated messages per round
+	msgOut  []*tensor.Tensor // per-round message activations (E2, D)
+}
+
+// NewGNN constructs a GNN with hidden dimension dim and the given number
+// of message-passing rounds.
+func NewGNN(dim, rounds int, rng *rand.Rand) *GNN {
+	g := &GNN{Dim: dim, Rounds: rounds}
+	g.init = nn.NewLinear("gnn.init", graph.FeatureDim, dim, rng)
+	g.initR = nn.NewReLU("gnn.init.relu")
+	for t := 0; t < rounds; t++ {
+		g.msg = append(g.msg, nn.NewLinear("gnn.msg", dim+graph.FeatureDim, dim, rng))
+		g.msgR = append(g.msgR, nn.NewReLU("gnn.msg.relu"))
+		g.upd = append(g.upd, nn.NewLinear("gnn.upd", 2*dim, dim, rng))
+		g.updR = append(g.updR, nn.NewReLU("gnn.upd.relu"))
+	}
+	return g
+}
+
+// Params returns all trainable GNN parameters.
+func (g *GNN) Params() []*nn.Param {
+	ps := g.init.Params()
+	for t := 0; t < g.Rounds; t++ {
+		ps = append(ps, g.msg[t].Params()...)
+		ps = append(ps, g.upd[t].Params()...)
+	}
+	return ps
+}
+
+// Forward embeds the graph, returning node states H of shape (N, Dim).
+func (g *GNN) Forward(gr *graph.Graph) *tensor.Tensor {
+	c := &gnnCache{g: gr}
+	e := len(gr.Edges)
+	c.feat = tensor.New(max(e, 1), graph.FeatureDim)
+	for i, ed := range gr.Edges {
+		copy(c.feat.Data[i*graph.FeatureDim:], ed.Features())
+	}
+	// Directed message list: both directions of every edge.
+	for i, ed := range gr.Edges {
+		c.msgFrom = append(c.msgFrom, ed.Src, ed.Dst)
+		c.msgTo = append(c.msgTo, ed.Dst, ed.Src)
+		c.msgEdge = append(c.msgEdge, i, i)
+	}
+	n := gr.NumNodes
+	c.degIn = make([]float32, n)
+	for _, t := range c.msgTo {
+		c.degIn[t]++
+	}
+	c.incDeg = make([]float32, n)
+	for _, ed := range gr.Edges {
+		c.incDeg[ed.Src]++
+		c.incDeg[ed.Dst]++
+	}
+
+	// Node init: mean of incident edge features through a linear+ReLU.
+	x := tensor.New(n, graph.FeatureDim)
+	for i, ed := range gr.Edges {
+		f := c.feat.Data[i*graph.FeatureDim : (i+1)*graph.FeatureDim]
+		for _, v := range []int{ed.Src, ed.Dst} {
+			row := x.Data[v*graph.FeatureDim : (v+1)*graph.FeatureDim]
+			for j, fv := range f {
+				row[j] += fv
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if c.incDeg[v] > 0 {
+			inv := 1 / c.incDeg[v]
+			row := x.Data[v*graph.FeatureDim : (v+1)*graph.FeatureDim]
+			for j := range row {
+				row[j] *= inv
+			}
+		}
+	}
+	h := g.initR.Forward(g.init.Forward(x, true), true)
+	c.hs = append(c.hs, h)
+
+	e2 := len(c.msgFrom)
+	for t := 0; t < g.Rounds; t++ {
+		// Gather [h_from ; f_e] for every directed message.
+		gat := tensor.New(max(e2, 1), g.Dim+graph.FeatureDim)
+		for m := 0; m < e2; m++ {
+			row := gat.Data[m*(g.Dim+graph.FeatureDim):]
+			copy(row[:g.Dim], h.Data[c.msgFrom[m]*g.Dim:(c.msgFrom[m]+1)*g.Dim])
+			ei := c.msgEdge[m]
+			copy(row[g.Dim:g.Dim+graph.FeatureDim], c.feat.Data[ei*graph.FeatureDim:(ei+1)*graph.FeatureDim])
+		}
+		c.gathers = append(c.gathers, gat)
+		mout := g.msgR[t].Forward(g.msg[t].Forward(gat, true), true)
+		c.msgOut = append(c.msgOut, mout)
+
+		// Mean-aggregate messages at target nodes.
+		agg := tensor.New(n, g.Dim)
+		for m := 0; m < e2; m++ {
+			to := c.msgTo[m]
+			src := mout.Data[m*g.Dim : (m+1)*g.Dim]
+			dst := agg.Data[to*g.Dim : (to+1)*g.Dim]
+			for j, v := range src {
+				dst[j] += v
+			}
+		}
+		for v := 0; v < n; v++ {
+			if c.degIn[v] > 0 {
+				inv := 1 / c.degIn[v]
+				row := agg.Data[v*g.Dim : (v+1)*g.Dim]
+				for j := range row {
+					row[j] *= inv
+				}
+			}
+		}
+		c.aggs = append(c.aggs, agg)
+
+		// Update: h ← ReLU(W·[h ; agg]).
+		cat := tensor.New(n, 2*g.Dim)
+		for v := 0; v < n; v++ {
+			copy(cat.Data[v*2*g.Dim:], h.Data[v*g.Dim:(v+1)*g.Dim])
+			copy(cat.Data[v*2*g.Dim+g.Dim:], agg.Data[v*g.Dim:(v+1)*g.Dim])
+		}
+		h = g.updR[t].Forward(g.upd[t].Forward(cat, true), true)
+		c.hs = append(c.hs, h)
+	}
+	g.cache = c
+	return h
+}
+
+// Backward propagates dH (gradient w.r.t. the final node states) through
+// the message-passing stack, accumulating parameter gradients.
+func (g *GNN) Backward(dH *tensor.Tensor) {
+	c := g.cache
+	if c == nil {
+		panic("rl: GNN.Backward before Forward")
+	}
+	n := c.g.NumNodes
+	e2 := len(c.msgFrom)
+	for t := g.Rounds - 1; t >= 0; t-- {
+		dcat := g.upd[t].Backward(g.updR[t].Backward(dH))
+		// Split concat gradient into dh (previous state) and dagg.
+		dh := tensor.New(n, g.Dim)
+		dagg := tensor.New(n, g.Dim)
+		for v := 0; v < n; v++ {
+			copy(dh.Data[v*g.Dim:(v+1)*g.Dim], dcat.Data[v*2*g.Dim:v*2*g.Dim+g.Dim])
+			copy(dagg.Data[v*g.Dim:(v+1)*g.Dim], dcat.Data[v*2*g.Dim+g.Dim:(v+1)*2*g.Dim])
+		}
+		// Backward through mean aggregation: each message receives
+		// dagg[to]/deg[to].
+		dmout := tensor.New(max(e2, 1), g.Dim)
+		for m := 0; m < e2; m++ {
+			to := c.msgTo[m]
+			inv := float32(0)
+			if c.degIn[to] > 0 {
+				inv = 1 / c.degIn[to]
+			}
+			src := dagg.Data[to*g.Dim : (to+1)*g.Dim]
+			dst := dmout.Data[m*g.Dim : (m+1)*g.Dim]
+			for j, v := range src {
+				dst[j] = v * inv
+			}
+		}
+		dgat := g.msg[t].Backward(g.msgR[t].Backward(dmout))
+		// Scatter the h_from part of the gather gradient back to nodes.
+		for m := 0; m < e2; m++ {
+			from := c.msgFrom[m]
+			row := dgat.Data[m*(g.Dim+graph.FeatureDim):]
+			dst := dh.Data[from*g.Dim : (from+1)*g.Dim]
+			for j := 0; j < g.Dim; j++ {
+				dst[j] += row[j]
+			}
+		}
+		dH = dh
+	}
+	g.init.Backward(g.initR.Backward(dH))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,95 @@
+package tensor
+
+import "fmt"
+
+// ConvDims describes a 2D convolution geometry. H/W are input spatial
+// dims; K is the (square) kernel size; Stride and Pad apply to both axes.
+type ConvDims struct {
+	InC, H, W   int
+	OutC, K     int
+	Stride, Pad int
+	OutH, OutW  int
+}
+
+// NewConvDims computes output spatial dimensions and validates geometry.
+func NewConvDims(inC, h, w, outC, k, stride, pad int) ConvDims {
+	if stride <= 0 || k <= 0 {
+		panic(fmt.Sprintf("tensor: invalid conv geometry k=%d stride=%d", k, stride))
+	}
+	outH := (h+2*pad-k)/stride + 1
+	outW := (w+2*pad-k)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("tensor: conv output collapses: in %dx%d k=%d stride=%d pad=%d", h, w, k, stride, pad))
+	}
+	return ConvDims{InC: inC, H: h, W: w, OutC: outC, K: k, Stride: stride, Pad: pad, OutH: outH, OutW: outW}
+}
+
+// Im2Col lowers one image (C,H,W) from x at batch offset into the column
+// buffer col of shape (C*K*K, OutH*OutW). Padding cells contribute zeros.
+func Im2Col(col []float32, x []float32, d ConvDims) {
+	cols := d.OutH * d.OutW
+	idx := 0
+	for c := 0; c < d.InC; c++ {
+		plane := x[c*d.H*d.W : (c+1)*d.H*d.W]
+		for ky := 0; ky < d.K; ky++ {
+			for kx := 0; kx < d.K; kx++ {
+				row := col[idx*cols : (idx+1)*cols]
+				idx++
+				o := 0
+				for oy := 0; oy < d.OutH; oy++ {
+					iy := oy*d.Stride - d.Pad + ky
+					if iy < 0 || iy >= d.H {
+						for ox := 0; ox < d.OutW; ox++ {
+							row[o] = 0
+							o++
+						}
+						continue
+					}
+					base := iy * d.W
+					for ox := 0; ox < d.OutW; ox++ {
+						ix := ox*d.Stride - d.Pad + kx
+						if ix < 0 || ix >= d.W {
+							row[o] = 0
+						} else {
+							row[o] = plane[base+ix]
+						}
+						o++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im scatters the column-gradient buffer col (C*K*K, OutH*OutW) back
+// into the image gradient dx (C,H,W), accumulating overlapping windows.
+// dx must be zeroed by the caller if accumulation from scratch is desired.
+func Col2Im(dx []float32, col []float32, d ConvDims) {
+	cols := d.OutH * d.OutW
+	idx := 0
+	for c := 0; c < d.InC; c++ {
+		plane := dx[c*d.H*d.W : (c+1)*d.H*d.W]
+		for ky := 0; ky < d.K; ky++ {
+			for kx := 0; kx < d.K; kx++ {
+				row := col[idx*cols : (idx+1)*cols]
+				idx++
+				o := 0
+				for oy := 0; oy < d.OutH; oy++ {
+					iy := oy*d.Stride - d.Pad + ky
+					if iy < 0 || iy >= d.H {
+						o += d.OutW
+						continue
+					}
+					base := iy * d.W
+					for ox := 0; ox < d.OutW; ox++ {
+						ix := ox*d.Stride - d.Pad + kx
+						if ix >= 0 && ix < d.W {
+							plane[base+ix] += row[o]
+						}
+						o++
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the number of output elements above which MatMul
+// shards rows across goroutines. Below it the sequential kernel wins.
+const parallelThreshold = 64 * 64
+
+// MatMul computes C = A·B for A of shape (m,k) and B of shape (k,n),
+// returning a new (m,n) tensor. Rows of C are computed in parallel when
+// the problem is large enough; each row is owned by exactly one goroutine
+// so the result is deterministic.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k := a.Dim(0), a.Dim(1)
+	k2, n := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	c := New(m, n)
+	MatMulInto(c, a, b)
+	return c
+}
+
+// MatMulInto computes C = A·B into an existing output tensor, avoiding an
+// allocation. C must have shape (m,n).
+func MatMulInto(c, a, b *Tensor) {
+	m, k := a.Dim(0), a.Dim(1)
+	n := b.Dim(1)
+	if b.Dim(0) != k || c.Dim(0) != m || c.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch C%v = A%v x B%v", c.shape, a.shape, b.shape))
+	}
+	if m*n >= parallelThreshold && m > 1 {
+		parallelRows(m, func(lo, hi int) {
+			matmulRows(c.Data, a.Data, b.Data, lo, hi, k, n)
+		})
+		return
+	}
+	matmulRows(c.Data, a.Data, b.Data, 0, m, k, n)
+}
+
+// matmulRows computes rows [lo,hi) of C = A·B with an ikj loop order that
+// streams B rows sequentially (cache friendly, auto-vectorizable inner
+// loop).
+func matmulRows(c, a, b []float32, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		ci := c[i*n : (i+1)*n]
+		for x := range ci {
+			ci[x] = 0
+		}
+		ai := a[i*k : (i+1)*k]
+		for p, av := range ai {
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransB computes C = A·Bᵀ for A (m,k) and B (n,k) into a new (m,n)
+// tensor. Used for backprop through linear layers without materializing
+// transposes.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	m, k := a.Dim(0), a.Dim(1)
+	n, k2 := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v x %vᵀ", a.shape, b.shape))
+	}
+	c := New(m, n)
+	work := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.Data[i*k : (i+1)*k]
+			ci := c.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := b.Data[j*k : (j+1)*k]
+				var s float32
+				for p, av := range ai {
+					s += av * bj[p]
+				}
+				ci[j] = s
+			}
+		}
+	}
+	if m*n >= parallelThreshold && m > 1 {
+		parallelRows(m, work)
+	} else {
+		work(0, m)
+	}
+	return c
+}
+
+// MatMulTransA computes C = Aᵀ·B for A (k,m) and B (k,n) into a new (m,n)
+// tensor.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	k, m := a.Dim(0), a.Dim(1)
+	k2, n := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch %vᵀ x %v", a.shape, b.shape))
+	}
+	c := New(m, n)
+	work := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c.Data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := a.Data[p*m+i]
+				if av == 0 {
+					continue
+				}
+				bp := b.Data[p*n : (p+1)*n]
+				for j, bv := range bp {
+					ci[j] += av * bv
+				}
+			}
+		}
+	}
+	if m*n >= parallelThreshold && m > 1 {
+		parallelRows(m, work)
+	} else {
+		work(0, m)
+	}
+	return c
+}
+
+// parallelRows splits [0,m) into contiguous chunks, one per worker, and
+// runs fn on each chunk concurrently. Each output row is written by
+// exactly one worker, so no synchronization of the output is needed.
+func parallelRows(m int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 {
+		fn(0, m)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Parallel exposes the row-sharding helper for other packages that need a
+// deterministic parallel loop over an index range.
+func Parallel(n int, fn func(lo, hi int)) {
+	parallelRows(n, fn)
+}

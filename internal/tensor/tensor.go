@@ -1,0 +1,276 @@
+// Package tensor implements the dense float32 tensor math that underpins
+// the neural-network substrate. It is deliberately small: row-major dense
+// tensors, parallel blocked matrix multiply, im2col/col2im for convolution
+// lowering, elementwise kernels and reductions. Everything is stdlib-only.
+//
+// Tensors are mutable value containers: the Data slice is shared on View
+// and Reshape, copied on Clone. Shapes are immutable after construction
+// except through Reshape, which validates the element count.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major float32 tensor.
+type Tensor struct {
+	Data  []float32
+	shape []int
+}
+
+// New returns a zero-filled tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{Data: make([]float32, n), shape: append([]int(nil), shape...)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is used
+// directly (not copied); its length must equal the shape's element count.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (%d elements)", len(data), shape, n))
+	}
+	return &Tensor{Data: data, shape: append([]int(nil), shape...)}
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be
+// mutated by the caller.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float32 {
+	return t.Data[t.offset(idx)]
+}
+
+// Set stores v at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) {
+	t.Data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match tensor rank %d", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a tensor sharing t's data with a new shape of equal
+// element count.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elements) to %v (%d elements)", t.shape, len(t.Data), shape, n))
+	}
+	return &Tensor{Data: t.Data, shape: append([]int(nil), shape...)}
+}
+
+// Zero sets all elements to 0 in place.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets all elements to v in place.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// CopyFrom copies src's data into t. Shapes must have equal element count.
+func (t *Tensor) CopyFrom(src *Tensor) {
+	if len(t.Data) != len(src.Data) {
+		panic(fmt.Sprintf("tensor: CopyFrom size mismatch %d vs %d", len(t.Data), len(src.Data)))
+	}
+	copy(t.Data, src.Data)
+}
+
+// Randn fills t with N(0, std²) samples from rng.
+func (t *Tensor) Randn(rng *rand.Rand, std float64) {
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64() * std)
+	}
+}
+
+// Uniform fills t with U(lo, hi) samples from rng.
+func (t *Tensor) Uniform(rng *rand.Rand, lo, hi float64) {
+	for i := range t.Data {
+		t.Data[i] = float32(lo + rng.Float64()*(hi-lo))
+	}
+}
+
+// KaimingNormal fills t with He-normal initialization for a layer with the
+// given fan-in (suitable for ReLU networks).
+func (t *Tensor) KaimingNormal(rng *rand.Rand, fanIn int) {
+	std := math.Sqrt(2.0 / float64(fanIn))
+	t.Randn(rng, std)
+}
+
+// AddInPlace computes t += other elementwise.
+func (t *Tensor) AddInPlace(other *Tensor) {
+	checkSameLen(t, other, "AddInPlace")
+	for i, v := range other.Data {
+		t.Data[i] += v
+	}
+}
+
+// SubInPlace computes t -= other elementwise.
+func (t *Tensor) SubInPlace(other *Tensor) {
+	checkSameLen(t, other, "SubInPlace")
+	for i, v := range other.Data {
+		t.Data[i] -= v
+	}
+}
+
+// MulInPlace computes t *= other elementwise.
+func (t *Tensor) MulInPlace(other *Tensor) {
+	checkSameLen(t, other, "MulInPlace")
+	for i, v := range other.Data {
+		t.Data[i] *= v
+	}
+}
+
+// Scale computes t *= s.
+func (t *Tensor) Scale(s float32) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// Axpy computes t += a*x (like BLAS axpy).
+func (t *Tensor) Axpy(a float32, x *Tensor) {
+	checkSameLen(t, x, "Axpy")
+	for i, v := range x.Data {
+		t.Data[i] += a * v
+	}
+}
+
+// Add returns t + other as a new tensor.
+func (t *Tensor) Add(other *Tensor) *Tensor {
+	out := t.Clone()
+	out.AddInPlace(other)
+	return out
+}
+
+// Sub returns t - other as a new tensor.
+func (t *Tensor) Sub(other *Tensor) *Tensor {
+	out := t.Clone()
+	out.SubInPlace(other)
+	return out
+}
+
+// Dot returns the inner product of t and other viewed as flat vectors.
+func (t *Tensor) Dot(other *Tensor) float64 {
+	checkSameLen(t, other, "Dot")
+	var s float64
+	for i, v := range t.Data {
+		s += float64(v) * float64(other.Data[i])
+	}
+	return s
+}
+
+// Sum returns the sum of all elements in float64 precision.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v)
+	}
+	return s
+}
+
+// AbsSum returns the L1 norm of the flattened tensor.
+func (t *Tensor) AbsSum() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += math.Abs(float64(v))
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of the flattened tensor.
+func (t *Tensor) Norm2() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// MaxIndex returns the index of the maximum element of the flat tensor.
+func (t *Tensor) MaxIndex() int {
+	best, bi := float32(math.Inf(-1)), 0
+	for i, v := range t.Data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// Equal reports whether two tensors have identical shape and data.
+func (t *Tensor) Equal(other *Tensor) bool {
+	if len(t.shape) != len(other.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != other.shape[i] {
+			return false
+		}
+	}
+	for i := range t.Data {
+		if t.Data[i] != other.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact description, not the full contents.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor%v", t.shape)
+}
+
+func checkSameLen(a, b *Tensor, op string) {
+	if len(a.Data) != len(b.Data) {
+		panic(fmt.Sprintf("tensor: %s length mismatch %d vs %d", op, len(a.Data), len(b.Data)))
+	}
+}
