@@ -121,6 +121,81 @@ func BenchmarkMatMul(b *testing.B) {
 	}
 }
 
+// BenchmarkMatMulTransB measures the dot-kernel C = A·Bᵀ path that linear
+// forward and the convolution weight gradient ride on.
+func BenchmarkMatMulTransB(b *testing.B) {
+	rng := nn.Rng(4)
+	x := tensor.New(128, 256)
+	y := tensor.New(128, 256)
+	x.Randn(rng, 1)
+	y.Randn(rng, 1)
+	out := tensor.New(128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulTransBInto(out, x, y)
+	}
+}
+
+// BenchmarkMatMulTransA measures the C = Aᵀ·B path used by linear and
+// convolution input gradients.
+func BenchmarkMatMulTransA(b *testing.B) {
+	rng := nn.Rng(5)
+	x := tensor.New(256, 128)
+	y := tensor.New(256, 128)
+	x.Randn(rng, 1)
+	y.Randn(rng, 1)
+	out := tensor.New(128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulTransAInto(out, x, y)
+	}
+}
+
+// BenchmarkIm2Col measures the row-major convolution lowering at the
+// ResNet-style geometry used by the conv benchmarks.
+func BenchmarkIm2Col(b *testing.B) {
+	rng := nn.Rng(6)
+	d := tensor.NewConvDims(16, 16, 16, 16, 3, 1, 1)
+	x := tensor.New(16, 16, 16)
+	x.Randn(rng, 1)
+	col := make([]float32, 16*3*3*d.OutH*d.OutW)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Im2Col(col, x.Data, d)
+	}
+}
+
+// BenchmarkIm2ColPatch measures the patch-major lowering the dense forward
+// path feeds straight into the dot kernel.
+func BenchmarkIm2ColPatch(b *testing.B) {
+	rng := nn.Rng(7)
+	d := tensor.NewConvDims(16, 16, 16, 16, 3, 1, 1)
+	x := tensor.New(16, 16, 16)
+	x.Randn(rng, 1)
+	col := make([]float32, 16*3*3*d.OutH*d.OutW)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Im2ColPatch(col, x.Data, d)
+	}
+}
+
+// BenchmarkCol2Im measures the backward scatter that folds column
+// gradients back into image gradients.
+func BenchmarkCol2Im(b *testing.B) {
+	rng := nn.Rng(8)
+	d := tensor.NewConvDims(16, 16, 16, 16, 3, 1, 1)
+	col := tensor.New(16*3*3, d.OutH*d.OutW)
+	col.Randn(rng, 1)
+	dx := make([]float32, 16*16*16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range dx {
+			dx[j] = 0
+		}
+		tensor.Col2Im(dx, col.Data, d)
+	}
+}
+
 // BenchmarkConvForward measures a ResNet-style 3×3 convolution forward
 // pass (batch 16).
 func BenchmarkConvForward(b *testing.B) {

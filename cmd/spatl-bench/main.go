@@ -31,9 +31,19 @@ func main() {
 		clients   = flag.String("clients", "", "comma-separated clients:ratio override (e.g. 10:1.0,30:0.4)")
 		rounds    = flag.Int("rounds", 0, "override the scale's round caps (both convergence and curve rounds)")
 		perClient = flag.Int("perclient", 0, "override the scale's examples per client")
+		micro     = flag.Bool("micro", false, "run hot-path micro-benchmarks and emit JSON")
+		microJSON = flag.String("json", "", "with -micro: write the JSON report to this file (default stdout)")
+		baseline  = flag.String("baseline", "", "with -micro: prior -micro JSON to compute speedups against")
 	)
 	flag.Parse()
 
+	if *micro {
+		if err := runMicro(*microJSON, *baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "spatl-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		fmt.Println("experiments:")
 		for _, name := range experiments.Names() {

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"spatl/internal/experiments"
+	"spatl/internal/fl"
+	"spatl/internal/nn"
+	"spatl/internal/tensor"
+)
+
+// The micro harness re-measures the substrate benchmarks from bench_test.go
+// in a plain binary (via testing.Benchmark) and emits machine-readable
+// JSON, so performance numbers can be captured, diffed against a prior run,
+// and committed alongside the code they describe.
+
+// microResult is one benchmark measurement; the Baseline* and Speedup
+// fields are populated only when a -baseline file is supplied.
+type microResult struct {
+	Iterations      int     `json:"iterations"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	BytesPerOp      int64   `json:"b_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
+	BaselineAllocs  int64   `json:"baseline_allocs_per_op,omitempty"`
+	Speedup         float64 `json:"speedup,omitempty"`
+	AllocReduction  float64 `json:"alloc_reduction,omitempty"`
+}
+
+// microReport is the JSON document written by -micro.
+type microReport struct {
+	Schema     string                  `json:"schema"`
+	GoVersion  string                  `json:"go_version"`
+	GOOS       string                  `json:"goos"`
+	GOARCH     string                  `json:"goarch"`
+	GOMAXPROCS int                     `json:"gomaxprocs"`
+	Results    map[string]*microResult `json:"results"`
+}
+
+// microBenchmarks lists the tracked hot-path workloads, mirroring the
+// definitions in bench_test.go.
+var microBenchmarks = []struct {
+	name string
+	fn   func(b *testing.B)
+}{
+	{"MatMul", func(b *testing.B) {
+		rng := nn.Rng(1)
+		x := tensor.New(128, 256)
+		y := tensor.New(256, 128)
+		x.Randn(rng, 1)
+		y.Randn(rng, 1)
+		out := tensor.New(128, 128)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tensor.MatMulInto(out, x, y)
+		}
+	}},
+	{"ConvForward", func(b *testing.B) {
+		rng := nn.Rng(2)
+		conv := nn.NewConv2D("conv", 16, 16, 3, 1, 1, false, rng)
+		x := tensor.New(16, 16, 16, 16)
+		x.Randn(rng, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			conv.Forward(x, false)
+		}
+	}},
+	{"ConvBackward", func(b *testing.B) {
+		rng := nn.Rng(3)
+		conv := nn.NewConv2D("conv", 16, 16, 3, 1, 1, false, rng)
+		x := tensor.New(16, 16, 16, 16)
+		x.Randn(rng, 1)
+		out := conv.Forward(x, true)
+		dout := tensor.New(out.Shape()...)
+		dout.Randn(rng, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			nn.ZeroGrad(conv.Params())
+			conv.Backward(dout)
+		}
+	}},
+	{"FLRound", func(b *testing.B) {
+		env := experiments.BuildCIFAREnv(experiments.Tiny, "resnet20", experiments.ClientSet{Clients: 4, Ratio: 1}, 1)
+		algo := fl.FedAvg{}
+		algo.Setup(env)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			algo.Round(env, i, env.SampleClients())
+		}
+	}},
+	{"SPATLRound", func(b *testing.B) {
+		env := experiments.BuildCIFAREnv(experiments.Tiny, "resnet20", experiments.ClientSet{Clients: 4, Ratio: 1}, 1)
+		algo := experiments.NewAlgorithm("spatl", experiments.Tiny, 1)
+		algo.Setup(env)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			algo.Round(env, i, env.SampleClients())
+		}
+	}},
+}
+
+// runMicro measures every tracked workload, annotates against an optional
+// baseline report, and writes JSON to jsonPath ("" = stdout only).
+func runMicro(jsonPath, baselinePath string) error {
+	report := microReport{
+		Schema:     "spatl-micro-bench/v1",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Results:    map[string]*microResult{},
+	}
+
+	var baseline *microReport
+	if baselinePath != "" {
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("read baseline: %w", err)
+		}
+		baseline = &microReport{}
+		if err := json.Unmarshal(raw, baseline); err != nil {
+			return fmt.Errorf("parse baseline: %w", err)
+		}
+	}
+
+	for _, mb := range microBenchmarks {
+		fmt.Fprintf(os.Stderr, "micro: %s...\n", mb.name)
+		r := testing.Benchmark(mb.fn)
+		res := &microResult{
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if baseline != nil {
+			if base, ok := baseline.Results[mb.name]; ok && base.NsPerOp > 0 {
+				res.BaselineNsPerOp = base.NsPerOp
+				res.BaselineAllocs = base.AllocsPerOp
+				res.Speedup = base.NsPerOp / res.NsPerOp
+				if res.AllocsPerOp > 0 {
+					res.AllocReduction = float64(base.AllocsPerOp) / float64(res.AllocsPerOp)
+				}
+			}
+		}
+		report.Results[mb.name] = res
+		fmt.Printf("%-14s %12.0f ns/op %10d B/op %6d allocs/op", mb.name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		if res.Speedup > 0 {
+			fmt.Printf("   %.2fx vs baseline", res.Speedup)
+		}
+		fmt.Println()
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if jsonPath != "" {
+		if err := os.WriteFile(jsonPath, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "micro: wrote %s\n", jsonPath)
+	} else {
+		os.Stdout.Write(out)
+	}
+	return nil
+}

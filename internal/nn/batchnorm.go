@@ -59,9 +59,19 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 	if train {
 		bn.x = x
-		bn.mean = make([]float64, bn.C)
-		bn.invStd = make([]float64, bn.C)
-		bn.xhat = make([]float32, x.Len())
+		// Backward caches are reused across steps (steady-state training
+		// allocates nothing here); they are owned by the layer, not the
+		// scratch pool, because they must survive until Backward.
+		if cap(bn.mean) < bn.C {
+			bn.mean = make([]float64, bn.C)
+			bn.invStd = make([]float64, bn.C)
+		}
+		bn.mean = bn.mean[:bn.C]
+		bn.invStd = bn.invStd[:bn.C]
+		if cap(bn.xhat) < x.Len() {
+			bn.xhat = make([]float32, x.Len())
+		}
+		bn.xhat = bn.xhat[:x.Len()]
 		tensor.Parallel(bn.C, func(clo, chi int) {
 			for c := clo; c < chi; c++ {
 				var sum float64

@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"spatl/internal/tensor"
 )
@@ -53,25 +54,34 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	outStride := c.OutC * d.OutH * d.OutW
 	colRows := c.InC * c.K * c.K
 	cols := d.OutH * d.OutW
+	// Dense weights feed the register-tiled dot kernel via the patch-major
+	// lowering (both operands row-contiguous, no packing). Pruned/masked
+	// weights instead use the row-major lowering with the zero-skipping
+	// kernel, which elides whole B-row passes per zero weight.
+	sparse := tensor.IsSparse(c.weight.W.Data)
 	tensor.Parallel(n, func(lo, hi int) {
-		col := tensor.New(colRows, cols)
+		col := tensor.GetScratch(colRows * cols)
 		for i := lo; i < hi; i++ {
-			tensor.Im2Col(col.Data, x.Data[i*inStride:(i+1)*inStride], d)
-			oi := tensor.FromSlice(out.Data[i*outStride:(i+1)*outStride], c.OutC, cols)
-			tensor.MatMulInto(oi, c.weight.W, col)
-		}
-	})
-	if c.useBias {
-		for i := 0; i < n; i++ {
-			for oc := 0; oc < c.OutC; oc++ {
-				b := c.bias.W.Data[oc]
-				base := i*outStride + oc*cols
-				for j := 0; j < cols; j++ {
-					out.Data[base+j] += b
+			oi := out.Data[i*outStride : (i+1)*outStride]
+			if sparse {
+				tensor.Im2Col(col, x.Data[i*inStride:(i+1)*inStride], d)
+				tensor.MatMulSlice(oi, c.weight.W.Data, col, c.OutC, colRows, cols)
+			} else {
+				tensor.Im2ColPatch(col, x.Data[i*inStride:(i+1)*inStride], d)
+				tensor.MatMulTransBSlice(oi, c.weight.W.Data, col, c.OutC, colRows, cols)
+			}
+			if c.useBias {
+				for oc := 0; oc < c.OutC; oc++ {
+					b := c.bias.W.Data[oc]
+					row := oi[oc*cols : (oc+1)*cols]
+					for j := range row {
+						row[j] += b
+					}
 				}
 			}
 		}
-	}
+		tensor.PutScratch(col)
+	})
 	c.x = x
 	return out
 }
@@ -91,11 +101,11 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 
 	dx := tensor.New(n, c.InC, h, w)
 
-	// Shard the batch; each shard accumulates its own dW (and db), then
-	// shards are summed in fixed order for deterministic results at a
-	// fixed worker count.
+	// Shard the batch; each shard accumulates its own dW (and db) in
+	// scratch buffers, then shards are summed in fixed order so results
+	// are deterministic for a fixed shard count.
 	type shard struct {
-		dw *tensor.Tensor
+		dw []float32
 		db []float64
 	}
 	nw := parallelShards(n)
@@ -107,24 +117,30 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 			if hi > n {
 				hi = n
 			}
-			sh := shard{dw: tensor.New(c.OutC, colRows)}
+			sh := shard{dw: tensor.GetScratch(c.OutC * colRows)}
+			for i := range sh.dw {
+				sh.dw[i] = 0
+			}
 			if c.useBias {
 				sh.db = make([]float64, c.OutC)
 			}
-			col := tensor.New(colRows, cols)
+			col := tensor.GetScratch(colRows * cols)
+			dcol := tensor.GetScratch(colRows * cols)
 			for i := lo; i < hi; i++ {
-				tensor.Im2Col(col.Data, x.Data[i*inStride:(i+1)*inStride], d)
-				gi := tensor.FromSlice(dout.Data[i*outStride:(i+1)*outStride], c.OutC, cols)
-				// dW += gi · colᵀ
-				dwi := tensor.MatMulTransB(gi, col)
-				sh.dw.AddInPlace(dwi)
+				tensor.Im2Col(col, x.Data[i*inStride:(i+1)*inStride], d)
+				gi := dout.Data[i*outStride : (i+1)*outStride]
+				// dW += gi · colᵀ, accumulated straight into the shard
+				// buffer (each dot product is still formed in ascending-k
+				// order before the single add, matching the old
+				// materialize-then-add rounding).
+				tensor.MatMulTransBAccSlice(sh.dw, gi, col, c.OutC, cols, colRows)
 				// dcol = Wᵀ · gi ; dx_i = col2im(dcol)
-				dcol := tensor.MatMulTransA(c.weight.W, gi)
-				tensor.Col2Im(dx.Data[i*inStride:(i+1)*inStride], dcol.Data, d)
+				tensor.MatMulTransASlice(dcol, c.weight.W.Data, gi, colRows, c.OutC, cols)
+				tensor.Col2Im(dx.Data[i*inStride:(i+1)*inStride], dcol, d)
 				if c.useBias {
 					for oc := 0; oc < c.OutC; oc++ {
 						var s float64
-						row := gi.Data[oc*cols : (oc+1)*cols]
+						row := gi[oc*cols : (oc+1)*cols]
 						for _, v := range row {
 							s += float64(v)
 						}
@@ -132,6 +148,8 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 					}
 				}
 			}
+			tensor.PutScratch(dcol)
+			tensor.PutScratch(col)
 			shards[s] = sh
 		}
 	})
@@ -139,7 +157,11 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 		if sh.dw == nil {
 			continue
 		}
-		c.weight.G.AddInPlace(sh.dw)
+		g := c.weight.G.Data
+		for i, v := range sh.dw {
+			g[i] += v
+		}
+		tensor.PutScratch(sh.dw)
 		if c.useBias {
 			for oc, v := range sh.db {
 				c.bias.G.Data[oc] += float32(v)
@@ -182,13 +204,16 @@ func (c *Conv2D) Weight() *Param { return c.weight }
 func (c *Conv2D) OutDims() (tensor.ConvDims, bool) { return c.dims, c.haveDims }
 
 // parallelShards picks a shard count for deterministic batched gradient
-// accumulation: min(batch, GOMAXPROCS via tensor.Parallel behaviour).
+// accumulation: one shard per available core, but never more shards than
+// images so small batches are not over-sharded. Results are deterministic
+// for a fixed GOMAXPROCS (shard boundaries fix the summation grouping).
 func parallelShards(n int) int {
-	if n < 4 {
-		return 1
+	p := runtime.GOMAXPROCS(0)
+	if p > n {
+		p = n
 	}
-	if n < 16 {
-		return 4
+	if p < 1 {
+		p = 1
 	}
-	return 8
+	return p
 }

@@ -50,8 +50,13 @@ func (l *Linear) Backward(dout *tensor.Tensor) *tensor.Tensor {
 		panic("nn: Linear.Backward before Forward")
 	}
 	// dW += doutᵀ·x ; db += column sums of dout ; dx = dout·W
-	dw := tensor.MatMulTransA(dout, l.x)
-	l.weight.G.AddInPlace(dw)
+	dw := tensor.GetScratch(l.Out * l.In)
+	tensor.MatMulTransAInto(tensor.FromSlice(dw, l.Out, l.In), dout, l.x)
+	g := l.weight.G.Data
+	for i, v := range dw {
+		g[i] += v
+	}
+	tensor.PutScratch(dw)
 	n := dout.Dim(0)
 	for i := 0; i < n; i++ {
 		row := dout.Data[i*l.Out : (i+1)*l.Out]

@@ -26,7 +26,14 @@ func NewConvDims(inC, h, w, outC, k, stride, pad int) ConvDims {
 
 // Im2Col lowers one image (C,H,W) from x at batch offset into the column
 // buffer col of shape (C*K*K, OutH*OutW). Padding cells contribute zeros.
+// Stride-1 geometries (every ResNet/VGG 3×3 in this repo) take a fast path
+// that bulk-copies the valid span of each output row instead of testing
+// bounds per element.
 func Im2Col(col []float32, x []float32, d ConvDims) {
+	if d.Stride == 1 {
+		im2colStride1(col, x, d)
+		return
+	}
 	cols := d.OutH * d.OutW
 	idx := 0
 	for c := 0; c < d.InC; c++ {
@@ -61,10 +68,204 @@ func Im2Col(col []float32, x []float32, d ConvDims) {
 	}
 }
 
+// im2colStride1 handles stride 1: for each (ky,kx) tap, the input column
+// index is ox + kx - Pad, so the in-bounds ox range is a single contiguous
+// span copied with copy(); only the padding fringes are written per cell.
+func im2colStride1(col []float32, x []float32, d ConvDims) {
+	cols := d.OutH * d.OutW
+	idx := 0
+	for c := 0; c < d.InC; c++ {
+		plane := x[c*d.H*d.W : (c+1)*d.H*d.W]
+		for ky := 0; ky < d.K; ky++ {
+			for kx := 0; kx < d.K; kx++ {
+				row := col[idx*cols : (idx+1)*cols]
+				idx++
+				// Valid ox satisfy 0 ≤ ox+kx-Pad < W.
+				oxLo := d.Pad - kx
+				if oxLo < 0 {
+					oxLo = 0
+				}
+				oxHi := d.W + d.Pad - kx
+				if oxHi > d.OutW {
+					oxHi = d.OutW
+				}
+				if oxHi < oxLo {
+					oxHi = oxLo
+				}
+				o := 0
+				for oy := 0; oy < d.OutH; oy++ {
+					iy := oy - d.Pad + ky
+					if iy < 0 || iy >= d.H {
+						zero := row[o : o+d.OutW]
+						for i := range zero {
+							zero[i] = 0
+						}
+						o += d.OutW
+						continue
+					}
+					base := iy * d.W
+					for ox := 0; ox < oxLo; ox++ {
+						row[o+ox] = 0
+					}
+					if oxHi > oxLo {
+						copy(row[o+oxLo:o+oxHi], plane[base+oxLo-d.Pad+kx:base+oxHi-d.Pad+kx])
+					}
+					for ox := oxHi; ox < d.OutW; ox++ {
+						row[o+ox] = 0
+					}
+					o += d.OutW
+				}
+			}
+		}
+	}
+}
+
+// Im2ColPatch lowers one image (C,H,W) into the patch-major column buffer
+// dst of shape (OutH*OutW, C*K*K): row j holds the receptive field of
+// output pixel j, laid out in the same (c,ky,kx) order as a filter row of
+// the weight matrix. This is the transposed layout of Im2Col, produced
+// directly so the convolution forward pass can feed the register-tiled
+// dot-product kernel (MatMulTransB) with both operands row-contiguous and
+// no packing step.
+func Im2ColPatch(dst, x []float32, d ConvDims) {
+	if d.K == 3 {
+		im2colPatch3(dst, x, d)
+		return
+	}
+	colRows := d.InC * d.K * d.K
+	kk := d.K * d.K
+	for oy := 0; oy < d.OutH; oy++ {
+		for ox := 0; ox < d.OutW; ox++ {
+			patch := dst[(oy*d.OutW+ox)*colRows:][:colRows]
+			ix0 := ox*d.Stride - d.Pad
+			// Valid kx satisfy 0 ≤ ix0+kx < W.
+			lo, hi := -ix0, d.W-ix0
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > d.K {
+				hi = d.K
+			}
+			if hi < lo {
+				hi = lo
+			}
+			iy0 := oy*d.Stride - d.Pad
+			interior := lo == 0 && hi == d.K && iy0 >= 0 && iy0+d.K <= d.H
+			for c := 0; c < d.InC; c++ {
+				plane := x[c*d.H*d.W:]
+				pp := patch[c*kk:][:kk]
+				if interior {
+					// Fully in-bounds receptive field: no fringe handling.
+					// K is tiny (3 or 5 here), so an inline element loop
+					// beats a memmove call per row.
+					src := plane[iy0*d.W+ix0:]
+					for ky := 0; ky < d.K; ky++ {
+						row := pp[ky*d.K:][:d.K]
+						srow := src[ky*d.W:]
+						for i := range row {
+							row[i] = srow[i]
+						}
+					}
+					continue
+				}
+				for ky := 0; ky < d.K; ky++ {
+					iy := iy0 + ky
+					row := pp[ky*d.K:][:d.K]
+					if iy < 0 || iy >= d.H {
+						for i := range row {
+							row[i] = 0
+						}
+						continue
+					}
+					for i := 0; i < lo; i++ {
+						row[i] = 0
+					}
+					if hi > lo {
+						srow := plane[iy*d.W+ix0+lo:]
+						for i := lo; i < hi; i++ {
+							row[i] = srow[i-lo]
+						}
+					}
+					for i := hi; i < d.K; i++ {
+						row[i] = 0
+					}
+				}
+			}
+		}
+	}
+}
+
+// im2colPatch3 is Im2ColPatch specialized for 3×3 kernels (every conv in
+// the repo's ResNet/VGG models): interior patches — the vast majority —
+// copy their nine elements with straight-line unrolled loads, and only the
+// padding fringe takes the bounds-checked path.
+func im2colPatch3(dst, x []float32, d ConvDims) {
+	colRows := d.InC * 9
+	hw := d.H * d.W
+	w := d.W
+	for oy := 0; oy < d.OutH; oy++ {
+		iy0 := oy*d.Stride - d.Pad
+		for ox := 0; ox < d.OutW; ox++ {
+			patch := dst[(oy*d.OutW+ox)*colRows:][:colRows]
+			ix0 := ox*d.Stride - d.Pad
+			if ix0 >= 0 && ix0+3 <= w && iy0 >= 0 && iy0+3 <= d.H {
+				base := iy0*w + ix0
+				for c := 0; c < d.InC; c++ {
+					src := x[c*hw+base:]
+					_ = src[2*w+2]
+					pp := patch[c*9:][:9]
+					pp[0], pp[1], pp[2] = src[0], src[1], src[2]
+					pp[3], pp[4], pp[5] = src[w], src[w+1], src[w+2]
+					pp[6], pp[7], pp[8] = src[2*w], src[2*w+1], src[2*w+2]
+				}
+				continue
+			}
+			lo, hi := -ix0, w-ix0
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > 3 {
+				hi = 3
+			}
+			if hi < lo {
+				hi = lo
+			}
+			for c := 0; c < d.InC; c++ {
+				plane := x[c*hw:]
+				pp := patch[c*9:][:9]
+				for ky := 0; ky < 3; ky++ {
+					iy := iy0 + ky
+					row := pp[ky*3 : ky*3+3]
+					if iy < 0 || iy >= d.H {
+						row[0], row[1], row[2] = 0, 0, 0
+						continue
+					}
+					for i := 0; i < lo; i++ {
+						row[i] = 0
+					}
+					if hi > lo {
+						srow := plane[iy*w+ix0+lo:]
+						for i := lo; i < hi; i++ {
+							row[i] = srow[i-lo]
+						}
+					}
+					for i := hi; i < 3; i++ {
+						row[i] = 0
+					}
+				}
+			}
+		}
+	}
+}
+
 // Col2Im scatters the column-gradient buffer col (C*K*K, OutH*OutW) back
 // into the image gradient dx (C,H,W), accumulating overlapping windows.
 // dx must be zeroed by the caller if accumulation from scratch is desired.
 func Col2Im(dx []float32, col []float32, d ConvDims) {
+	if d.Stride == 1 {
+		col2imStride1(dx, col, d)
+		return
+	}
 	cols := d.OutH * d.OutW
 	idx := 0
 	for c := 0; c < d.InC; c++ {
@@ -88,6 +289,48 @@ func Col2Im(dx []float32, col []float32, d ConvDims) {
 						}
 						o++
 					}
+				}
+			}
+		}
+	}
+}
+
+// col2imStride1 is the stride-1 scatter: the in-bounds ox span is computed
+// once per output row, so the accumulate loop runs branch-free.
+func col2imStride1(dx []float32, col []float32, d ConvDims) {
+	cols := d.OutH * d.OutW
+	idx := 0
+	for c := 0; c < d.InC; c++ {
+		plane := dx[c*d.H*d.W : (c+1)*d.H*d.W]
+		for ky := 0; ky < d.K; ky++ {
+			for kx := 0; kx < d.K; kx++ {
+				row := col[idx*cols : (idx+1)*cols]
+				idx++
+				oxLo := d.Pad - kx
+				if oxLo < 0 {
+					oxLo = 0
+				}
+				oxHi := d.W + d.Pad - kx
+				if oxHi > d.OutW {
+					oxHi = d.OutW
+				}
+				if oxHi < oxLo {
+					oxHi = oxLo
+				}
+				shift := kx - d.Pad
+				o := 0
+				for oy := 0; oy < d.OutH; oy++ {
+					iy := oy - d.Pad + ky
+					if iy < 0 || iy >= d.H {
+						o += d.OutW
+						continue
+					}
+					dst := plane[iy*d.W+oxLo+shift : iy*d.W+oxHi+shift]
+					src := row[o+oxLo : o+oxHi]
+					for i, v := range src {
+						dst[i] += v
+					}
+					o += d.OutW
 				}
 			}
 		}

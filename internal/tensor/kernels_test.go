@@ -1,0 +1,368 @@
+package tensor
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// fillRand fills t with reproducible values in [-2,2), avoiding exact zeros
+// so the dense kernels are exercised (the sparse probe stays well below
+// threshold).
+func fillRand(t *Tensor, rng *rand.Rand) {
+	for i := range t.Data {
+		v := rng.Float32()*4 - 2
+		if v == 0 {
+			v = 0.5
+		}
+		t.Data[i] = v
+	}
+}
+
+// oddShapes crosses every kernel boundary: m below/at/above packMinRows
+// (axpy fallback vs packed dot kernel), n below/at/above the 4-column tile
+// and the jcPanel width, odd k, and degenerate m=1 / n=1 / k=1 cases.
+var oddShapes = []struct{ m, k, n int }{
+	{1, 1, 1},
+	{1, 7, 1},
+	{1, 64, 33},
+	{2, 3, 5},
+	{3, 17, 2},
+	{5, 31, 7},
+	{7, 16, 5},    // m = packMinRows-1: last axpy-fallback size
+	{8, 16, 5},    // m = packMinRows: first packed size
+	{9, 33, 17},   // odd everything above the pack threshold
+	{13, 5, 1},    // packed with single-column tail
+	{16, 144, 36}, // conv-like shape, n not a multiple of 4
+	{17, 9, 31},   // n just under jcPanel
+	{10, 8, 32},   // n exactly jcPanel
+	{11, 8, 37},   // n crossing one panel boundary
+	{33, 65, 67},  // multiple panels with tails in every dimension
+}
+
+func TestMatMulKernelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, s := range oddShapes {
+		a := New(s.m, s.k)
+		b := New(s.k, s.n)
+		fillRand(a, rng)
+		fillRand(b, rng)
+		want := RefMatMul(a, b)
+
+		got := MatMul(a, b)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("MatMul(%dx%dx%d)[%d] = %v, ref %v", s.m, s.k, s.n, i, got.Data[i], want.Data[i])
+			}
+		}
+
+		into := New(s.m, s.n)
+		fillRand(into, rng) // must be fully overwritten
+		MatMulInto(into, a, b)
+		for i := range want.Data {
+			if into.Data[i] != want.Data[i] {
+				t.Fatalf("MatMulInto(%dx%dx%d)[%d] = %v, ref %v", s.m, s.k, s.n, i, into.Data[i], want.Data[i])
+			}
+		}
+
+		cs := make([]float32, s.m*s.n)
+		MatMulSlice(cs, a.Data, b.Data, s.m, s.k, s.n)
+		for i := range want.Data {
+			if cs[i] != want.Data[i] {
+				t.Fatalf("MatMulSlice(%dx%dx%d)[%d] = %v, ref %v", s.m, s.k, s.n, i, cs[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestMatMulTransBKernelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, s := range oddShapes {
+		a := New(s.m, s.k)
+		b := New(s.n, s.k)
+		fillRand(a, rng)
+		fillRand(b, rng)
+		want := RefMatMulTransB(a, b)
+
+		got := MatMulTransB(a, b)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("MatMulTransB(%dx%dx%d)[%d] = %v, ref %v", s.m, s.k, s.n, i, got.Data[i], want.Data[i])
+			}
+		}
+
+		into := New(s.m, s.n)
+		fillRand(into, rng)
+		MatMulTransBInto(into, a, b)
+		for i := range want.Data {
+			if into.Data[i] != want.Data[i] {
+				t.Fatalf("MatMulTransBInto(%dx%dx%d)[%d] = %v, ref %v", s.m, s.k, s.n, i, into.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestMatMulTransBAccBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, s := range oddShapes {
+		a := New(s.m, s.k)
+		b := New(s.n, s.k)
+		fillRand(a, rng)
+		fillRand(b, rng)
+		init := New(s.m, s.n)
+		fillRand(init, rng)
+
+		// Reference: materialize the product, then add once per element —
+		// the rounding the Acc kernel promises to reproduce bitwise.
+		prod := RefMatMulTransB(a, b)
+		want := make([]float32, s.m*s.n)
+		for i := range want {
+			want[i] = init.Data[i] + prod.Data[i]
+		}
+
+		got := make([]float32, s.m*s.n)
+		copy(got, init.Data)
+		MatMulTransBAccSlice(got, a.Data, b.Data, s.m, s.k, s.n)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("MatMulTransBAccSlice(%dx%dx%d)[%d] = %v, want %v", s.m, s.k, s.n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMatMulTransAKernelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, s := range oddShapes {
+		a := New(s.k, s.m)
+		b := New(s.k, s.n)
+		fillRand(a, rng)
+		fillRand(b, rng)
+		want := RefMatMulTransA(a, b)
+
+		got := MatMulTransA(a, b)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("MatMulTransA(%dx%dx%d)[%d] = %v, ref %v", s.m, s.k, s.n, i, got.Data[i], want.Data[i])
+			}
+		}
+
+		into := New(s.m, s.n)
+		fillRand(into, rng)
+		MatMulTransAInto(into, a, b)
+		for i := range want.Data {
+			if into.Data[i] != want.Data[i] {
+				t.Fatalf("MatMulTransAInto(%dx%dx%d)[%d] = %v, ref %v", s.m, s.k, s.n, i, into.Data[i], want.Data[i])
+			}
+		}
+
+		cs := make([]float32, s.m*s.n)
+		MatMulTransASlice(cs, a.Data, b.Data, s.m, s.k, s.n)
+		for i := range want.Data {
+			if cs[i] != want.Data[i] {
+				t.Fatalf("MatMulTransASlice(%dx%dx%d)[%d] = %v, ref %v", s.m, s.k, s.n, i, cs[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestMatMulSparsePath drives the zero-skipping kernels with a left operand
+// sparse enough (~80% zeros) to trip the probe, the shape SPATL's pruned
+// filter matrices take.
+func TestMatMulSparsePath(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, s := range []struct{ m, k, n int }{{9, 33, 17}, {16, 64, 40}, {3, 12, 5}} {
+		a := New(s.m, s.k)
+		b := New(s.k, s.n)
+		fillRand(a, rng)
+		fillRand(b, rng)
+		for i := range a.Data {
+			if rng.Float32() < 0.8 {
+				a.Data[i] = 0
+			}
+		}
+		if !IsSparse(a.Data) {
+			t.Fatalf("test operand (%dx%d) not classified sparse", s.m, s.k)
+		}
+
+		want := RefMatMul(a, b)
+		got := MatMul(a, b)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("sparse MatMul(%dx%dx%d)[%d] = %v, ref %v", s.m, s.k, s.n, i, got.Data[i], want.Data[i])
+			}
+		}
+
+		at := New(s.k, s.m)
+		TransposeSlice(at.Data, a.Data, s.m, s.k)
+		wantTA := RefMatMulTransA(at, b)
+		gotTA := make([]float32, s.m*s.n)
+		MatMulTransASlice(gotTA, at.Data, b.Data, s.m, s.k, s.n)
+		for i := range wantTA.Data {
+			if gotTA[i] != wantTA.Data[i] {
+				t.Fatalf("sparse MatMulTransASlice(%dx%dx%d)[%d] = %v, ref %v", s.m, s.k, s.n, i, gotTA[i], wantTA.Data[i])
+			}
+		}
+	}
+}
+
+// TestIm2ColPatchMatchesTranspose checks the patch-major lowering against
+// the transposed row-major lowering across geometries covering both the
+// K=3 specialization and the generic path, with and without padding fringes
+// and strides.
+func TestIm2ColPatchMatchesTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	geoms := []ConvDims{
+		NewConvDims(3, 7, 5, 4, 3, 1, 1),
+		NewConvDims(2, 8, 8, 4, 3, 2, 1),
+		NewConvDims(1, 5, 5, 2, 5, 1, 2),
+		NewConvDims(2, 6, 7, 3, 2, 1, 0),
+		NewConvDims(4, 16, 16, 8, 3, 1, 1),
+		NewConvDims(1, 4, 4, 1, 3, 1, 2), // pad wider than the image fringe
+	}
+	for _, d := range geoms {
+		x := make([]float32, d.InC*d.H*d.W)
+		for i := range x {
+			x[i] = rng.Float32()*2 - 1
+		}
+		colRows := d.InC * d.K * d.K
+		cols := d.OutH * d.OutW
+		col := make([]float32, colRows*cols)
+		Im2Col(col, x, d)
+		want := make([]float32, cols*colRows)
+		TransposeSlice(want, col, colRows, cols)
+
+		got := make([]float32, cols*colRows)
+		for i := range got {
+			got[i] = -999 // every slot must be written
+		}
+		Im2ColPatch(got, x, d)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Im2ColPatch %+v: element %d = %v, want %v", d, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestParallelPoolHammer runs many concurrent Parallel invocations (with
+// nesting) under an elevated GOMAXPROCS and checks every invocation covers
+// its index range exactly once. Run with -race this also proves the pool
+// hands out disjoint chunks.
+func TestParallelPoolHammer(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+
+	const callers = 8
+	const iters = 100
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				n := 1 + (g*131+it*17)%997
+				marks := make([]int32, n)
+				Parallel(n, func(lo, hi int) {
+					// Nested region exercises deadlock freedom when all
+					// workers are already busy.
+					Parallel(4, func(_, _ int) {})
+					for i := lo; i < hi; i++ {
+						marks[i]++
+					}
+				})
+				for i, m := range marks {
+					if m != 1 {
+						t.Errorf("caller %d iter %d: index %d visited %d times", g, it, i, m)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestParallelDeterministicChunks verifies the determinism contract: chunk
+// boundaries are a pure function of (n, GOMAXPROCS).
+func TestParallelDeterministicChunks(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	boundaries := func(n int) map[[2]int]bool {
+		var mu sync.Mutex
+		m := map[[2]int]bool{}
+		Parallel(n, func(lo, hi int) {
+			mu.Lock()
+			m[[2]int{lo, hi}] = true
+			mu.Unlock()
+		})
+		return m
+	}
+	for _, n := range []int{1, 3, 7, 64, 1000} {
+		b1, b2 := boundaries(n), boundaries(n)
+		if len(b1) != len(b2) {
+			t.Fatalf("n=%d: chunk count varies between runs: %d vs %d", n, len(b1), len(b2))
+		}
+		for k := range b1 {
+			if !b2[k] {
+				t.Fatalf("n=%d: chunk %v present in one run only", n, k)
+			}
+		}
+	}
+}
+
+// TestScratchPoolHammer checks concurrent Get/Put cycles return correctly
+// sized, privately owned buffers. Under -race it proves buffers are never
+// handed to two goroutines at once.
+func TestScratchPoolHammer(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+
+	var fail atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 500; it++ {
+				n := 1 + (g*977+it*31)%5000
+				s := GetScratch(n)
+				if len(s) != n {
+					fail.Add(1)
+					return
+				}
+				tag := float32(g*1000000 + it)
+				for i := range s {
+					s[i] = tag
+				}
+				for i := range s {
+					if s[i] != tag {
+						fail.Add(1)
+						return
+					}
+				}
+				PutScratch(s)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if fail.Load() != 0 {
+		t.Fatalf("%d goroutines observed a corrupted or mis-sized scratch buffer", fail.Load())
+	}
+}
+
+func TestGetScratchEdgeSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1 << scratchMinBits, (1 << 20) + 1} {
+		s := GetScratch(n)
+		if len(s) != n {
+			t.Fatalf("GetScratch(%d) returned len %d", n, len(s))
+		}
+		PutScratch(s)
+	}
+	PutScratch(nil)                  // must not panic
+	PutScratch(make([]float32, 3))   // below pooled minimum: dropped
+	PutScratch(make([]float32, 100)) // non-power-of-two cap is fine
+}

@@ -1,0 +1,110 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The worker pool runs the thousands of small Parallel regions a training
+// round issues without paying goroutine spawn/join cost per region. It is
+// started lazily on the first parallel call, sized to GOMAXPROCS at that
+// moment, and lives for the life of the process.
+//
+// Determinism contract: Parallel(n, fn) splits [0,n) into fixed chunks
+// whose boundaries depend only on n and GOMAXPROCS at call time. Every
+// chunk is executed exactly once, by whichever worker (or the caller)
+// claims it from an atomic counter. Because fn must only write state owned
+// by its [lo,hi) range, results are bitwise independent of which goroutine
+// runs a chunk, and therefore reproducible for a fixed GOMAXPROCS.
+//
+// Deadlock freedom: the caller always participates in its own job, so a
+// job completes even when every pool worker is busy (including the nested
+// case where fn itself calls Parallel).
+
+// poolJob is one Parallel invocation: a chunked index range claimed via an
+// atomic cursor by the caller and any workers that pick the job up.
+type poolJob struct {
+	fn    func(lo, hi int)
+	n     int
+	chunk int
+	next  atomic.Int64
+	wg    sync.WaitGroup
+}
+
+// run claims and executes chunks until none remain. Safe to call from any
+// number of goroutines; each chunk is executed exactly once.
+func (j *poolJob) run() {
+	for {
+		c := int(j.next.Add(1)) - 1
+		lo := c * j.chunk
+		if lo >= j.n {
+			return
+		}
+		hi := lo + j.chunk
+		if hi > j.n {
+			hi = j.n
+		}
+		j.fn(lo, hi)
+		j.wg.Done()
+	}
+}
+
+var (
+	poolOnce sync.Once
+	poolJobs chan *poolJob
+)
+
+// ensurePool starts the persistent workers. The queue is buffered so
+// callers never block handing out work: if the queue is full, every worker
+// is already saturated and the caller just runs its chunks itself.
+func ensurePool() {
+	poolOnce.Do(func() {
+		nw := runtime.GOMAXPROCS(0)
+		if nw < 1 {
+			nw = 1
+		}
+		poolJobs = make(chan *poolJob, 4*nw)
+		for i := 0; i < nw; i++ {
+			go func() {
+				for j := range poolJobs {
+					j.run()
+				}
+			}()
+		}
+	})
+}
+
+// Parallel splits [0,n) into contiguous chunks, one per available worker,
+// and runs fn on each chunk concurrently on the persistent pool. Chunk
+// boundaries are a pure function of n and GOMAXPROCS, and each chunk is
+// executed exactly once, so any computation whose chunks write disjoint
+// state is deterministic. fn may call Parallel recursively.
+func Parallel(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	ensurePool()
+	chunk := (n + workers - 1) / workers
+	nchunks := (n + chunk - 1) / chunk
+	j := &poolJob{fn: fn, n: n, chunk: chunk}
+	j.wg.Add(nchunks)
+	// Wake at most nchunks-1 helpers; the caller handles the rest itself.
+	for i := 0; i < nchunks-1; i++ {
+		select {
+		case poolJobs <- j:
+		default:
+			i = nchunks // queue full: all workers busy, run inline
+		}
+	}
+	j.run()
+	j.wg.Wait()
+}
