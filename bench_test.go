@@ -14,6 +14,7 @@ import (
 	"io"
 	"testing"
 
+	"spatl/internal/comm"
 	"spatl/internal/experiments"
 	"spatl/internal/fl"
 	"spatl/internal/nn"
@@ -246,5 +247,172 @@ func BenchmarkSPATLRound(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		algo.Round(env, i, env.SampleClients())
+	}
+}
+
+// ---- wire-and-aggregate micro-benchmarks ----
+
+// benchVec is a model-sized payload for the codec benchmarks (64k
+// float32 ≈ a small encoder).
+const benchVec = 1 << 16
+
+func benchValues(seed int64) []float32 {
+	rng := nn.Rng(seed)
+	v := make([]float32, benchVec)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+// benchSparse builds a ~50%-dense sorted-run payload over benchVec.
+func benchSparse(seed int64) *comm.Sparse {
+	rng := nn.Rng(seed)
+	s := &comm.Sparse{}
+	for start := rng.Intn(8); start < benchVec; start += 32 + rng.Intn(32) {
+		l := 8 + rng.Intn(24)
+		if start+l > benchVec {
+			l = benchVec - start
+		}
+		s.Ranges = append(s.Ranges, comm.Range{Start: uint32(start), Len: uint32(l)})
+		for k := 0; k < l; k++ {
+			s.Values = append(s.Values, float32(rng.NormFloat64()))
+		}
+	}
+	return s
+}
+
+// BenchmarkEncodeDense measures the bulk dense serializer on the reused
+// buffer path the round loops use.
+func BenchmarkEncodeDense(b *testing.B) {
+	v := benchValues(9)
+	dst := make([]byte, comm.DenseLen(len(v)))
+	b.SetBytes(4 * benchVec)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = comm.EncodeDenseInto(dst, v)
+	}
+}
+
+// BenchmarkRefEncodeDense measures the retained scalar reference encoder.
+func BenchmarkRefEncodeDense(b *testing.B) {
+	v := benchValues(9)
+	b.SetBytes(4 * benchVec)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comm.RefEncodeDense(v)
+	}
+}
+
+// BenchmarkDecodeDense measures the bulk dense deserializer.
+func BenchmarkDecodeDense(b *testing.B) {
+	buf := comm.EncodeDense(benchValues(9))
+	dst := make([]float32, benchVec)
+	b.SetBytes(4 * benchVec)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, err = comm.DecodeDenseInto(dst, buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRefDecodeDense measures the retained scalar reference decoder.
+func BenchmarkRefDecodeDense(b *testing.B) {
+	buf := comm.EncodeDense(benchValues(9))
+	b.SetBytes(4 * benchVec)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := comm.RefDecodeDense(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeSparse measures the sparse (salient-delta) serializer.
+func BenchmarkEncodeSparse(b *testing.B) {
+	s := benchSparse(10)
+	dst := make([]byte, s.EncodedLen())
+	b.SetBytes(int64(4 * len(s.Values)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = comm.EncodeSparseInto(dst, s)
+	}
+}
+
+// BenchmarkDecodeSparse measures the sparse deserializer on the pooled
+// reuse path the server uses.
+func BenchmarkDecodeSparse(b *testing.B) {
+	s := benchSparse(10)
+	buf := comm.EncodeSparse(s)
+	var out comm.Sparse
+	b.SetBytes(int64(4 * len(s.Values)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := comm.DecodeSparseInto(&out, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScatterAdd measures the per-index aggregation primitive
+// (eq. 12's inner loop) at ~50% density.
+func BenchmarkScatterAdd(b *testing.B) {
+	s := benchSparse(11)
+	sum := make([]float32, benchVec)
+	count := make([]int32, benchVec)
+	b.SetBytes(int64(4 * len(s.Values)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comm.ScatterAdd(sum, count, s)
+	}
+}
+
+// BenchmarkSPATLAggregate measures the full eq. 12 server reduction —
+// 8 sparse client uploads, chunked over the parameter dimension with
+// fixed client order per index.
+func BenchmarkSPATLAggregate(b *testing.B) {
+	uploads := make([]*comm.Sparse, 8)
+	for i := range uploads {
+		uploads[i] = benchSparse(int64(20 + i))
+	}
+	sum := make([]float32, benchVec)
+	count := make([]int32, benchVec)
+	state := benchValues(12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Parallel(benchVec, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				sum[j] = 0
+				count[j] = 0
+			}
+			for _, u := range uploads {
+				comm.ScatterAddRange(sum, count, u, lo, hi)
+			}
+			for j := lo; j < hi; j++ {
+				if count[j] > 0 {
+					state[j] += sum[j] / float32(count[j])
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWeightedAverage measures the dense server reduction shared by
+// the baseline algorithms: 8 clients, model-sized states.
+func BenchmarkWeightedAverage(b *testing.B) {
+	states := make([][]float32, 8)
+	weights := make([]float64, 8)
+	for i := range states {
+		states[i] = benchValues(int64(30 + i))
+		weights[i] = float64(50 + i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fl.WeightedAverage(states, weights) == nil {
+			b.Fatal("nil average")
+		}
 	}
 }

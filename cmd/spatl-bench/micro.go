@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"testing"
 
+	"spatl/internal/comm"
 	"spatl/internal/experiments"
 	"spatl/internal/fl"
 	"spatl/internal/nn"
@@ -39,6 +40,36 @@ type microReport struct {
 	GOARCH     string                  `json:"goarch"`
 	GOMAXPROCS int                     `json:"gomaxprocs"`
 	Results    map[string]*microResult `json:"results"`
+}
+
+// microVec is the payload size for the wire-and-aggregate benchmarks
+// (64k float32 ≈ a small encoder), mirroring bench_test.go.
+const microVec = 1 << 16
+
+func microValues(seed int64) []float32 {
+	rng := nn.Rng(seed)
+	v := make([]float32, microVec)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+// microSparse builds a ~50%-dense sorted-run payload over microVec.
+func microSparse(seed int64) *comm.Sparse {
+	rng := nn.Rng(seed)
+	s := &comm.Sparse{}
+	for start := rng.Intn(8); start < microVec; start += 32 + rng.Intn(32) {
+		l := 8 + rng.Intn(24)
+		if start+l > microVec {
+			l = microVec - start
+		}
+		s.Ranges = append(s.Ranges, comm.Range{Start: uint32(start), Len: uint32(l)})
+		for k := 0; k < l; k++ {
+			s.Values = append(s.Values, float32(rng.NormFloat64()))
+		}
+	}
+	return s
 }
 
 // microBenchmarks lists the tracked hot-path workloads, mirroring the
@@ -81,6 +112,110 @@ var microBenchmarks = []struct {
 		for i := 0; i < b.N; i++ {
 			nn.ZeroGrad(conv.Params())
 			conv.Backward(dout)
+		}
+	}},
+	{"EncodeDense", func(b *testing.B) {
+		v := microValues(9)
+		dst := make([]byte, comm.DenseLen(len(v)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst = comm.EncodeDenseInto(dst, v)
+		}
+	}},
+	{"RefEncodeDense", func(b *testing.B) {
+		v := microValues(9)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			comm.RefEncodeDense(v)
+		}
+	}},
+	{"DecodeDense", func(b *testing.B) {
+		buf := comm.EncodeDense(microValues(9))
+		dst := make([]float32, microVec)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			dst, err = comm.DecodeDenseInto(dst, buf)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}},
+	{"RefDecodeDense", func(b *testing.B) {
+		buf := comm.EncodeDense(microValues(9))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := comm.RefDecodeDense(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}},
+	{"EncodeSparse", func(b *testing.B) {
+		s := microSparse(10)
+		dst := make([]byte, s.EncodedLen())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst = comm.EncodeSparseInto(dst, s)
+		}
+	}},
+	{"DecodeSparse", func(b *testing.B) {
+		s := microSparse(10)
+		buf := comm.EncodeSparse(s)
+		var out comm.Sparse
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := comm.DecodeSparseInto(&out, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}},
+	{"ScatterAdd", func(b *testing.B) {
+		s := microSparse(11)
+		sum := make([]float32, microVec)
+		count := make([]int32, microVec)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			comm.ScatterAdd(sum, count, s)
+		}
+	}},
+	{"SPATLAggregate", func(b *testing.B) {
+		uploads := make([]*comm.Sparse, 8)
+		for i := range uploads {
+			uploads[i] = microSparse(int64(20 + i))
+		}
+		sum := make([]float32, microVec)
+		count := make([]int32, microVec)
+		state := microValues(12)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tensor.Parallel(microVec, func(lo, hi int) {
+				for j := lo; j < hi; j++ {
+					sum[j] = 0
+					count[j] = 0
+				}
+				for _, u := range uploads {
+					comm.ScatterAddRange(sum, count, u, lo, hi)
+				}
+				for j := lo; j < hi; j++ {
+					if count[j] > 0 {
+						state[j] += sum[j] / float32(count[j])
+					}
+				}
+			})
+		}
+	}},
+	{"WeightedAverage", func(b *testing.B) {
+		states := make([][]float32, 8)
+		weights := make([]float64, 8)
+		for i := range states {
+			states[i] = microValues(int64(30 + i))
+			weights[i] = float64(50 + i)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if fl.WeightedAverage(states, weights) == nil {
+				b.Fatal("nil average")
+			}
 		}
 	}},
 	{"FLRound", func(b *testing.B) {

@@ -1,0 +1,211 @@
+package comm
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// codecLens covers the bulk loops' corner cases: empty, below/at/above
+// the 8-wide unroll, and odd lengths that exercise every tail size.
+var codecLens = []int{0, 1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 31, 33, 63, 64, 100, 255, 1000, 4097}
+
+func randVals(rng *rand.Rand, n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		switch rng.Intn(16) {
+		case 0:
+			v[i] = 0
+		case 1:
+			v[i] = float32(math.Inf(1))
+		case 2:
+			v[i] = float32(1e-42) // f32 subnormal territory after f16 round-trip
+		default:
+			v[i] = float32(rng.NormFloat64())
+		}
+	}
+	return v
+}
+
+// randSparse builds a valid sorted-run sparse payload with n values split
+// into runs of odd lengths.
+func randSparse(rng *rand.Rand, n int) *Sparse {
+	s := &Sparse{Values: randVals(rng, n)}
+	start := uint32(rng.Intn(3))
+	left := n
+	for left > 0 {
+		l := 1 + rng.Intn(7)
+		if l > left {
+			l = left
+		}
+		s.Ranges = append(s.Ranges, Range{Start: start, Len: uint32(l)})
+		start += uint32(l) + uint32(rng.Intn(4))
+		left -= l
+	}
+	return s
+}
+
+// TestDenseBulkMatchesRef demands bitwise identity between the bulk and
+// reference dense codecs in both directions at every tail length.
+func TestDenseBulkMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range codecLens {
+		v := randVals(rng, n)
+		ref := RefEncodeDense(v)
+		if got := EncodeDense(v); !bytes.Equal(got, ref) {
+			t.Fatalf("n=%d: bulk EncodeDense differs from reference", n)
+		}
+		want, err := RefDecodeDense(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeDense(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bitwiseEqual(got, want) {
+			t.Fatalf("n=%d: bulk DecodeDense differs from reference", n)
+		}
+	}
+}
+
+// TestDenseF16BulkMatchesRef does the same for the half-precision codecs.
+func TestDenseF16BulkMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range codecLens {
+		v := randVals(rng, n)
+		ref := RefEncodeDenseF16(v)
+		if got := EncodeDenseF16(v); !bytes.Equal(got, ref) {
+			t.Fatalf("n=%d: bulk EncodeDenseF16 differs from reference", n)
+		}
+		want, err := RefDecodeDenseF16(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeDenseAny(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bitwiseEqual(got, want) {
+			t.Fatalf("n=%d: bulk f16 decode differs from reference", n)
+		}
+	}
+}
+
+// TestSparseBulkMatchesRef covers the sparse codecs at both precisions.
+func TestSparseBulkMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range codecLens {
+		s := randSparse(rng, n)
+		ref := RefEncodeSparse(s)
+		if got := EncodeSparse(s); !bytes.Equal(got, ref) {
+			t.Fatalf("n=%d: bulk EncodeSparse differs from reference", n)
+		}
+		want, err := RefDecodeSparse(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeSparse(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sparseEqual(got, want) {
+			t.Fatalf("n=%d: bulk DecodeSparse differs from reference", n)
+		}
+
+		ref16 := RefEncodeSparseF16(s)
+		if got := EncodeSparseF16(s); !bytes.Equal(got, ref16) {
+			t.Fatalf("n=%d: bulk EncodeSparseF16 differs from reference", n)
+		}
+		want16, err := RefDecodeSparseF16(ref16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got16, err := DecodeSparseAny(ref16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sparseEqual(got16, want16) {
+			t.Fatalf("n=%d: bulk f16 sparse decode differs from reference", n)
+		}
+	}
+}
+
+// TestIntoVariantsReuseBuffers verifies the *Into codecs produce the same
+// bytes/values while reusing caller capacity, and still work when the
+// supplied buffer is too small.
+func TestIntoVariantsReuseBuffers(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	v := randVals(rng, 100)
+	ref := RefEncodeDense(v)
+
+	big := GetBuf(DenseLen(len(v)))
+	enc := EncodeDenseInto(big, v)
+	if &enc[0] != &big[0] {
+		t.Fatal("EncodeDenseInto did not reuse a sufficient buffer")
+	}
+	if !bytes.Equal(enc, ref) {
+		t.Fatal("EncodeDenseInto bytes differ from reference")
+	}
+	if got := EncodeDenseInto(make([]byte, 3), v); !bytes.Equal(got, ref) {
+		t.Fatal("EncodeDenseInto with tiny dst differs from reference")
+	}
+	PutBuf(enc)
+
+	dst := GetF32(len(v))
+	dec, err := DecodeDenseInto(dst, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &dec[0] != &dst[0] {
+		t.Fatal("DecodeDenseInto did not reuse a sufficient buffer")
+	}
+	if !bitwiseEqual(dec, v) {
+		t.Fatal("DecodeDenseInto values differ")
+	}
+	PutF32(dec)
+
+	s := randSparse(rng, 77)
+	sref := RefEncodeSparse(s)
+	var out Sparse
+	out.Values = GetF32(8) // deliberately too small: must grow
+	if err := DecodeSparseInto(&out, sref); err != nil {
+		t.Fatal(err)
+	}
+	if !sparseEqual(&out, s) {
+		t.Fatal("DecodeSparseInto differs from input")
+	}
+	// Second decode into the now-sized buffers must not reallocate.
+	vals0, ranges0 := &out.Values[0], &out.Ranges[0]
+	if err := DecodeSparseInto(&out, sref); err != nil {
+		t.Fatal(err)
+	}
+	if &out.Values[0] != vals0 || &out.Ranges[0] != ranges0 {
+		t.Fatal("DecodeSparseInto reallocated sufficient buffers")
+	}
+}
+
+func bitwiseEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func sparseEqual(a, b *Sparse) bool {
+	if len(a.Ranges) != len(b.Ranges) {
+		return false
+	}
+	for i := range a.Ranges {
+		if a.Ranges[i] != b.Ranges[i] {
+			return false
+		}
+	}
+	return bitwiseEqual(a.Values, b.Values)
+}

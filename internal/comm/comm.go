@@ -9,13 +9,21 @@
 // Following the paper's accounting (§V-C, eq. 13), the headline
 // communication cost is the per-round uplink (client → server) volume;
 // the Meter tracks both directions so downlink can be reported too.
+//
+// The codecs come in two speeds: the scalar reference implementations in
+// ref.go define the format, and the bulk implementations here process
+// eight float32s per loop pass, packing value pairs into single 64-bit
+// little-endian words. Bulk and reference codecs are bitwise-equivalence
+// tested against each other. Every codec has an *Into variant that
+// reuses a caller-supplied buffer (typically from the payload pool in
+// bufpool.go), so steady-state rounds serialize with no allocation.
 package comm
 
 import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sync"
+	"sync/atomic"
 )
 
 // magic bytes distinguish payload kinds on the wire.
@@ -24,20 +32,94 @@ const (
 	magicSparse = 0x53 // 'S'
 )
 
+// DenseLen returns the encoded size of an n-element dense float32
+// payload — useful for pre-sizing pooled buffers.
+func DenseLen(n int) int { return 1 + 4 + 4*n }
+
+// putF32Bulk stores vals little-endian into dst (len(dst) ≥ 4*len(vals)),
+// eight values per pass, two packed per 64-bit store.
+func putF32Bulk(dst []byte, vals []float32) {
+	for len(vals) >= 8 {
+		d := dst[:32]
+		binary.LittleEndian.PutUint64(d[0:8], uint64(math.Float32bits(vals[0]))|uint64(math.Float32bits(vals[1]))<<32)
+		binary.LittleEndian.PutUint64(d[8:16], uint64(math.Float32bits(vals[2]))|uint64(math.Float32bits(vals[3]))<<32)
+		binary.LittleEndian.PutUint64(d[16:24], uint64(math.Float32bits(vals[4]))|uint64(math.Float32bits(vals[5]))<<32)
+		binary.LittleEndian.PutUint64(d[24:32], uint64(math.Float32bits(vals[6]))|uint64(math.Float32bits(vals[7]))<<32)
+		dst = dst[32:]
+		vals = vals[8:]
+	}
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(v))
+	}
+}
+
+// getF32Bulk loads len(out) little-endian float32s from src, eight per
+// pass, two unpacked per 64-bit load.
+func getF32Bulk(out []float32, src []byte) {
+	for len(out) >= 8 {
+		s := src[:32]
+		u0 := binary.LittleEndian.Uint64(s[0:8])
+		u1 := binary.LittleEndian.Uint64(s[8:16])
+		u2 := binary.LittleEndian.Uint64(s[16:24])
+		u3 := binary.LittleEndian.Uint64(s[24:32])
+		out[0] = math.Float32frombits(uint32(u0))
+		out[1] = math.Float32frombits(uint32(u0 >> 32))
+		out[2] = math.Float32frombits(uint32(u1))
+		out[3] = math.Float32frombits(uint32(u1 >> 32))
+		out[4] = math.Float32frombits(uint32(u2))
+		out[5] = math.Float32frombits(uint32(u2 >> 32))
+		out[6] = math.Float32frombits(uint32(u3))
+		out[7] = math.Float32frombits(uint32(u3 >> 32))
+		out = out[8:]
+		src = src[32:]
+	}
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+	}
+}
+
+// sizeBytes returns dst resized to length n, reusing its backing array
+// when the capacity suffices.
+func sizeBytes(dst []byte, n int) []byte {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]byte, n)
+}
+
+// sizeF32 returns dst resized to length n, reusing its backing array
+// when the capacity suffices.
+func sizeF32(dst []float32, n int) []float32 {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]float32, n)
+}
+
 // EncodeDense serializes a flat float32 vector: 1-byte tag, uint32
 // length, then little-endian float32 values.
 func EncodeDense(values []float32) []byte {
-	buf := make([]byte, 1+4+4*len(values))
+	return EncodeDenseInto(nil, values)
+}
+
+// EncodeDenseInto is EncodeDense writing into dst (reused when its
+// capacity suffices, reallocated otherwise). Returns the encoded slice.
+func EncodeDenseInto(dst []byte, values []float32) []byte {
+	buf := sizeBytes(dst, DenseLen(len(values)))
 	buf[0] = magicDense
 	binary.LittleEndian.PutUint32(buf[1:5], uint32(len(values)))
-	for i, v := range values {
-		binary.LittleEndian.PutUint32(buf[5+4*i:], math.Float32bits(v))
-	}
+	putF32Bulk(buf[5:], values)
 	return buf
 }
 
 // DecodeDense parses a payload produced by EncodeDense.
 func DecodeDense(buf []byte) ([]float32, error) {
+	return DecodeDenseInto(nil, buf)
+}
+
+// DecodeDenseInto is DecodeDense writing into dst (reused when its
+// capacity suffices, reallocated otherwise). Returns the decoded slice.
+func DecodeDenseInto(dst []float32, buf []byte) ([]float32, error) {
 	if len(buf) < 5 || buf[0] != magicDense {
 		return nil, fmt.Errorf("comm: not a dense payload")
 	}
@@ -45,10 +127,8 @@ func DecodeDense(buf []byte) ([]float32, error) {
 	if len(buf) != 5+4*n {
 		return nil, fmt.Errorf("comm: dense payload length %d, want %d", len(buf), 5+4*n)
 	}
-	out := make([]float32, n)
-	for i := range out {
-		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[5+4*i:]))
-	}
+	out := sizeF32(dst, n)
+	getF32Bulk(out, buf[5:])
 	return out, nil
 }
 
@@ -75,6 +155,11 @@ func (s *Sparse) Count() int {
 	return n
 }
 
+// EncodedLen returns the size of the payload EncodeSparse produces.
+func (s *Sparse) EncodedLen() int {
+	return 1 + 4 + 8*len(s.Ranges) + 4 + 4*len(s.Values)
+}
+
 // Validate checks internal consistency: values length matches ranges, no
 // zero-length or overlapping runs (runs must be sorted by Start).
 func (s *Sparse) Validate() error {
@@ -97,129 +182,220 @@ func (s *Sparse) Validate() error {
 // EncodeSparse serializes a sparse payload: tag, uint32 range count,
 // (start,len) pairs, uint32 value count, float32 values.
 func EncodeSparse(s *Sparse) []byte {
-	buf := make([]byte, 1+4+8*len(s.Ranges)+4+4*len(s.Values))
+	return EncodeSparseInto(nil, s)
+}
+
+// EncodeSparseInto is EncodeSparse writing into dst (reused when its
+// capacity suffices, reallocated otherwise). Returns the encoded slice.
+func EncodeSparseInto(dst []byte, s *Sparse) []byte {
+	buf := sizeBytes(dst, s.EncodedLen())
 	buf[0] = magicSparse
 	binary.LittleEndian.PutUint32(buf[1:5], uint32(len(s.Ranges)))
 	off := 5
 	for _, r := range s.Ranges {
-		binary.LittleEndian.PutUint32(buf[off:], r.Start)
-		binary.LittleEndian.PutUint32(buf[off+4:], r.Len)
+		binary.LittleEndian.PutUint64(buf[off:off+8], uint64(r.Start)|uint64(r.Len)<<32)
 		off += 8
 	}
 	binary.LittleEndian.PutUint32(buf[off:], uint32(len(s.Values)))
 	off += 4
-	for _, v := range s.Values {
-		binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(v))
-		off += 4
-	}
+	putF32Bulk(buf[off:], s.Values)
 	return buf
 }
 
 // DecodeSparse parses a payload produced by EncodeSparse.
 func DecodeSparse(buf []byte) (*Sparse, error) {
+	s := &Sparse{}
+	if err := DecodeSparseInto(s, buf); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// DecodeSparseInto is DecodeSparse decoding into s, reusing s.Ranges and
+// s.Values when their capacities suffice. On error the fields of s keep
+// their prior lengths (though backing contents may have been scribbled),
+// so the buffers remain reusable.
+func DecodeSparseInto(s *Sparse, buf []byte) error {
 	if len(buf) < 5 || buf[0] != magicSparse {
-		return nil, fmt.Errorf("comm: not a sparse payload")
+		return fmt.Errorf("comm: not a sparse payload")
 	}
 	nr := int(binary.LittleEndian.Uint32(buf[1:5]))
 	off := 5
 	if len(buf) < off+8*nr+4 {
-		return nil, fmt.Errorf("comm: sparse payload truncated in ranges")
+		return fmt.Errorf("comm: sparse payload truncated in ranges")
 	}
-	s := &Sparse{Ranges: make([]Range, nr)}
-	for i := range s.Ranges {
-		s.Ranges[i] = Range{
-			Start: binary.LittleEndian.Uint32(buf[off:]),
-			Len:   binary.LittleEndian.Uint32(buf[off+4:]),
-		}
+	ranges := s.Ranges[:0]
+	if cap(ranges) < nr {
+		ranges = make([]Range, 0, nr)
+	}
+	for i := 0; i < nr; i++ {
+		u := binary.LittleEndian.Uint64(buf[off : off+8])
+		ranges = append(ranges, Range{Start: uint32(u), Len: uint32(u >> 32)})
 		off += 8
 	}
 	nv := int(binary.LittleEndian.Uint32(buf[off:]))
 	off += 4
 	if len(buf) != off+4*nv {
-		return nil, fmt.Errorf("comm: sparse payload length %d, want %d", len(buf), off+4*nv)
+		return fmt.Errorf("comm: sparse payload length %d, want %d", len(buf), off+4*nv)
 	}
-	s.Values = make([]float32, nv)
-	for i := range s.Values {
-		s.Values[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off+4*i:]))
+	out := Sparse{Ranges: ranges, Values: sizeF32(s.Values, nv)}
+	getF32Bulk(out.Values, buf[off:])
+	if err := out.Validate(); err != nil {
+		return err
 	}
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	return s, nil
+	*s = out
+	return nil
 }
 
 // GatherSparse extracts the elements of state covered by ranges into a
 // sparse payload.
 func GatherSparse(state []float32, ranges []Range) *Sparse {
 	s := &Sparse{Ranges: ranges}
+	s.Values = gatherValues(nil, state, ranges)
+	return s
+}
+
+// GatherSparseInto is GatherSparse reusing s.Values when its capacity
+// suffices. s.Ranges aliases ranges.
+func GatherSparseInto(s *Sparse, state []float32, ranges []Range) {
+	s.Ranges = ranges
+	s.Values = gatherValues(s.Values, state, ranges)
+}
+
+// gatherValues copies the covered runs of state into dst, run by run.
+func gatherValues(dst, state []float32, ranges []Range) []float32 {
 	n := 0
 	for _, r := range ranges {
 		n += int(r.Len)
 	}
-	s.Values = make([]float32, 0, n)
+	dst = sizeF32(dst, n)
+	off := 0
 	for _, r := range ranges {
-		s.Values = append(s.Values, state[r.Start:r.Start+r.Len]...)
+		off += copy(dst[off:], state[r.Start:r.Start+r.Len])
 	}
-	return s
+	return dst
 }
 
-// ScatterAdd adds each sparse value into dst at its index, and increments
-// count at every touched index. The server uses this to implement
-// per-index averaged salient aggregation (SPATL eq. 12).
+// ScatterAdd adds each sparse value into dst at its index, and — when
+// count is non-nil — increments count at every touched index. The server
+// uses this to implement per-index averaged salient aggregation (SPATL
+// eq. 12).
 func ScatterAdd(dst []float32, count []int32, s *Sparse) {
 	off := 0
-	for _, r := range s.Ranges {
-		for i := uint32(0); i < r.Len; i++ {
-			dst[r.Start+i] += s.Values[off]
-			if count != nil {
-				count[r.Start+i]++
+	if count == nil {
+		for _, r := range s.Ranges {
+			n := int(r.Len)
+			d := dst[r.Start : int(r.Start)+n]
+			v := s.Values[off : off+n]
+			for i := range d {
+				d[i] += v[i]
 			}
-			off++
+			off += n
 		}
+		return
+	}
+	for _, r := range s.Ranges {
+		n := int(r.Len)
+		d := dst[r.Start : int(r.Start)+n]
+		c := count[r.Start : int(r.Start)+n]
+		v := s.Values[off : off+n]
+		for i := range d {
+			d[i] += v[i]
+			c[i]++
+		}
+		off += n
 	}
 }
 
-// Meter accumulates communication volume. It is safe for concurrent use
-// by parallel client updates.
+// ScatterAddRange is ScatterAdd restricted to destination indices in
+// [lo, hi). Ranges must be sorted by Start (as Validate enforces). The
+// parallel server reduction shards the parameter dimension into disjoint
+// [lo, hi) chunks and replays every client's payload per chunk, so each
+// index still accumulates clients in a fixed order.
+func ScatterAddRange(dst []float32, count []int32, s *Sparse, lo, hi int) {
+	off := 0
+	for _, r := range s.Ranges {
+		rs, re := int(r.Start), int(r.Start)+int(r.Len)
+		if rs >= hi {
+			return
+		}
+		if re > lo {
+			cs, ce := rs, re
+			if cs < lo {
+				cs = lo
+			}
+			if ce > hi {
+				ce = hi
+			}
+			d := dst[cs:ce]
+			v := s.Values[off+(cs-rs) : off+(ce-rs)]
+			if count == nil {
+				for i := range d {
+					d[i] += v[i]
+				}
+			} else {
+				c := count[cs:ce]
+				for i := range d {
+					d[i] += v[i]
+					c[i]++
+				}
+			}
+		}
+		off += int(r.Len)
+	}
+}
+
+// ScatterAddScaledRange adds scale·value into dst at each sparse index
+// within [lo, hi) — the sharded form of the server's control-variate
+// update (eq. 11), which scales every client delta by 1/N.
+func ScatterAddScaledRange(dst []float32, s *Sparse, scale float32, lo, hi int) {
+	off := 0
+	for _, r := range s.Ranges {
+		rs, re := int(r.Start), int(r.Start)+int(r.Len)
+		if rs >= hi {
+			return
+		}
+		if re > lo {
+			cs, ce := rs, re
+			if cs < lo {
+				cs = lo
+			}
+			if ce > hi {
+				ce = hi
+			}
+			d := dst[cs:ce]
+			v := s.Values[off+(cs-rs) : off+(ce-rs)]
+			for i := range d {
+				d[i] += scale * v[i]
+			}
+		}
+		off += int(r.Len)
+	}
+}
+
+// Meter accumulates communication volume on lock-free atomic counters —
+// it is hammered concurrently by every client inside a parallel round.
 type Meter struct {
-	mu   sync.Mutex
-	up   int64
-	down int64
+	up   atomic.Int64
+	down atomic.Int64
 }
 
 // AddUp records client→server bytes.
-func (m *Meter) AddUp(n int) {
-	m.mu.Lock()
-	m.up += int64(n)
-	m.mu.Unlock()
-}
+func (m *Meter) AddUp(n int) { m.up.Add(int64(n)) }
 
 // AddDown records server→client bytes.
-func (m *Meter) AddDown(n int) {
-	m.mu.Lock()
-	m.down += int64(n)
-	m.mu.Unlock()
-}
+func (m *Meter) AddDown(n int) { m.down.Add(int64(n)) }
 
 // Up returns total client→server bytes.
-func (m *Meter) Up() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.up
-}
+func (m *Meter) Up() int64 { return m.up.Load() }
 
 // Down returns total server→client bytes.
-func (m *Meter) Down() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.down
-}
+func (m *Meter) Down() int64 { return m.down.Load() }
 
 // Reset zeroes both counters.
 func (m *Meter) Reset() {
-	m.mu.Lock()
-	m.up, m.down = 0, 0
-	m.mu.Unlock()
+	m.up.Store(0)
+	m.down.Store(0)
 }
 
 // MB formats a byte count as mebibytes.

@@ -12,11 +12,23 @@ import (
 // fl.Config.HalfPrecision switch enables it end to end. This is an
 // extension beyond the paper (which ships float32), composable with
 // salient selection.
+//
+// As with the float32 codecs, the scalar reference implementations live
+// in ref.go; the bulk implementations here convert eight values per loop
+// pass, packing four halves into each 64-bit little-endian word.
 
 const (
 	magicDenseF16  = 0x68 // 'h'
 	magicSparseF16 = 0x73 // 's'
 )
+
+// DenseF16Len returns the encoded size of an n-element dense f16 payload.
+func DenseF16Len(n int) int { return 1 + 4 + 2*n }
+
+// EncodedLenF16 returns the size of the payload EncodeSparseF16 produces.
+func (s *Sparse) EncodedLenF16() int {
+	return 1 + 4 + 8*len(s.Ranges) + 4 + 2*len(s.Values)
+}
 
 // Float32ToF16 converts to IEEE 754 binary16 (round-to-nearest-even),
 // with overflow clamping to ±Inf and subnormal flushing.
@@ -85,19 +97,66 @@ func F16ToFloat32(h uint16) float32 {
 	}
 }
 
+// putF16Bulk converts vals to binary16 and stores them little-endian into
+// dst (len(dst) ≥ 2*len(vals)), eight values per pass, four packed per
+// 64-bit store.
+func putF16Bulk(dst []byte, vals []float32) {
+	for len(vals) >= 8 {
+		d := dst[:16]
+		binary.LittleEndian.PutUint64(d[0:8],
+			uint64(Float32ToF16(vals[0]))|uint64(Float32ToF16(vals[1]))<<16|
+				uint64(Float32ToF16(vals[2]))<<32|uint64(Float32ToF16(vals[3]))<<48)
+		binary.LittleEndian.PutUint64(d[8:16],
+			uint64(Float32ToF16(vals[4]))|uint64(Float32ToF16(vals[5]))<<16|
+				uint64(Float32ToF16(vals[6]))<<32|uint64(Float32ToF16(vals[7]))<<48)
+		dst = dst[16:]
+		vals = vals[8:]
+	}
+	for i, v := range vals {
+		binary.LittleEndian.PutUint16(dst[2*i:], Float32ToF16(v))
+	}
+}
+
+// getF16Bulk loads len(out) little-endian binary16 values from src and
+// widens them to float32, eight per pass, four unpacked per 64-bit load.
+func getF16Bulk(out []float32, src []byte) {
+	for len(out) >= 8 {
+		s := src[:16]
+		u0 := binary.LittleEndian.Uint64(s[0:8])
+		u1 := binary.LittleEndian.Uint64(s[8:16])
+		out[0] = F16ToFloat32(uint16(u0))
+		out[1] = F16ToFloat32(uint16(u0 >> 16))
+		out[2] = F16ToFloat32(uint16(u0 >> 32))
+		out[3] = F16ToFloat32(uint16(u0 >> 48))
+		out[4] = F16ToFloat32(uint16(u1))
+		out[5] = F16ToFloat32(uint16(u1 >> 16))
+		out[6] = F16ToFloat32(uint16(u1 >> 32))
+		out[7] = F16ToFloat32(uint16(u1 >> 48))
+		out = out[8:]
+		src = src[16:]
+	}
+	for i := range out {
+		out[i] = F16ToFloat32(binary.LittleEndian.Uint16(src[2*i:]))
+	}
+}
+
 // EncodeDenseF16 serializes a flat vector at half precision.
 func EncodeDenseF16(values []float32) []byte {
-	buf := make([]byte, 1+4+2*len(values))
+	return EncodeDenseF16Into(nil, values)
+}
+
+// EncodeDenseF16Into is EncodeDenseF16 writing into dst (reused when its
+// capacity suffices, reallocated otherwise). Returns the encoded slice.
+func EncodeDenseF16Into(dst []byte, values []float32) []byte {
+	buf := sizeBytes(dst, DenseF16Len(len(values)))
 	buf[0] = magicDenseF16
 	binary.LittleEndian.PutUint32(buf[1:5], uint32(len(values)))
-	for i, v := range values {
-		binary.LittleEndian.PutUint16(buf[5+2*i:], Float32ToF16(v))
-	}
+	putF16Bulk(buf[5:], values)
 	return buf
 }
 
-// decodeDenseF16 parses an EncodeDenseF16 payload.
-func decodeDenseF16(buf []byte) ([]float32, error) {
+// decodeDenseF16Into parses an EncodeDenseF16 payload into dst.
+func decodeDenseF16Into(dst []float32, buf []byte) ([]float32, error) {
 	if len(buf) < 5 || buf[0] != magicDenseF16 {
 		return nil, fmt.Errorf("comm: not a dense-f16 payload")
 	}
@@ -105,79 +164,96 @@ func decodeDenseF16(buf []byte) ([]float32, error) {
 	if len(buf) != 5+2*n {
 		return nil, fmt.Errorf("comm: dense-f16 payload length %d, want %d", len(buf), 5+2*n)
 	}
-	out := make([]float32, n)
-	for i := range out {
-		out[i] = F16ToFloat32(binary.LittleEndian.Uint16(buf[5+2*i:]))
-	}
+	out := sizeF32(dst, n)
+	getF16Bulk(out, buf[5:])
 	return out, nil
 }
 
 // EncodeSparseF16 serializes a sparse payload with half-precision values
 // (index ranges stay 32-bit).
 func EncodeSparseF16(s *Sparse) []byte {
-	buf := make([]byte, 1+4+8*len(s.Ranges)+4+2*len(s.Values))
+	return EncodeSparseF16Into(nil, s)
+}
+
+// EncodeSparseF16Into is EncodeSparseF16 writing into dst (reused when
+// its capacity suffices, reallocated otherwise).
+func EncodeSparseF16Into(dst []byte, s *Sparse) []byte {
+	buf := sizeBytes(dst, s.EncodedLenF16())
 	buf[0] = magicSparseF16
 	binary.LittleEndian.PutUint32(buf[1:5], uint32(len(s.Ranges)))
 	off := 5
 	for _, r := range s.Ranges {
-		binary.LittleEndian.PutUint32(buf[off:], r.Start)
-		binary.LittleEndian.PutUint32(buf[off+4:], r.Len)
+		binary.LittleEndian.PutUint64(buf[off:off+8], uint64(r.Start)|uint64(r.Len)<<32)
 		off += 8
 	}
 	binary.LittleEndian.PutUint32(buf[off:], uint32(len(s.Values)))
 	off += 4
-	for _, v := range s.Values {
-		binary.LittleEndian.PutUint16(buf[off:], Float32ToF16(v))
-		off += 2
-	}
+	putF16Bulk(buf[off:], s.Values)
 	return buf
 }
 
-// decodeSparseF16 parses an EncodeSparseF16 payload.
-func decodeSparseF16(buf []byte) (*Sparse, error) {
+// decodeSparseF16Into parses an EncodeSparseF16 payload into s, reusing
+// its buffers as DecodeSparseInto does.
+func decodeSparseF16Into(s *Sparse, buf []byte) error {
 	if len(buf) < 5 || buf[0] != magicSparseF16 {
-		return nil, fmt.Errorf("comm: not a sparse-f16 payload")
+		return fmt.Errorf("comm: not a sparse-f16 payload")
 	}
 	nr := int(binary.LittleEndian.Uint32(buf[1:5]))
 	off := 5
 	if len(buf) < off+8*nr+4 {
-		return nil, fmt.Errorf("comm: sparse-f16 payload truncated in ranges")
+		return fmt.Errorf("comm: sparse-f16 payload truncated in ranges")
 	}
-	s := &Sparse{Ranges: make([]Range, nr)}
-	for i := range s.Ranges {
-		s.Ranges[i] = Range{
-			Start: binary.LittleEndian.Uint32(buf[off:]),
-			Len:   binary.LittleEndian.Uint32(buf[off+4:]),
-		}
+	ranges := s.Ranges[:0]
+	if cap(ranges) < nr {
+		ranges = make([]Range, 0, nr)
+	}
+	for i := 0; i < nr; i++ {
+		u := binary.LittleEndian.Uint64(buf[off : off+8])
+		ranges = append(ranges, Range{Start: uint32(u), Len: uint32(u >> 32)})
 		off += 8
 	}
 	nv := int(binary.LittleEndian.Uint32(buf[off:]))
 	off += 4
 	if len(buf) != off+2*nv {
-		return nil, fmt.Errorf("comm: sparse-f16 payload length %d, want %d", len(buf), off+2*nv)
+		return fmt.Errorf("comm: sparse-f16 payload length %d, want %d", len(buf), off+2*nv)
 	}
-	s.Values = make([]float32, nv)
-	for i := range s.Values {
-		s.Values[i] = F16ToFloat32(binary.LittleEndian.Uint16(buf[off+2*i:]))
+	out := Sparse{Ranges: ranges, Values: sizeF32(s.Values, nv)}
+	getF16Bulk(out.Values, buf[off:])
+	if err := out.Validate(); err != nil {
+		return err
 	}
-	if err := s.Validate(); err != nil {
+	*s = out
+	return nil
+}
+
+// DecodeDenseAny parses a dense payload at either precision.
+func DecodeDenseAny(buf []byte) ([]float32, error) {
+	return DecodeDenseAnyInto(nil, buf)
+}
+
+// DecodeDenseAnyInto parses a dense payload at either precision into dst
+// (reused when its capacity suffices, reallocated otherwise).
+func DecodeDenseAnyInto(dst []float32, buf []byte) ([]float32, error) {
+	if len(buf) > 0 && buf[0] == magicDenseF16 {
+		return decodeDenseF16Into(dst, buf)
+	}
+	return DecodeDenseInto(dst, buf)
+}
+
+// DecodeSparseAny parses a sparse payload at either precision.
+func DecodeSparseAny(buf []byte) (*Sparse, error) {
+	s := &Sparse{}
+	if err := DecodeSparseAnyInto(s, buf); err != nil {
 		return nil, err
 	}
 	return s, nil
 }
 
-// DecodeDenseAny parses a dense payload at either precision.
-func DecodeDenseAny(buf []byte) ([]float32, error) {
-	if len(buf) > 0 && buf[0] == magicDenseF16 {
-		return decodeDenseF16(buf)
-	}
-	return DecodeDense(buf)
-}
-
-// DecodeSparseAny parses a sparse payload at either precision.
-func DecodeSparseAny(buf []byte) (*Sparse, error) {
+// DecodeSparseAnyInto parses a sparse payload at either precision into s,
+// reusing its buffers as DecodeSparseInto does.
+func DecodeSparseAnyInto(s *Sparse, buf []byte) error {
 	if len(buf) > 0 && buf[0] == magicSparseF16 {
-		return decodeSparseF16(buf)
+		return decodeSparseF16Into(s, buf)
 	}
-	return DecodeSparse(buf)
+	return DecodeSparseInto(s, buf)
 }

@@ -135,10 +135,10 @@ func TestSparseF16RoundTrip(t *testing.T) {
 }
 
 func TestDecodeF16RejectsGarbage(t *testing.T) {
-	if _, err := decodeDenseF16([]byte{magicDenseF16, 9, 0, 0, 0, 1}); err == nil {
+	if _, err := decodeDenseF16Into(nil, []byte{magicDenseF16, 9, 0, 0, 0, 1}); err == nil {
 		t.Fatal("expected error for truncated f16 dense")
 	}
-	if _, err := decodeSparseF16([]byte{magicSparseF16, 9, 0, 0, 0}); err == nil {
+	if err := decodeSparseF16Into(&Sparse{}, []byte{magicSparseF16, 9, 0, 0, 0}); err == nil {
 		t.Fatal("expected error for truncated f16 sparse")
 	}
 }

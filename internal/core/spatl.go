@@ -31,6 +31,7 @@ import (
 	"spatl/internal/nn"
 	"spatl/internal/prune"
 	"spatl/internal/rl"
+	"spatl/internal/tensor"
 )
 
 // Options configures SPATL. The zero value enables everything with the
@@ -155,7 +156,9 @@ func (s *SPATL) agentFor(clientID int) *rl.Agent {
 // prunes this model to the client's salient sub-network; see
 // prune.ZeroPruned / prune.Extract and the inference experiment.
 func (s *SPATL) EvalModel(env *fl.Env, c *Client) *models.SplitModel {
-	c.Model.SetState(s.scope(), env.Global.State(s.scope()))
+	st := env.Global.StateInto(s.scope(), comm.GetF32(env.Global.StateLen(s.scope())))
+	c.Model.SetState(s.scope(), st)
+	comm.PutF32(st)
 	return c.Model
 }
 
@@ -165,9 +168,10 @@ type Client = fl.Client
 // Round implements fl.Algorithm: one SPATL communication round.
 func (s *SPATL) Round(env *fl.Env, round int, selected []int) {
 	scope := s.scope()
-	globalState := env.Global.State(scope)
-	statePayload := env.EncodeDense(globalState)
-	ctrlPayload := env.EncodeDense(s.c)
+	nState := env.Global.StateLen(scope)
+	globalState := env.Global.StateInto(scope, comm.GetF32(nState))
+	statePayload := env.EncodeDenseInto(comm.GetBuf(env.DensePayloadLen(nState)), globalState)
+	ctrlPayload := env.EncodeDenseInto(comm.GetBuf(env.DensePayloadLen(len(s.c))), s.c)
 
 	type upload struct {
 		dW *comm.Sparse
@@ -183,11 +187,13 @@ func (s *SPATL) Round(env *fl.Env, round int, selected []int) {
 		if env.ClientFailed(round, ci) {
 			return // crashed after download: nothing uploads
 		}
-		c.Model.SetState(scope, mustDense(statePayload))
+		dl := mustDenseInto(comm.GetF32(nState), statePayload)
+		c.Model.SetState(scope, dl)
+		comm.PutF32(dl)
 		var serverC []float32
 		if !s.Opts.DisableGradControl {
 			env.Meter.AddDown(len(ctrlPayload))
-			serverC = mustDense(ctrlPayload)
+			serverC = mustDenseInto(comm.GetF32(len(s.c)), ctrlPayload)
 		}
 
 		rng := rand.New(rand.NewSource(env.ClientSeed(round, ci)))
@@ -227,12 +233,13 @@ func (s *SPATL) Round(env *fl.Env, round int, selected []int) {
 			localCtrl := nn.FlattenParams(ctrlP)
 			inv := 1.0 / (float64(steps) * fl.EffectiveLR(env.LRAt(round), env.Cfg.Momentum))
 			newCi := make([]float32, nCtrl)
-			dC = make([]float32, nCtrl)
+			dC = comm.GetF32(nCtrl)
 			for j := 0; j < nCtrl; j++ {
 				newCi[j] = c.Control[j] - serverC[j] + float32(float64(gBefore[j]-localCtrl[j])*inv)
 				dC[j] = newCi[j] - c.Control[j]
 			}
 			c.Control = newCi
+			comm.PutF32(serverC)
 		}
 
 		// ➌ salient parameter selection on the trained encoder.
@@ -242,58 +249,85 @@ func (s *SPATL) Round(env *fl.Env, round int, selected []int) {
 		s.mu.Unlock()
 
 		// ➍ upload only the salient parameter deltas and their indices.
-		localState := c.Model.State(scope)
-		dW := make([]float32, len(localState))
+		localState := c.Model.StateInto(scope, comm.GetF32(nState))
+		dW := comm.GetF32(len(localState))
 		for j := range localState {
 			dW[j] = localState[j] - globalState[j]
 		}
-		sw := comm.GatherSparse(dW, sel.Ranges)
-		bufW := env.EncodeSparse(sw)
+		comm.PutF32(localState)
+		var sw comm.Sparse
+		comm.GatherSparseInto(&sw, dW, sel.Ranges)
+		bufW := env.EncodeSparseInto(comm.GetBuf(env.SparsePayloadLen(&sw)), &sw)
 		env.Meter.AddUp(len(bufW))
-		uploads[pos].dW = mustSparse(bufW)
+		uploads[pos].dW = mustSparseInto(&comm.Sparse{Values: sw.Values[:0]}, bufW)
+		comm.PutBuf(bufW)
+		comm.PutF32(dW)
 
 		if !s.Opts.DisableGradControl {
 			ctrlRanges := clipRanges(sel.Ranges, nCtrl)
-			sc := comm.GatherSparse(dC, ctrlRanges)
-			bufC := env.EncodeSparse(sc)
+			var sc comm.Sparse
+			comm.GatherSparseInto(&sc, dC, ctrlRanges)
+			bufC := env.EncodeSparseInto(comm.GetBuf(env.SparsePayloadLen(&sc)), &sc)
 			env.Meter.AddUp(len(bufC))
-			uploads[pos].dC = mustSparse(bufC)
+			uploads[pos].dC = mustSparseInto(&comm.Sparse{Values: sc.Values[:0]}, bufC)
+			comm.PutBuf(bufC)
+			comm.PutF32(dC)
 		}
 	})
 
-	// Server: per-index averaged aggregation of salient deltas (eq. 12).
-	sum := make([]float32, len(globalState))
-	count := make([]int32, len(globalState))
-	for _, u := range uploads {
-		if u.dW == nil {
-			continue
+	// Server: per-index averaged aggregation of salient deltas (eq. 12),
+	// chunked over the parameter dimension. Within a chunk every index
+	// accumulates clients in upload order, so the result is bitwise
+	// identical to the serial ScatterAdd loop at any GOMAXPROCS.
+	sum := comm.GetF32(nState)
+	count := make([]int32, nState)
+	newState := comm.GetF32(nState)
+	tensor.Parallel(nState, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			sum[j] = 0
 		}
-		comm.ScatterAdd(sum, count, u.dW)
-	}
-	newState := append([]float32(nil), globalState...)
-	for j := range newState {
-		if count[j] > 0 {
-			newState[j] += sum[j] / float32(count[j])
-		}
-	}
-	env.Global.SetState(scope, newState)
-
-	// Control variate: c += (1/N)·ΣΔcᵢ at the uploaded indices (eq. 11).
-	if !s.Opts.DisableGradControl {
-		invN := float32(1.0 / float64(env.Cfg.NumClients))
 		for _, u := range uploads {
-			if u.dC == nil {
+			if u.dW == nil {
 				continue
 			}
-			off := 0
-			for _, r := range u.dC.Ranges {
-				for k := uint32(0); k < r.Len; k++ {
-					s.c[r.Start+k] += invN * u.dC.Values[off]
-					off++
-				}
+			comm.ScatterAddRange(sum, count, u.dW, lo, hi)
+		}
+		copy(newState[lo:hi], globalState[lo:hi])
+		for j := lo; j < hi; j++ {
+			if count[j] > 0 {
+				newState[j] += sum[j] / float32(count[j])
 			}
 		}
+	})
+	env.Global.SetState(scope, newState)
+	comm.PutF32(newState)
+	comm.PutF32(sum)
+
+	// Control variate: c += (1/N)·ΣΔcᵢ at the uploaded indices (eq. 11),
+	// sharded over the parameter dimension with the same fixed client
+	// order per index.
+	if !s.Opts.DisableGradControl {
+		invN := float32(1.0 / float64(env.Cfg.NumClients))
+		tensor.Parallel(len(s.c), func(lo, hi int) {
+			for _, u := range uploads {
+				if u.dC == nil {
+					continue
+				}
+				comm.ScatterAddScaledRange(s.c, u.dC, invN, lo, hi)
+			}
+		})
 	}
+	for _, u := range uploads {
+		if u.dW != nil {
+			comm.PutSparse(u.dW)
+		}
+		if u.dC != nil {
+			comm.PutSparse(u.dC)
+		}
+	}
+	comm.PutBuf(statePayload)
+	comm.PutBuf(ctrlPayload)
+	comm.PutF32(globalState)
 }
 
 // selectSalient runs the client's selection agent: fine-tune (head-only
@@ -323,9 +357,15 @@ func (s *SPATL) selectSalient(env *fl.Env, c *Client, round int, rng *rand.Rand)
 // predictor, leaving the shared representation untouched.
 func (s *SPATL) ColdStart(env *fl.Env, c *Client, epochs int, rng *rand.Rand) {
 	scope := s.scope()
-	payload := env.EncodeDense(env.Global.State(scope))
+	n := env.Global.StateLen(scope)
+	st := env.Global.StateInto(scope, comm.GetF32(n))
+	payload := env.EncodeDenseInto(comm.GetBuf(env.DensePayloadLen(n)), st)
+	comm.PutF32(st)
 	env.Meter.AddDown(len(payload))
-	c.Model.SetState(scope, mustDense(payload))
+	dl := mustDenseInto(comm.GetF32(n), payload)
+	c.Model.SetState(scope, dl)
+	comm.PutF32(dl)
+	comm.PutBuf(payload)
 	fl.LocalSGD(c, fl.LocalOpts{
 		Params: c.Model.PredictorParams(), Epochs: epochs, BatchSize: env.Cfg.BatchSize,
 		LR: env.Cfg.LR, Momentum: env.Cfg.Momentum, WeightDecay: env.Cfg.WeightDecay,
@@ -334,19 +374,26 @@ func (s *SPATL) ColdStart(env *fl.Env, c *Client, epochs int, rng *rand.Rand) {
 }
 
 func mustDense(buf []byte) []float32 {
-	v, err := comm.DecodeDenseAny(buf)
+	return mustDenseInto(nil, buf)
+}
+
+// mustDenseInto decodes into dst (typically from comm.GetF32), panicking
+// on corruption — the simulation transports bytes in-process.
+func mustDenseInto(dst []float32, buf []byte) []float32 {
+	v, err := comm.DecodeDenseAnyInto(dst, buf)
 	if err != nil {
 		panic(err)
 	}
 	return v
 }
 
-func mustSparse(buf []byte) *comm.Sparse {
-	v, err := comm.DecodeSparseAny(buf)
-	if err != nil {
+// mustSparseInto decodes into s, reusing its Ranges/Values capacity, and
+// returns s.
+func mustSparseInto(s *comm.Sparse, buf []byte) *comm.Sparse {
+	if err := comm.DecodeSparseAnyInto(s, buf); err != nil {
 		panic(err)
 	}
-	return v
+	return s
 }
 
 // clipRanges restricts ranges to [0, n): ranges entirely above n are

@@ -6,6 +6,7 @@ import (
 	"spatl/internal/comm"
 	"spatl/internal/models"
 	"spatl/internal/nn"
+	"spatl/internal/tensor"
 )
 
 // EffectiveLR is the asymptotic per-gradient step size of momentum SGD:
@@ -21,17 +22,23 @@ func EffectiveLR(lr, momentum float64) float64 {
 // decodeDense decodes a broadcast payload, panicking on corruption (the
 // simulation transports bytes in-process, so corruption is a bug).
 func decodeDense(buf []byte) []float32 {
-	v, err := comm.DecodeDenseAny(buf)
+	return decodeDenseInto(nil, buf)
+}
+
+// decodeDenseInto is decodeDense into a caller buffer — typically from
+// comm.GetF32, so the per-client decode paths recycle their vectors.
+func decodeDenseInto(dst []float32, buf []byte) []float32 {
+	v, err := comm.DecodeDenseAnyInto(dst, buf)
 	if err != nil {
 		panic(err)
 	}
 	return v
 }
 
-// weightedAverage returns Σ wᵢ·stateᵢ / Σ wᵢ computed in float64,
-// skipping nil states (clients whose upload was lost to failure
-// injection). Returns nil when no state survives.
-func weightedAverage(states [][]float32, weights []float64) []float32 {
+// weightedAverageSerial is the retained reference reduction: Σ wᵢ·stateᵢ
+// / Σ wᵢ in float64, clients outer, parameters inner. weightedAverage
+// must match it bitwise; determinism tests compare the two.
+func weightedAverageSerial(states [][]float32, weights []float64) []float32 {
 	total := 0.0
 	var first []float32
 	for si, st := range states {
@@ -61,6 +68,63 @@ func weightedAverage(states [][]float32, weights []float64) []float32 {
 		out[i] = float32(v)
 	}
 	return out
+}
+
+// weightedAverage returns Σ wᵢ·stateᵢ / Σ wᵢ computed in float64,
+// skipping nil states (clients whose upload was lost to failure
+// injection). Returns nil when no state survives.
+//
+// The reduction is parallelized by chunking the parameter dimension;
+// within a chunk every index still sums clients in ascending order, so
+// the result is bitwise identical to weightedAverageSerial at any
+// GOMAXPROCS.
+func weightedAverage(states [][]float32, weights []float64) []float32 {
+	total := 0.0
+	var first []float32
+	for si, st := range states {
+		if st == nil {
+			continue
+		}
+		if first == nil {
+			first = st
+		}
+		total += weights[si]
+	}
+	if first == nil || total == 0 {
+		return nil
+	}
+	out := make([]float32, len(first))
+	tensor.Parallel(len(first), func(lo, hi int) {
+		acc := make([]float64, hi-lo)
+		for si, st := range states {
+			if st == nil {
+				continue
+			}
+			w := weights[si] / total
+			for i, v := range st[lo:hi] {
+				acc[i] += w * float64(v)
+			}
+		}
+		for i, v := range acc {
+			out[lo+i] = float32(v)
+		}
+	})
+	return out
+}
+
+// WeightedAverage exposes the deterministic parallel reduction for the
+// benchmark harness: bitwise identical to the serial reference at any
+// GOMAXPROCS.
+func WeightedAverage(states [][]float32, weights []float64) []float32 {
+	return weightedAverage(states, weights)
+}
+
+// releaseUploads returns pooled per-client vectors to the payload pool
+// after the server reduction consumed them.
+func releaseUploads(uploads [][]float32) {
+	for _, u := range uploads {
+		comm.PutF32(u)
+	}
 }
 
 // addProx returns a LocalOpts hook adding FedProx's proximal gradient
@@ -108,7 +172,9 @@ func (FedAvg) EvalModel(env *Env, c *Client) *models.SplitModel { return env.Glo
 
 // Round implements Algorithm.
 func (FedAvg) Round(env *Env, round int, selected []int) {
-	payload := env.EncodeDense(env.Global.State(models.ScopeAll))
+	n := env.Global.StateLen(models.ScopeAll)
+	state := env.Global.StateInto(models.ScopeAll, comm.GetF32(n))
+	payload := env.EncodeDenseInto(comm.GetBuf(env.DensePayloadLen(n)), state)
 	uploads := make([][]float32, len(selected))
 	ParallelClients(selected, func(pos int) {
 		ci := selected[pos]
@@ -117,21 +183,29 @@ func (FedAvg) Round(env *Env, round int, selected []int) {
 		if env.ClientFailed(round, ci) {
 			return // crashed after download: upload lost
 		}
-		c.Model.SetState(models.ScopeAll, decodeDense(payload))
+		dl := decodeDenseInto(comm.GetF32(n), payload)
+		c.Model.SetState(models.ScopeAll, dl)
+		comm.PutF32(dl)
 		rng := rand.New(rand.NewSource(env.ClientSeed(round, ci)))
 		LocalSGD(c, LocalOpts{
 			Params: c.Model.Params(), Epochs: env.Cfg.LocalEpochs, BatchSize: env.Cfg.BatchSize,
 			LR: env.LRAt(round), Momentum: env.Cfg.Momentum, WeightDecay: env.Cfg.WeightDecay,
 			GradClip: env.Cfg.GradClip,
 		}, rng)
-		up := env.EncodeDense(c.Model.State(models.ScopeAll))
+		local := c.Model.StateInto(models.ScopeAll, comm.GetF32(n))
+		up := env.EncodeDenseInto(comm.GetBuf(env.DensePayloadLen(n)), local)
+		comm.PutF32(local)
 		env.Meter.AddUp(len(up))
-		uploads[pos] = decodeDense(up)
+		uploads[pos] = decodeDenseInto(comm.GetF32(n), up)
+		comm.PutBuf(up)
 	})
 	ws, _ := env.TrainSizes(selected)
 	if avg := weightedAverage(uploads, ws); avg != nil {
 		env.Global.SetState(models.ScopeAll, avg)
 	}
+	releaseUploads(uploads)
+	comm.PutBuf(payload)
+	comm.PutF32(state)
 }
 
 // FedProx (Li et al.) augments FedAvg's local objective with a proximal
@@ -155,7 +229,9 @@ func (FedProx) Round(env *Env, round int, selected []int) {
 		mu = 0.01
 	}
 	globalFlat := nn.FlattenParams(env.Global.Params())
-	payload := env.EncodeDense(env.Global.State(models.ScopeAll))
+	n := env.Global.StateLen(models.ScopeAll)
+	state := env.Global.StateInto(models.ScopeAll, comm.GetF32(n))
+	payload := env.EncodeDenseInto(comm.GetBuf(env.DensePayloadLen(n)), state)
 	uploads := make([][]float32, len(selected))
 	ParallelClients(selected, func(pos int) {
 		ci := selected[pos]
@@ -164,7 +240,9 @@ func (FedProx) Round(env *Env, round int, selected []int) {
 		if env.ClientFailed(round, ci) {
 			return
 		}
-		c.Model.SetState(models.ScopeAll, decodeDense(payload))
+		dl := decodeDenseInto(comm.GetF32(n), payload)
+		c.Model.SetState(models.ScopeAll, dl)
+		comm.PutF32(dl)
 		rng := rand.New(rand.NewSource(env.ClientSeed(round, ci)))
 		LocalSGD(c, LocalOpts{
 			Params: c.Model.Params(), Epochs: env.Cfg.LocalEpochs, BatchSize: env.Cfg.BatchSize,
@@ -172,14 +250,20 @@ func (FedProx) Round(env *Env, round int, selected []int) {
 			GradClip: env.Cfg.GradClip,
 			Hook:     addProx(mu, globalFlat),
 		}, rng)
-		up := env.EncodeDense(c.Model.State(models.ScopeAll))
+		local := c.Model.StateInto(models.ScopeAll, comm.GetF32(n))
+		up := env.EncodeDenseInto(comm.GetBuf(env.DensePayloadLen(n)), local)
+		comm.PutF32(local)
 		env.Meter.AddUp(len(up))
-		uploads[pos] = decodeDense(up)
+		uploads[pos] = decodeDenseInto(comm.GetF32(n), up)
+		comm.PutBuf(up)
 	})
 	ws, _ := env.TrainSizes(selected)
 	if avg := weightedAverage(uploads, ws); avg != nil {
 		env.Global.SetState(models.ScopeAll, avg)
 	}
+	releaseUploads(uploads)
+	comm.PutBuf(payload)
+	comm.PutF32(state)
 }
 
 // SCAFFOLD (Karimireddy et al.) corrects client drift with control
@@ -208,10 +292,11 @@ func (*SCAFFOLD) EvalModel(env *Env, c *Client) *models.SplitModel { return env.
 
 // Round implements Algorithm.
 func (s *SCAFFOLD) Round(env *Env, round int, selected []int) {
-	globalState := env.Global.State(models.ScopeAll)
+	nState := env.Global.StateLen(models.ScopeAll)
+	globalState := env.Global.StateInto(models.ScopeAll, comm.GetF32(nState))
 	globalFlat := nn.FlattenParams(env.Global.Params())
-	statePayload := env.EncodeDense(globalState)
-	ctrlPayload := env.EncodeDense(s.c)
+	statePayload := env.EncodeDenseInto(comm.GetBuf(env.DensePayloadLen(nState)), globalState)
+	ctrlPayload := env.EncodeDenseInto(comm.GetBuf(env.DensePayloadLen(len(s.c))), s.c)
 
 	deltaW := make([][]float32, len(selected))
 	deltaC := make([][]float32, len(selected))
@@ -222,8 +307,10 @@ func (s *SCAFFOLD) Round(env *Env, round int, selected []int) {
 		if env.ClientFailed(round, ci) {
 			return
 		}
-		c.Model.SetState(models.ScopeAll, decodeDense(statePayload))
-		serverC := decodeDense(ctrlPayload)
+		dl := decodeDenseInto(comm.GetF32(nState), statePayload)
+		c.Model.SetState(models.ScopeAll, dl)
+		comm.PutF32(dl)
+		serverC := decodeDenseInto(comm.GetF32(len(s.c)), ctrlPayload)
 		rng := rand.New(rand.NewSource(env.ClientSeed(round, ci)))
 		steps, _ := LocalSGD(c, LocalOpts{
 			Params: c.Model.Params(), Epochs: env.Cfg.LocalEpochs, BatchSize: env.Cfg.BatchSize,
@@ -233,7 +320,7 @@ func (s *SCAFFOLD) Round(env *Env, round int, selected []int) {
 		}, rng)
 
 		localFlat := nn.FlattenParams(c.Model.Params())
-		localState := c.Model.State(models.ScopeAll)
+		localState := c.Model.StateInto(models.ScopeAll, comm.GetF32(nState))
 		// Option-II control update: cᵢ⁺ = cᵢ − c + (x_g − x_i)/(K·η_eff).
 		// With classical momentum each unit of gradient moves the weights
 		// by ≈ η/(1−µ) over time, so the effective step size is scaled
@@ -241,26 +328,32 @@ func (s *SCAFFOLD) Round(env *Env, round int, selected []int) {
 		// overestimate gradients by 1/(1−µ) and training explodes.
 		inv := 1.0 / (float64(steps) * EffectiveLR(env.LRAt(round), env.Cfg.Momentum))
 		newCi := make([]float32, len(localFlat))
-		dC := make([]float32, len(localFlat))
+		dC := comm.GetF32(len(localFlat))
 		for j := range localFlat {
 			newCi[j] = c.Control[j] - serverC[j] + float32(float64(globalFlat[j]-localFlat[j])*inv)
 			dC[j] = newCi[j] - c.Control[j]
 		}
 		c.Control = newCi
+		comm.PutF32(serverC)
 
-		dW := make([]float32, len(localState))
+		dW := comm.GetF32(len(localState))
 		for j := range localState {
 			dW[j] = localState[j] - globalState[j]
 		}
-		upW := env.EncodeDense(dW)
-		upC := env.EncodeDense(dC)
+		comm.PutF32(localState)
+		upW := env.EncodeDenseInto(comm.GetBuf(env.DensePayloadLen(len(dW))), dW)
+		upC := env.EncodeDenseInto(comm.GetBuf(env.DensePayloadLen(len(dC))), dC)
 		env.Meter.AddUp(len(upW) + len(upC))
-		deltaW[pos] = decodeDense(upW)
-		deltaC[pos] = decodeDense(upC)
+		deltaW[pos] = decodeDenseInto(dW, upW) // reuse: decode over the source vector
+		deltaC[pos] = decodeDenseInto(dC, upC)
+		comm.PutBuf(upW)
+		comm.PutBuf(upC)
 	})
 
 	// Server: x += (1/|S|)·ΣΔw ; c += (1/N)·ΣΔc, where S is the set of
-	// clients whose uploads actually arrived.
+	// clients whose uploads actually arrived. Both reductions chunk the
+	// parameter dimension and sum clients in fixed order per index, so
+	// they stay bitwise identical to the serial loops at any GOMAXPROCS.
 	survivors := 0
 	for _, dw := range deltaW {
 		if dw != nil {
@@ -268,28 +361,42 @@ func (s *SCAFFOLD) Round(env *Env, round int, selected []int) {
 		}
 	}
 	if survivors == 0 {
+		comm.PutBuf(statePayload)
+		comm.PutBuf(ctrlPayload)
+		comm.PutF32(globalState)
 		return
 	}
 	invS := 1.0 / float64(survivors)
-	newState := append([]float32(nil), globalState...)
-	for _, dw := range deltaW {
-		if dw == nil {
-			continue
+	newState := comm.GetF32(nState)
+	tensor.Parallel(nState, func(lo, hi int) {
+		copy(newState[lo:hi], globalState[lo:hi])
+		for _, dw := range deltaW {
+			if dw == nil {
+				continue
+			}
+			for j := lo; j < hi; j++ {
+				newState[j] += float32(invS * float64(dw[j]))
+			}
 		}
-		for j, v := range dw {
-			newState[j] += float32(invS * float64(v))
-		}
-	}
+	})
 	env.Global.SetState(models.ScopeAll, newState)
+	comm.PutF32(newState)
 	invN := 1.0 / float64(env.Cfg.NumClients)
-	for _, dc := range deltaC {
-		if dc == nil {
-			continue
+	tensor.Parallel(len(s.c), func(lo, hi int) {
+		for _, dc := range deltaC {
+			if dc == nil {
+				continue
+			}
+			for j := lo; j < hi; j++ {
+				s.c[j] += float32(invN * float64(dc[j]))
+			}
 		}
-		for j, v := range dc {
-			s.c[j] += float32(invN * float64(v))
-		}
-	}
+	})
+	releaseUploads(deltaW)
+	releaseUploads(deltaC)
+	comm.PutBuf(statePayload)
+	comm.PutBuf(ctrlPayload)
+	comm.PutF32(globalState)
 }
 
 // FedNova (Wang et al.) normalizes each client's cumulative update by
@@ -315,9 +422,10 @@ func (*FedNova) EvalModel(env *Env, c *Client) *models.SplitModel { return env.G
 
 // Round implements Algorithm.
 func (f *FedNova) Round(env *Env, round int, selected []int) {
-	globalState := env.Global.State(models.ScopeAll)
-	statePayload := env.EncodeDense(globalState)
-	velPayload := env.EncodeDense(f.velocity)
+	nState := env.Global.StateLen(models.ScopeAll)
+	globalState := env.Global.StateInto(models.ScopeAll, comm.GetF32(nState))
+	statePayload := env.EncodeDenseInto(comm.GetBuf(env.DensePayloadLen(nState)), globalState)
+	velPayload := env.EncodeDenseInto(comm.GetBuf(env.DensePayloadLen(len(f.velocity))), f.velocity)
 
 	ds := make([][]float32, len(selected)) // normalized update d_i over full state
 	vs := make([][]float32, len(selected)) // final momentum buffers
@@ -329,7 +437,9 @@ func (f *FedNova) Round(env *Env, round int, selected []int) {
 		if env.ClientFailed(round, ci) {
 			return
 		}
-		c.Model.SetState(models.ScopeAll, decodeDense(statePayload))
+		dl := decodeDenseInto(comm.GetF32(nState), statePayload)
+		c.Model.SetState(models.ScopeAll, dl)
+		comm.PutF32(dl)
 		rng := rand.New(rand.NewSource(env.ClientSeed(round, ci)))
 		steps, vel := LocalSGD(c, LocalOpts{
 			Params: c.Model.Params(), Epochs: env.Cfg.LocalEpochs, BatchSize: env.Cfg.BatchSize,
@@ -338,20 +448,23 @@ func (f *FedNova) Round(env *Env, round int, selected []int) {
 			InitVelocity: decodeDense(velPayload),
 		}, rng)
 		taus[pos] = float64(steps)
-		localState := c.Model.State(models.ScopeAll)
-		d := make([]float32, len(localState))
+		localState := c.Model.StateInto(models.ScopeAll, comm.GetF32(nState))
+		d := comm.GetF32(nState)
 		inv := 1.0 / float64(steps)
 		for j := range d {
 			d[j] = float32(float64(globalState[j]-localState[j]) * inv)
 		}
-		upD := env.EncodeDense(d)
+		comm.PutF32(localState)
+		upD := env.EncodeDenseInto(comm.GetBuf(env.DensePayloadLen(len(d))), d)
 		if vel == nil {
 			vel = make([]float32, nn.ParamCount(c.Model.Params()))
 		}
-		upV := env.EncodeDense(vel)
+		upV := env.EncodeDenseInto(comm.GetBuf(env.DensePayloadLen(len(vel))), vel)
 		env.Meter.AddUp(len(upD) + len(upV))
-		ds[pos] = decodeDense(upD)
-		vs[pos] = decodeDense(upV)
+		ds[pos] = decodeDenseInto(d, upD)
+		vs[pos] = decodeDenseInto(comm.GetF32(len(vel)), upV)
+		comm.PutBuf(upD)
+		comm.PutBuf(upV)
 	})
 
 	// Restrict the weighting to clients whose uploads arrived.
@@ -363,37 +476,53 @@ func (f *FedNova) Round(env *Env, round int, selected []int) {
 		}
 	}
 	if total == 0 {
+		comm.PutBuf(statePayload)
+		comm.PutBuf(velPayload)
+		comm.PutF32(globalState)
 		return
 	}
-	// τ_eff = Σ pᵢ·τᵢ ; x_g ← x_g − τ_eff · Σ pᵢ·dᵢ.
+	// τ_eff = Σ pᵢ·τᵢ ; x_g ← x_g − τ_eff · Σ pᵢ·dᵢ. The reductions chunk
+	// the parameter dimension, clients in fixed order per index, bitwise
+	// identical to the serial loops at any GOMAXPROCS.
 	var tauEff float64
 	for i := range ds {
 		if ds[i] != nil {
 			tauEff += (ws[i] / total) * taus[i]
 		}
 	}
-	newState := append([]float32(nil), globalState...)
-	for i, d := range ds {
-		if d == nil {
-			continue
+	newState := comm.GetF32(nState)
+	tensor.Parallel(nState, func(lo, hi int) {
+		copy(newState[lo:hi], globalState[lo:hi])
+		for i, d := range ds {
+			if d == nil {
+				continue
+			}
+			p := ws[i] / total
+			for j := lo; j < hi; j++ {
+				newState[j] -= float32(tauEff * p * float64(d[j]))
+			}
 		}
-		p := ws[i] / total
-		for j, v := range d {
-			newState[j] -= float32(tauEff * p * float64(v))
-		}
-	}
+	})
 	env.Global.SetState(models.ScopeAll, newState)
+	comm.PutF32(newState)
 	// Server momentum = Σ pᵢ·vᵢ.
-	for j := range f.velocity {
-		f.velocity[j] = 0
-	}
-	for i, v := range vs {
-		if v == nil {
-			continue
+	tensor.Parallel(len(f.velocity), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			f.velocity[j] = 0
 		}
-		p := ws[i] / total
-		for j, vv := range v {
-			f.velocity[j] += float32(p * float64(vv))
+		for i, v := range vs {
+			if v == nil {
+				continue
+			}
+			p := ws[i] / total
+			for j := lo; j < hi; j++ {
+				f.velocity[j] += float32(p * float64(v[j]))
+			}
 		}
-	}
+	})
+	releaseUploads(ds)
+	releaseUploads(vs)
+	comm.PutBuf(statePayload)
+	comm.PutBuf(velPayload)
+	comm.PutF32(globalState)
 }

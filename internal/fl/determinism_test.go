@@ -1,0 +1,50 @@
+package fl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestWeightedAverageMatchesSerial demands the parallel reduction be
+// bitwise identical to the retained serial reference across sizes that
+// exercise chunk boundaries, including nil states from failure
+// injection.
+func TestWeightedAverageMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 7, 63, 64, 65, 1000, 4097} {
+		for _, clients := range []int{1, 3, 10} {
+			states := make([][]float32, clients)
+			weights := make([]float64, clients)
+			for c := range states {
+				if c%4 == 3 {
+					continue // dropped upload
+				}
+				st := make([]float32, n)
+				for i := range st {
+					st[i] = float32(rng.NormFloat64())
+				}
+				states[c] = st
+				weights[c] = float64(1 + rng.Intn(100))
+			}
+			got := weightedAverage(states, weights)
+			want := weightedAverageSerial(states, weights)
+			if (got == nil) != (want == nil) {
+				t.Fatalf("n=%d clients=%d: nil mismatch", n, clients)
+			}
+			for i := range want {
+				if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+					t.Fatalf("n=%d clients=%d: index %d differs bitwise: %x vs %x",
+						n, clients, i, math.Float32bits(got[i]), math.Float32bits(want[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestWeightedAverageAllNil covers the every-client-dropped round.
+func TestWeightedAverageAllNil(t *testing.T) {
+	if got := weightedAverage(make([][]float32, 4), make([]float64, 4)); got != nil {
+		t.Fatalf("expected nil, got %v", got)
+	}
+}

@@ -150,18 +150,48 @@ func (e *Env) SampleClients() []int {
 
 // EncodeDense serializes a flat vector at the configured wire precision.
 func (e *Env) EncodeDense(v []float32) []byte {
+	return e.EncodeDenseInto(nil, v)
+}
+
+// EncodeDenseInto is EncodeDense writing into dst (reused when its
+// capacity suffices), so round loops can serialize into pooled buffers.
+func (e *Env) EncodeDenseInto(dst []byte, v []float32) []byte {
 	if e.Cfg.HalfPrecision {
-		return comm.EncodeDenseF16(v)
+		return comm.EncodeDenseF16Into(dst, v)
 	}
-	return comm.EncodeDense(v)
+	return comm.EncodeDenseInto(dst, v)
+}
+
+// DensePayloadLen returns the encoded size of an n-element dense payload
+// at the configured wire precision — for pre-sizing pooled buffers.
+func (e *Env) DensePayloadLen(n int) int {
+	if e.Cfg.HalfPrecision {
+		return comm.DenseF16Len(n)
+	}
+	return comm.DenseLen(n)
 }
 
 // EncodeSparse serializes a sparse payload at the configured precision.
 func (e *Env) EncodeSparse(s *comm.Sparse) []byte {
+	return e.EncodeSparseInto(nil, s)
+}
+
+// EncodeSparseInto is EncodeSparse writing into dst (reused when its
+// capacity suffices).
+func (e *Env) EncodeSparseInto(dst []byte, s *comm.Sparse) []byte {
 	if e.Cfg.HalfPrecision {
-		return comm.EncodeSparseF16(s)
+		return comm.EncodeSparseF16Into(dst, s)
 	}
-	return comm.EncodeSparse(s)
+	return comm.EncodeSparseInto(dst, s)
+}
+
+// SparsePayloadLen returns the encoded size of s at the configured wire
+// precision — for pre-sizing pooled buffers.
+func (e *Env) SparsePayloadLen(s *comm.Sparse) int {
+	if e.Cfg.HalfPrecision {
+		return s.EncodedLenF16()
+	}
+	return s.EncodedLen()
 }
 
 // LRAt returns the learning rate for a communication round, honouring

@@ -1,0 +1,154 @@
+package flnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spatl/internal/comm"
+	"spatl/internal/models"
+	"spatl/internal/nn"
+)
+
+// synthSparse builds a sorted-run sparse payload over [0, n) with odd
+// run lengths, exercising chunk-straddling runs in the parallel reduce.
+func synthSparse(rng *rand.Rand, n int) *comm.Sparse {
+	s := &comm.Sparse{}
+	start := rng.Intn(3)
+	for start < n {
+		l := 1 + rng.Intn(9)
+		if start+l > n {
+			l = n - start
+		}
+		s.Ranges = append(s.Ranges, comm.Range{Start: uint32(start), Len: uint32(l)})
+		for k := 0; k < l; k++ {
+			s.Values = append(s.Values, float32(rng.NormFloat64()))
+		}
+		start += l + 1 + rng.Intn(64)
+	}
+	return s
+}
+
+// TestSPATLFinishRoundMatchesSerial replays the aggregator's buffered
+// uploads through the original serial ScatterAdd/control loops and
+// demands the parallel FinishRound produce bitwise identical state and
+// control variates.
+func TestSPATLFinishRoundMatchesSerial(t *testing.T) {
+	spec := models.Spec{Arch: "resnet20", Classes: 4, InC: 3, H: 8, W: 8, Width: 0.25}
+	global := models.Build(spec, 11)
+	const clients = 5
+	agg := NewSPATLAggregator(global, clients)
+	n := global.StateLen(models.ScopeEncoder)
+	nCtrl := nn.ParamCount(global.EncoderParams())
+
+	state0 := global.State(models.ScopeEncoder)
+	c0 := append([]float32(nil), agg.c...)
+
+	rng := rand.New(rand.NewSource(13))
+	uploads := make([]spatlUpload, clients)
+	for i := range uploads {
+		uploads[i] = spatlUpload{dW: synthSparse(rng, n), dC: synthSparse(rng, nCtrl)}
+		agg.Collect(0, uint32(i), 100, JoinPayloads(
+			comm.EncodeSparse(uploads[i].dW), comm.EncodeSparse(uploads[i].dC)))
+	}
+	agg.FinishRound(0)
+	if d := agg.Dropped(); d != 0 {
+		t.Fatalf("well-formed uploads counted as dropped: %d", d)
+	}
+
+	// Serial replay of eq. 12 and the eq. 11 control update.
+	sum := make([]float32, n)
+	count := make([]int32, n)
+	for _, u := range uploads {
+		comm.ScatterAdd(sum, count, u.dW)
+	}
+	wantState := append([]float32(nil), state0...)
+	for j := range wantState {
+		if count[j] > 0 {
+			wantState[j] += sum[j] / float32(count[j])
+		}
+	}
+	wantC := c0
+	invN := float32(1.0 / float64(clients))
+	for _, u := range uploads {
+		off := 0
+		for _, r := range u.dC.Ranges {
+			for k := uint32(0); k < r.Len; k++ {
+				wantC[r.Start+k] += invN * u.dC.Values[off]
+				off++
+			}
+		}
+	}
+
+	gotState := global.State(models.ScopeEncoder)
+	for j := range wantState {
+		if math.Float32bits(gotState[j]) != math.Float32bits(wantState[j]) {
+			t.Fatalf("state[%d] differs bitwise: %x vs %x", j,
+				math.Float32bits(gotState[j]), math.Float32bits(wantState[j]))
+		}
+	}
+	for j := range wantC {
+		if math.Float32bits(agg.c[j]) != math.Float32bits(wantC[j]) {
+			t.Fatalf("c[%d] differs bitwise: %x vs %x", j,
+				math.Float32bits(agg.c[j]), math.Float32bits(wantC[j]))
+		}
+	}
+}
+
+// TestSPATLAggregatorCountsDrops verifies malformed uploads are counted
+// instead of silently vanishing.
+func TestSPATLAggregatorCountsDrops(t *testing.T) {
+	spec := models.Spec{Arch: "cnn2", Classes: 2, InC: 1, H: 8, W: 8}
+	agg := NewSPATLAggregator(models.Build(spec, 3), 2)
+	agg.Collect(0, 0, 10, []byte{1, 2})                            // truncated framing
+	agg.Collect(0, 1, 10, JoinPayloads([]byte{9, 9}, []byte{}))    // bad dW
+	rng := rand.New(rand.NewSource(1))
+	dW := synthSparse(rng, agg.Global.StateLen(models.ScopeEncoder))
+	agg.Collect(0, 2, 10, JoinPayloads(comm.EncodeSparse(dW), []byte{7})) // good dW, bad dC
+	if got := agg.Dropped(); got != 3 {
+		t.Fatalf("Dropped() = %d, want 3", got)
+	}
+	if len(agg.pending) != 1 {
+		t.Fatalf("pending = %d, want 1 (the good dW survives)", len(agg.pending))
+	}
+	agg.FinishRound(0)
+}
+
+// TestFedAvgAggregatorMatchesSerial checks the pooled/parallel FedAvg
+// aggregation against the serial float64 reference, plus drop counting.
+func TestFedAvgAggregatorMatchesSerial(t *testing.T) {
+	spec := models.Spec{Arch: "cnn2", Classes: 2, InC: 1, H: 8, W: 8}
+	global := models.Build(spec, 7)
+	agg := &FedAvgAggregator{Global: global}
+	n := global.StateLen(models.ScopeAll)
+
+	rng := rand.New(rand.NewSource(17))
+	sum := make([]float64, n)
+	var weight float64
+	for i := 0; i < 3; i++ {
+		st := make([]float32, n)
+		for j := range st {
+			st[j] = float32(rng.NormFloat64())
+		}
+		w := float64(50 + i*10)
+		for j, v := range st {
+			sum[j] += w * float64(v)
+		}
+		weight += w
+		agg.Collect(0, uint32(i), int(w), comm.EncodeDense(st))
+	}
+	agg.Collect(0, 9, 10, []byte{0xFF, 0xFF}) // corrupt upload
+	if got := agg.Dropped(); got != 1 {
+		t.Fatalf("Dropped() = %d, want 1", got)
+	}
+	agg.FinishRound(0)
+
+	got := global.State(models.ScopeAll)
+	for j := range got {
+		want := float32(sum[j] / weight)
+		if math.Float32bits(got[j]) != math.Float32bits(want) {
+			t.Fatalf("state[%d] differs bitwise: %x vs %x", j,
+				math.Float32bits(got[j]), math.Float32bits(want))
+		}
+	}
+}

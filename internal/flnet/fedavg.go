@@ -2,11 +2,13 @@ package flnet
 
 import (
 	"math/rand"
+	"sync/atomic"
 
 	"spatl/internal/comm"
 	"spatl/internal/data"
 	"spatl/internal/fl"
 	"spatl/internal/models"
+	"spatl/internal/tensor"
 )
 
 // FedAvgAggregator implements Aggregator with data-size-weighted model
@@ -15,23 +17,37 @@ import (
 type FedAvgAggregator struct {
 	Global *models.SplitModel
 
-	sum    []float64
-	weight float64
+	sum     []float64 // reused across rounds; len 0 when idle
+	weight  float64
+	bcast   []byte // reusable broadcast frame body
+	dropped atomic.Int64
 }
 
-// Broadcast implements Aggregator.
+// Dropped reports how many corrupt uploads have been discarded since
+// construction; surfaced so operators can tell a skewed aggregate from
+// a healthy one.
+func (a *FedAvgAggregator) Dropped() int64 { return a.dropped.Load() }
+
+// Broadcast implements Aggregator. The returned frame body is owned by
+// the aggregator and reused next round.
 func (a *FedAvgAggregator) Broadcast(round int) []byte {
-	return comm.EncodeDense(a.Global.State(models.ScopeAll))
+	n := a.Global.StateLen(models.ScopeAll)
+	state := a.Global.StateInto(models.ScopeAll, comm.GetF32(n))
+	a.bcast = comm.EncodeDenseInto(a.bcast, state)
+	comm.PutF32(state)
+	return a.bcast
 }
 
 // Collect implements Aggregator.
 func (a *FedAvgAggregator) Collect(round int, client uint32, trainSize int, payload []byte) {
-	state, err := comm.DecodeDense(payload)
+	state, err := comm.DecodeDenseInto(comm.GetF32(a.Global.StateLen(models.ScopeAll)), payload)
 	if err != nil {
-		// A corrupt upload is dropped; the round proceeds with the rest.
+		// A corrupt upload is dropped; the round proceeds with the rest,
+		// and the count records that the aggregate is missing a client.
+		a.dropped.Add(1)
 		return
 	}
-	if a.sum == nil {
+	if len(a.sum) != len(state) {
 		a.sum = make([]float64, len(state))
 	}
 	w := float64(trainSize)
@@ -39,19 +55,26 @@ func (a *FedAvgAggregator) Collect(round int, client uint32, trainSize int, payl
 		a.sum[i] += w * float64(v)
 	}
 	a.weight += w
+	comm.PutF32(state)
 }
 
-// FinishRound implements Aggregator.
+// FinishRound implements Aggregator. The divide is elementwise, so the
+// parallel chunking is trivially bitwise identical to the serial loop.
 func (a *FedAvgAggregator) FinishRound(round int) {
 	if a.weight == 0 {
 		return
 	}
-	state := make([]float32, len(a.sum))
-	for i, v := range a.sum {
-		state[i] = float32(v / a.weight)
-	}
+	state := comm.GetF32(len(a.sum))
+	w := a.weight
+	tensor.Parallel(len(a.sum), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			state[i] = float32(a.sum[i] / w)
+			a.sum[i] = 0
+		}
+	})
 	a.Global.SetState(models.ScopeAll, state)
-	a.sum, a.weight = nil, 0
+	comm.PutF32(state)
+	a.weight = 0
 }
 
 // Final implements Aggregator.
@@ -68,6 +91,8 @@ type FedAvgTrainer struct {
 
 	// FinalModel is populated by Finish.
 	FinalModel []float32
+
+	upBuf []byte // reusable upload frame body
 }
 
 // NewFedAvgTrainer wires a trainer around a client's model and data.
@@ -80,18 +105,30 @@ func NewFedAvgTrainer(spec models.Spec, train, val *data.Dataset, id int, opts f
 	return &FedAvgTrainer{Client: c, Opts: opts, Seed: seed}
 }
 
+// upload serializes the client model into the trainer-owned buffer,
+// reused across rounds (the frame is written out before the next
+// broadcast arrives).
+func (t *FedAvgTrainer) upload() []byte {
+	n := t.Client.Model.StateLen(models.ScopeAll)
+	state := t.Client.Model.StateInto(models.ScopeAll, comm.GetF32(n))
+	t.upBuf = comm.EncodeDenseInto(t.upBuf, state)
+	comm.PutF32(state)
+	return t.upBuf
+}
+
 // LocalUpdate implements Trainer.
 func (t *FedAvgTrainer) LocalUpdate(round int, payload []byte) []byte {
-	state, err := comm.DecodeDense(payload)
+	state, err := comm.DecodeDenseInto(comm.GetF32(t.Client.Model.StateLen(models.ScopeAll)), payload)
 	if err != nil {
-		return comm.EncodeDense(t.Client.Model.State(models.ScopeAll))
+		return t.upload()
 	}
 	t.Client.Model.SetState(models.ScopeAll, state)
+	comm.PutF32(state)
 	rng := rand.New(rand.NewSource(t.Seed*1009 + int64(round)*31 + int64(t.Client.ID)))
 	opts := t.Opts
 	opts.Params = t.Client.Model.Params()
 	fl.LocalSGD(t.Client, opts, rng)
-	return comm.EncodeDense(t.Client.Model.State(models.ScopeAll))
+	return t.upload()
 }
 
 // Finish implements Trainer.

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"spatl/internal/comm"
 	"spatl/internal/data"
@@ -12,17 +13,28 @@ import (
 	"spatl/internal/nn"
 	"spatl/internal/prune"
 	"spatl/internal/rl"
+	"spatl/internal/tensor"
 )
 
 // JoinPayloads concatenates multiple byte payloads into one frame body
 // with uint32 length prefixes, so an algorithm can ship several comm
 // blobs (model delta + control delta) per message.
 func JoinPayloads(parts ...[]byte) []byte {
+	return JoinPayloadsInto(nil, parts...)
+}
+
+// JoinPayloadsInto is JoinPayloads appending into dst[:0]'s backing
+// array (grown when the capacity is insufficient), so aggregators and
+// trainers can frame rounds into a reusable buffer.
+func JoinPayloadsInto(dst []byte, parts ...[]byte) []byte {
 	n := 0
 	for _, p := range parts {
 		n += 4 + len(p)
 	}
-	out := make([]byte, 0, n)
+	out := dst[:0]
+	if cap(out) < n {
+		out = make([]byte, 0, n)
+	}
 	var lenBuf [4]byte
 	for _, p := range parts {
 		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(p)))
@@ -59,9 +71,17 @@ type SPATLAggregator struct {
 	// Clients is the federation size N (for the 1/N control update).
 	Clients int
 
-	c     []float32
-	sum   []float32
-	count []int32
+	c       []float32
+	pending []spatlUpload // decoded uploads buffered in arrival order
+	count   []int32       // per-index contributor count, reused across rounds
+	bcast   []byte        // reusable broadcast frame body
+	dropped atomic.Int64
+}
+
+// spatlUpload is one client's decoded round contribution.
+type spatlUpload struct {
+	dW *comm.Sparse
+	dC *comm.Sparse
 }
 
 // NewSPATLAggregator wires the aggregator around the global model.
@@ -73,55 +93,104 @@ func NewSPATLAggregator(global *models.SplitModel, clients int) *SPATLAggregator
 	}
 }
 
-// Broadcast implements Aggregator.
+// Dropped reports how many malformed uploads the aggregator has
+// discarded since construction. A nonzero value means clients (or the
+// transport) are misbehaving — silently losing contributions skews the
+// aggregate, so the count is surfaced rather than swallowed.
+func (a *SPATLAggregator) Dropped() int64 { return a.dropped.Load() }
+
+// Broadcast implements Aggregator. The returned frame body is owned by
+// the aggregator and reused next round (the server writes it out before
+// the round's uploads return).
 func (a *SPATLAggregator) Broadcast(round int) []byte {
-	return JoinPayloads(
-		comm.EncodeDense(a.Global.State(models.ScopeEncoder)),
-		comm.EncodeDense(a.c),
-	)
+	n := a.Global.StateLen(models.ScopeEncoder)
+	state := a.Global.StateInto(models.ScopeEncoder, comm.GetF32(n))
+	enc := comm.EncodeDenseInto(comm.GetBuf(comm.DenseLen(n)), state)
+	ctrl := comm.EncodeDenseInto(comm.GetBuf(comm.DenseLen(len(a.c))), a.c)
+	a.bcast = JoinPayloadsInto(a.bcast, enc, ctrl)
+	comm.PutBuf(ctrl)
+	comm.PutBuf(enc)
+	comm.PutF32(state)
+	return a.bcast
 }
 
-// Collect implements Aggregator.
+// Collect implements Aggregator: decode into pooled buffers and defer
+// the reduction to FinishRound, which replays arrival order.
 func (a *SPATLAggregator) Collect(round int, client uint32, trainSize int, payload []byte) {
 	parts, err := SplitPayloads(payload)
 	if err != nil || len(parts) != 2 {
-		return // drop malformed upload
-	}
-	dW, err := comm.DecodeSparse(parts[0])
-	if err != nil {
+		a.dropped.Add(1)
 		return
 	}
-	if a.sum == nil {
-		n := a.Global.StateLen(models.ScopeEncoder)
-		a.sum = make([]float32, n)
-		a.count = make([]int32, n)
+	dW := &comm.Sparse{Values: comm.GetF32(len(parts[0]) / 4)}
+	if err := comm.DecodeSparseInto(dW, parts[0]); err != nil {
+		a.dropped.Add(1)
+		comm.PutSparse(dW)
+		return
 	}
-	comm.ScatterAdd(a.sum, a.count, dW)
-	if dC, err := comm.DecodeSparse(parts[1]); err == nil {
-		invN := float32(1.0 / float64(a.Clients))
-		off := 0
-		for _, r := range dC.Ranges {
-			for k := uint32(0); k < r.Len; k++ {
-				a.c[r.Start+k] += invN * dC.Values[off]
-				off++
-			}
-		}
+	u := spatlUpload{dW: dW}
+	dC := &comm.Sparse{Values: comm.GetF32(len(parts[1]) / 4)}
+	if err := comm.DecodeSparseInto(dC, parts[1]); err == nil {
+		u.dC = dC
+	} else {
+		a.dropped.Add(1)
+		comm.PutSparse(dC)
 	}
+	a.pending = append(a.pending, u)
 }
 
-// FinishRound implements Aggregator.
+// FinishRound implements Aggregator: per-index averaged aggregation of
+// the buffered salient deltas (eq. 12) plus the eq. 11 control update,
+// chunked over the parameter dimension. Each index consumes clients in
+// arrival order inside its chunk, so the result is bitwise identical to
+// the serial ScatterAdd replay at any GOMAXPROCS.
 func (a *SPATLAggregator) FinishRound(round int) {
-	if a.sum == nil {
+	if len(a.pending) == 0 {
 		return
 	}
-	state := a.Global.State(models.ScopeEncoder)
-	for i := range state {
-		if a.count[i] > 0 {
-			state[i] += a.sum[i] / float32(a.count[i])
+	n := a.Global.StateLen(models.ScopeEncoder)
+	if len(a.count) != n {
+		a.count = make([]int32, n)
+	}
+	state := a.Global.StateInto(models.ScopeEncoder, comm.GetF32(n))
+	sum := comm.GetF32(n)
+	invN := float32(1.0 / float64(a.Clients))
+	tensor.Parallel(n, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			sum[j] = 0
+			a.count[j] = 0
+		}
+		for _, u := range a.pending {
+			comm.ScatterAddRange(sum, a.count, u.dW, lo, hi)
+		}
+		for j := lo; j < hi; j++ {
+			if a.count[j] > 0 {
+				state[j] += sum[j] / float32(a.count[j])
+			}
+		}
+		hiC := hi
+		if hiC > len(a.c) {
+			hiC = len(a.c)
+		}
+		if lo < hiC {
+			for _, u := range a.pending {
+				if u.dC == nil {
+					continue
+				}
+				comm.ScatterAddScaledRange(a.c, u.dC, invN, lo, hiC)
+			}
+		}
+	})
+	a.Global.SetState(models.ScopeEncoder, state)
+	comm.PutF32(sum)
+	comm.PutF32(state)
+	for _, u := range a.pending {
+		comm.PutSparse(u.dW)
+		if u.dC != nil {
+			comm.PutSparse(u.dC)
 		}
 	}
-	a.Global.SetState(models.ScopeEncoder, state)
-	a.sum, a.count = nil, nil
+	a.pending = a.pending[:0]
 }
 
 // Final implements Aggregator.
@@ -143,6 +212,7 @@ type SPATLTrainer struct {
 	Seed           int64
 
 	control []float32
+	upBuf   []byte // reusable upload frame body
 }
 
 // NewSPATLTrainer builds a client-side SPATL participant.
@@ -161,15 +231,20 @@ func NewSPATLTrainer(spec models.Spec, train, val *data.Dataset, id int, opts fl
 	return t
 }
 
-// LocalUpdate implements Trainer.
+// LocalUpdate implements Trainer. The returned upload body is owned by
+// the trainer and reused next round (the client writes it to the wire
+// before the next broadcast arrives).
 func (t *SPATLTrainer) LocalUpdate(round int, payload []byte) []byte {
 	parts, err := SplitPayloads(payload)
 	if err != nil || len(parts) != 2 {
 		return JoinPayloads(nil, nil)
 	}
-	globalState, err1 := comm.DecodeDense(parts[0])
-	serverC, err2 := comm.DecodeDense(parts[1])
+	n := t.Client.Model.StateLen(models.ScopeEncoder)
+	globalState, err1 := comm.DecodeDenseInto(comm.GetF32(n), parts[0])
+	serverC, err2 := comm.DecodeDenseInto(comm.GetF32(len(t.control)), parts[1])
 	if err1 != nil || err2 != nil {
+		comm.PutF32(globalState)
+		comm.PutF32(serverC)
 		return JoinPayloads(nil, nil)
 	}
 	m := t.Client.Model
@@ -194,12 +269,13 @@ func (t *SPATLTrainer) LocalUpdate(round int, payload []byte) []byte {
 	// Control update (option II) over the encoder.
 	localCtrl := nn.FlattenParams(encP)
 	inv := 1.0 / (float64(steps) * fl.EffectiveLR(opts.LR, opts.Momentum))
-	dC := make([]float32, len(localCtrl))
+	dC := comm.GetF32(len(localCtrl))
 	for j := range localCtrl {
 		newC := t.control[j] - serverC[j] + float32(float64(gBefore[j]-localCtrl[j])*inv)
 		dC[j] = newC - t.control[j]
 		t.control[j] = newC
 	}
+	comm.PutF32(serverC)
 
 	// Salient selection.
 	env := prune.NewEnv(m, t.Client.Val, t.FLOPsBudget)
@@ -209,16 +285,27 @@ func (t *SPATLTrainer) LocalUpdate(round int, payload []byte) []byte {
 	}
 	sel := prune.Select(m, rl.BestAction(t.Agent, env))
 
-	localState := m.State(models.ScopeEncoder)
-	dW := make([]float32, len(localState))
+	localState := m.StateInto(models.ScopeEncoder, comm.GetF32(n))
+	dW := comm.GetF32(len(localState))
 	for j := range localState {
 		dW[j] = localState[j] - globalState[j]
 	}
+	comm.PutF32(localState)
+	comm.PutF32(globalState)
 	ctrlRanges := clipRangesTo(sel.Ranges, len(dC))
-	return JoinPayloads(
-		comm.EncodeSparse(comm.GatherSparse(dW, sel.Ranges)),
-		comm.EncodeSparse(comm.GatherSparse(dC, ctrlRanges)),
-	)
+	var sw, sc comm.Sparse
+	comm.GatherSparseInto(&sw, dW, sel.Ranges)
+	comm.GatherSparseInto(&sc, dC, ctrlRanges)
+	bufW := comm.EncodeSparseInto(comm.GetBuf(sw.EncodedLen()), &sw)
+	bufC := comm.EncodeSparseInto(comm.GetBuf(sc.EncodedLen()), &sc)
+	t.upBuf = JoinPayloadsInto(t.upBuf, bufW, bufC)
+	comm.PutBuf(bufC)
+	comm.PutBuf(bufW)
+	comm.PutSparse(&sw)
+	comm.PutSparse(&sc)
+	comm.PutF32(dW)
+	comm.PutF32(dC)
+	return t.upBuf
 }
 
 // Finish implements Trainer.

@@ -102,15 +102,28 @@ func (m *SplitModel) StateLen(scope Scope) int {
 
 // State serializes the scope into a fresh flat vector.
 func (m *SplitModel) State(scope Scope) []float32 {
-	out := make([]float32, 0, m.StateLen(scope))
+	return m.StateInto(scope, nil)
+}
+
+// StateInto serializes the scope into dst, reusing its backing array when
+// the capacity suffices (so round loops can snapshot state into pooled
+// buffers). Returns the filled slice.
+func (m *SplitModel) StateInto(scope Scope, dst []float32) []float32 {
+	n := m.StateLen(scope)
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]float32, n)
+	}
+	off := 0
 	for _, p := range m.scopeParams(scope) {
-		out = append(out, p.W.Data...)
+		off += copy(dst[off:], p.W.Data)
 	}
 	for _, bn := range m.scopeBNs(scope) {
-		out = append(out, bn.RunMean...)
-		out = append(out, bn.RunVar...)
+		off += copy(dst[off:], bn.RunMean)
+		off += copy(dst[off:], bn.RunVar)
 	}
-	return out
+	return dst
 }
 
 // SetState writes a flat vector produced by State back into the model.

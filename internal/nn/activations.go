@@ -4,9 +4,10 @@ import "spatl/internal/tensor"
 
 // ReLU applies max(0,x) elementwise.
 type ReLU struct {
-	name string
-	mask []bool
-	n    int64
+	name    string
+	mask    []bool
+	n       int64
+	out, dx *tensor.Tensor // reused activation/gradient buffers
 }
 
 // NewReLU constructs a ReLU activation.
@@ -14,7 +15,8 @@ func NewReLU(name string) *ReLU { return &ReLU{name: name} }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := tensor.New(x.Shape()...)
+	out := tensor.Reuse(r.out, x.Shape()...)
+	r.out = out
 	if train {
 		if cap(r.mask) < x.Len() {
 			r.mask = make([]bool, x.Len())
@@ -25,6 +27,8 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		pos := v > 0
 		if pos {
 			out.Data[i] = v
+		} else {
+			out.Data[i] = 0
 		}
 		if train {
 			r.mask[i] = pos
@@ -36,10 +40,13 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (r *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(dout.Shape()...)
+	dx := tensor.Reuse(r.dx, dout.Shape()...)
+	r.dx = dx
 	for i, v := range dout.Data {
 		if r.mask[i] {
 			dx.Data[i] = v
+		} else {
+			dx.Data[i] = 0
 		}
 	}
 	return dx

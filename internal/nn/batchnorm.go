@@ -28,6 +28,8 @@ type BatchNorm2D struct {
 	mean   []float64
 	invStd []float64
 
+	out, dx *tensor.Tensor // reused activation/gradient buffers
+
 	lastPlane int // H*W at the most recent Forward, for FLOPs accounting
 }
 
@@ -55,7 +57,8 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	plane := h * w
 	bn.lastPlane = plane
 	cnt := n * plane
-	out := tensor.New(n, bn.C, h, w)
+	out := tensor.Reuse(bn.out, n, bn.C, h, w)
+	bn.out = out
 
 	if train {
 		bn.x = x
@@ -134,7 +137,8 @@ func (bn *BatchNorm2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	n, h, w := bn.x.Dim(0), bn.x.Dim(2), bn.x.Dim(3)
 	plane := h * w
 	cnt := float64(n * plane)
-	dx := tensor.New(n, bn.C, h, w)
+	dx := tensor.Reuse(bn.dx, n, bn.C, h, w)
+	bn.dx = dx
 
 	tensor.Parallel(bn.C, func(clo, chi int) {
 		for c := clo; c < chi; c++ {

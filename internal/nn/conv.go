@@ -20,6 +20,7 @@ type Conv2D struct {
 	dims                      tensor.ConvDims
 	haveDims                  bool
 	x                         *tensor.Tensor // cached input for backward
+	out, dx                   *tensor.Tensor // reused activation/gradient buffers
 }
 
 // NewConv2D constructs a convolution layer with He-normal initialized
@@ -49,7 +50,8 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		c.haveDims = true
 	}
 	d := c.dims
-	out := tensor.New(n, c.OutC, d.OutH, d.OutW)
+	out := tensor.Reuse(c.out, n, c.OutC, d.OutH, d.OutW)
+	c.out = out
 	inStride := c.InC * h * w
 	outStride := c.OutC * d.OutH * d.OutW
 	colRows := c.InC * c.K * c.K
@@ -99,7 +101,8 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	inStride := c.InC * h * w
 	outStride := c.OutC * cols
 
-	dx := tensor.New(n, c.InC, h, w)
+	dx := tensor.Reuse(c.dx, n, c.InC, h, w)
+	c.dx = dx
 
 	// Shard the batch; each shard accumulates its own dW (and db) in
 	// scratch buffers, then shards are summed in fixed order so results
@@ -134,9 +137,14 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 				// order before the single add, matching the old
 				// materialize-then-add rounding).
 				tensor.MatMulTransBAccSlice(sh.dw, gi, col, c.OutC, cols, colRows)
-				// dcol = Wᵀ · gi ; dx_i = col2im(dcol)
+				// dcol = Wᵀ · gi ; dx_i = col2im(dcol). Col2Im accumulates,
+				// so the reused image slice is zeroed first.
 				tensor.MatMulTransASlice(dcol, c.weight.W.Data, gi, colRows, c.OutC, cols)
-				tensor.Col2Im(dx.Data[i*inStride:(i+1)*inStride], dcol, d)
+				dxi := dx.Data[i*inStride : (i+1)*inStride]
+				for j := range dxi {
+					dxi[j] = 0
+				}
+				tensor.Col2Im(dxi, dcol, d)
 				if c.useBias {
 					for oc := 0; oc < c.OutC; oc++ {
 						var s float64

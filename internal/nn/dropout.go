@@ -15,6 +15,8 @@ type Dropout struct {
 	rng  *rand.Rand
 	mask []bool
 	n    int64
+
+	out, dx *tensor.Tensor // reused activation/gradient buffers
 }
 
 // NewDropout constructs a dropout layer with its own seeded source; each
@@ -32,7 +34,8 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !train || d.P == 0 {
 		return x
 	}
-	out := tensor.New(x.Shape()...)
+	out := tensor.Reuse(d.out, x.Shape()...)
+	d.out = out
 	if cap(d.mask) < x.Len() {
 		d.mask = make([]bool, x.Len())
 	}
@@ -43,6 +46,8 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		d.mask[i] = keep
 		if keep {
 			out.Data[i] = v * scale
+		} else {
+			out.Data[i] = 0
 		}
 	}
 	return out
@@ -53,11 +58,14 @@ func (d *Dropout) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	if d.P == 0 {
 		return dout
 	}
-	dx := tensor.New(dout.Shape()...)
+	dx := tensor.Reuse(d.dx, dout.Shape()...)
+	d.dx = dx
 	scale := float32(1 / (1 - d.P))
 	for i, v := range dout.Data {
 		if d.mask[i] {
 			dx.Data[i] = v * scale
+		} else {
+			dx.Data[i] = 0
 		}
 	}
 	return dx

@@ -15,6 +15,7 @@ type Linear struct {
 	weight  *Param
 	bias    *Param
 	x       *tensor.Tensor
+	out, dx *tensor.Tensor // reused activation/gradient buffers
 }
 
 // NewLinear constructs a fully connected layer with He-normal weights and
@@ -32,7 +33,9 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Rank() != 2 || x.Dim(1) != l.In {
 		panic(fmt.Sprintf("nn: %s expects (N,%d), got %v", l.name, l.In, x.Shape()))
 	}
-	out := tensor.MatMulTransB(x, l.weight.W)
+	out := tensor.Reuse(l.out, x.Dim(0), l.Out)
+	l.out = out
+	tensor.MatMulTransBInto(out, x, l.weight.W)
 	n := x.Dim(0)
 	for i := 0; i < n; i++ {
 		row := out.Data[i*l.Out : (i+1)*l.Out]
@@ -64,7 +67,10 @@ func (l *Linear) Backward(dout *tensor.Tensor) *tensor.Tensor {
 			l.bias.G.Data[j] += v
 		}
 	}
-	return tensor.MatMul(dout, l.weight.W)
+	dx := tensor.Reuse(l.dx, dout.Dim(0), l.In)
+	l.dx = dx
+	tensor.MatMulInto(dx, dout, l.weight.W)
+	return dx
 }
 
 // Params implements Layer.

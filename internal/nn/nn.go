@@ -32,6 +32,11 @@ func newParam(name string, shape ...int) *Param {
 }
 
 // Layer is a differentiable network module.
+//
+// Buffer ownership: layers reuse their output and input-gradient buffers
+// across calls, so a tensor returned by Forward (Backward) is only valid
+// until the same layer's next Forward (Backward). Callers that need a
+// result to survive a later pass must Clone it.
 type Layer interface {
 	// Forward runs the layer on a batch. train selects training-mode
 	// behaviour (batch statistics, dropout); layers cache whatever they

@@ -14,6 +14,7 @@ type MaxPool2D struct {
 	argmax  []int32
 	inShape []int
 	n       int64
+	out, dx *tensor.Tensor // reused activation/gradient buffers
 }
 
 // NewMaxPool2D constructs a KxK non-overlapping max pool.
@@ -28,7 +29,8 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: %s input %dx%d not divisible by window %d", m.name, h, w, m.K))
 	}
 	oh, ow := h/m.K, w/m.K
-	out := tensor.New(n, c, oh, ow)
+	out := tensor.Reuse(m.out, n, c, oh, ow)
+	m.out = out
 	if cap(m.argmax) < out.Len() {
 		m.argmax = make([]int32, out.Len())
 	}
@@ -67,7 +69,10 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (m *MaxPool2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(m.inShape...)
+	// The argmax scatter accumulates, so a reused buffer must be zeroed.
+	dx := tensor.Reuse(m.dx, m.inShape...)
+	m.dx = dx
+	dx.Zero()
 	for o, idx := range m.argmax {
 		dx.Data[idx] += dout.Data[o]
 	}
@@ -89,6 +94,7 @@ type GlobalAvgPool struct {
 	name    string
 	inShape []int
 	n       int64
+	out, dx *tensor.Tensor // reused activation/gradient buffers
 }
 
 // NewGlobalAvgPool constructs a global average pooling layer.
@@ -98,7 +104,8 @@ func NewGlobalAvgPool(name string) *GlobalAvgPool { return &GlobalAvgPool{name: 
 func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	plane := h * w
-	out := tensor.New(n, c)
+	out := tensor.Reuse(g.out, n, c)
+	g.out = out
 	for i := 0; i < n; i++ {
 		for ch := 0; ch < c; ch++ {
 			base := (i*c + ch) * plane
@@ -118,7 +125,8 @@ func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 func (g *GlobalAvgPool) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := g.inShape[0], g.inShape[1], g.inShape[2], g.inShape[3]
 	plane := h * w
-	dx := tensor.New(g.inShape...)
+	dx := tensor.Reuse(g.dx, g.inShape...)
+	g.dx = dx
 	inv := float32(1.0 / float64(plane))
 	for i := 0; i < n; i++ {
 		for ch := 0; ch < c; ch++ {

@@ -27,6 +27,8 @@ type BasicBlock struct {
 	// Backward caches.
 	sum    *tensor.Tensor // pre-activation sum for final ReLU backward
 	inSame bool
+
+	out, dsum *tensor.Tensor // reused activation/gradient buffers
 }
 
 // NewBasicBlock constructs a basic residual block mapping inC channels to
@@ -71,10 +73,13 @@ func (b *BasicBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
 		b.sum = main
 	}
-	out := tensor.New(main.Shape()...)
+	out := tensor.Reuse(b.out, main.Shape()...)
+	b.out = out
 	for i, v := range main.Data {
 		if v > 0 {
 			out.Data[i] = v
+		} else {
+			out.Data[i] = 0
 		}
 	}
 	return out
@@ -86,10 +91,13 @@ func (b *BasicBlock) Backward(dout *tensor.Tensor) *tensor.Tensor {
 		panic("nn: BasicBlock.Backward before training-mode Forward")
 	}
 	// Final ReLU.
-	dsum := tensor.New(dout.Shape()...)
+	dsum := tensor.Reuse(b.dsum, dout.Shape()...)
+	b.dsum = dsum
 	for i, v := range dout.Data {
 		if b.sum.Data[i] > 0 {
 			dsum.Data[i] = v
+		} else {
+			dsum.Data[i] = 0
 		}
 	}
 	// Main path.

@@ -169,7 +169,9 @@ func TestWithMaskedZeroesAndRestores(t *testing.T) {
 
 	x := tensor.New(2, 3, 8, 8)
 	x.Randn(nn.Rng(3), 1)
-	full := m.Forward(x, false)
+	// Layers reuse their output buffers across calls, so snapshot the
+	// first forward before running the second.
+	full := m.Forward(x, false).Clone()
 	var masked *tensor.Tensor
 	WithMasked(m, sel, func() {
 		masked = m.Forward(x, false)

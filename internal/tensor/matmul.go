@@ -305,11 +305,22 @@ func MatMulTransBAccSlice(c, a, b []float32, m, k, n int) {
 const jcPanel = 32
 
 // matmulTransBRows computes rows [lo,hi) of C = A·Bᵀ (or C += A·Bᵀ when
-// acc) with a 2×4 register tile: two rows of A against four rows of B give
-// eight independent dot-product accumulators per pass, amortizing every
-// operand load across multiple FMAs. Each accumulator sums in ascending-k
-// order, preserving the reference rounding.
+// acc). On CPUs with AVX2 it dispatches to the vector tile kernel; both
+// paths form each output as one ascending-k dot-product chain, so the
+// choice never changes a single bit of the result. The scalar path uses a
+// 2×4 register tile: two rows of A against four rows of B give eight
+// independent dot-product accumulators per pass, amortizing every operand
+// load across multiple FMAs.
 func matmulTransBRows(c, a, b []float32, lo, hi, k, n int, acc bool) {
+	if useAVX2 && n >= 16 && hi-lo >= 4 && k >= 4 {
+		matmulTransBRowsAVX2(c, a, b, lo, hi, k, n, acc)
+		return
+	}
+	matmulTransBRowsScalar(c, a, b, lo, hi, k, n, acc)
+}
+
+// matmulTransBRowsScalar is the portable panel loop behind matmulTransBRows.
+func matmulTransBRowsScalar(c, a, b []float32, lo, hi, k, n int, acc bool) {
 	for jj := 0; jj < n; jj += jcPanel {
 		jhi := jj + jcPanel
 		if jhi > n {

@@ -1,0 +1,77 @@
+package tensor
+
+// AVX2 acceleration for the dense A·Bᵀ panel kernel. The vector path
+// computes every output element as the same single ascending-k dot-product
+// chain as the scalar kernel (multiply then add, no FMA contraction), so
+// the two paths are bitwise interchangeable; which one runs is purely a
+// performance decision made at startup from CPUID.
+
+func cpuidAsm(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbvAsm() (eax, edx uint32)
+
+//go:noescape
+func avx2DotPanel4x16(a *float32, lda int, bp *float32, k int, out *float32)
+
+// useAVX2 reports whether the CPU and OS support AVX2 with YMM state
+// saving (CPUID leaf 7 AVX2, plus OSXSAVE and XCR0 XMM|YMM bits).
+var useAVX2 = func() bool {
+	maxID, _, _, _ := cpuidAsm(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c, _ := cpuidAsm(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if c&osxsave == 0 || c&avx == 0 {
+		return false
+	}
+	xcr0, _ := xgetbvAsm()
+	if xcr0&6 != 6 {
+		return false
+	}
+	_, b, _, _ := cpuidAsm(7, 0)
+	return b&(1<<5) != 0
+}()
+
+// matmulTransBRowsAVX2 computes rows [lo,hi) of C = A·Bᵀ (C += A·Bᵀ when
+// acc) using the AVX2 tile kernel. B columns are consumed in groups of 16:
+// the group is packed element-interleaved (bp[p*16+j] = B[j][p]) so the
+// kernel streams two contiguous 8-float loads per k step, then 4-row tiles
+// of A are reduced against the packed panel. Row and column remainders fall
+// back to the scalar panel kernel, which produces bitwise-identical values.
+func matmulTransBRowsAVX2(c, a, b []float32, lo, hi, k, n int, acc bool) {
+	bp := GetScratch(16 * k)
+	var out [64]float32
+	jj := 0
+	for ; jj+16 <= n; jj += 16 {
+		for j := 0; j < 16; j++ {
+			row := b[(jj+j)*k : (jj+j)*k+k]
+			for p, v := range row {
+				bp[p*16+j] = v
+			}
+		}
+		i := lo
+		for ; i+4 <= hi; i += 4 {
+			avx2DotPanel4x16(&a[i*k], k, &bp[0], k, &out[0])
+			for r := 0; r < 4; r++ {
+				crow := c[(i+r)*n+jj : (i+r)*n+jj+16]
+				or := out[r*16 : r*16+16]
+				if acc {
+					for j2, v := range or {
+						crow[j2] += v
+					}
+				} else {
+					copy(crow, or)
+				}
+			}
+		}
+		if i < hi {
+			matmulTransBRowsPanel(c, a, b, i, hi, jj, jj+16, k, n, acc)
+		}
+	}
+	if jj < n {
+		matmulTransBRowsPanel(c, a, b, lo, hi, jj, n, k, n, acc)
+	}
+	PutScratch(bp)
+}

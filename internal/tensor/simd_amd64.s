@@ -1,0 +1,102 @@
+// AVX2 micro-kernel for the A·Bᵀ panel product. Each output element is a
+// single dot-product accumulator advanced in ascending-k order with separate
+// multiply and add (no FMA), so results are bitwise identical to the scalar
+// kernel: vectorization is across independent output columns, never across k.
+
+#include "textflag.h"
+
+// func cpuidAsm(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL	eaxIn+0(FP), AX
+	MOVL	ecxIn+4(FP), CX
+	CPUID
+	MOVL	AX, eax+8(FP)
+	MOVL	BX, ebx+12(FP)
+	MOVL	CX, ecx+16(FP)
+	MOVL	DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (eax, edx uint32)
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL	CX, CX
+	XGETBV
+	MOVL	AX, eax+0(FP)
+	MOVL	DX, edx+4(FP)
+	RET
+
+// func avx2DotPanel4x16(a *float32, lda int, bp *float32, k int, out *float32)
+//
+// Computes a 4-row × 16-column tile of dot products against a packed
+// B-panel: out[r*16+j] = Σ_p a[r*lda+p] · bp[p*16+j] for r in [0,4),
+// j in [0,16). bp interleaves 16 B rows element-by-element so each k step
+// is two contiguous 8-float loads. Eight YMM accumulators (4 rows × 2
+// halves) give eight independent add chains, hiding VADDPS latency.
+TEXT ·avx2DotPanel4x16(SB), NOSPLIT, $0-40
+	MOVQ	a+0(FP), SI
+	MOVQ	lda+8(FP), AX
+	MOVQ	bp+16(FP), BX
+	MOVQ	k+24(FP), CX
+	MOVQ	out+32(FP), DI
+
+	SHLQ	$2, AX              // row stride in bytes
+	LEAQ	(SI)(AX*1), R9      // a row 1
+	LEAQ	(R9)(AX*1), R10     // a row 2
+	LEAQ	(R10)(AX*1), R11    // a row 3
+
+	VXORPS	Y0, Y0, Y0          // row 0, cols 0-7
+	VXORPS	Y1, Y1, Y1          // row 0, cols 8-15
+	VXORPS	Y2, Y2, Y2          // row 1, cols 0-7
+	VXORPS	Y3, Y3, Y3          // row 1, cols 8-15
+	VXORPS	Y4, Y4, Y4          // row 2, cols 0-7
+	VXORPS	Y5, Y5, Y5          // row 2, cols 8-15
+	VXORPS	Y6, Y6, Y6          // row 3, cols 0-7
+	VXORPS	Y7, Y7, Y7          // row 3, cols 8-15
+
+	XORQ	DX, DX              // p = 0
+	TESTQ	CX, CX
+	JLE	done
+
+loop:
+	VMOVUPS	(BX), Y8            // bp[p*16 .. p*16+7]
+	VMOVUPS	32(BX), Y9          // bp[p*16+8 .. p*16+15]
+
+	VBROADCASTSS	(SI)(DX*4), Y10
+	VMULPS	Y8, Y10, Y11
+	VADDPS	Y11, Y0, Y0
+	VMULPS	Y9, Y10, Y12
+	VADDPS	Y12, Y1, Y1
+
+	VBROADCASTSS	(R9)(DX*4), Y10
+	VMULPS	Y8, Y10, Y11
+	VADDPS	Y11, Y2, Y2
+	VMULPS	Y9, Y10, Y12
+	VADDPS	Y12, Y3, Y3
+
+	VBROADCASTSS	(R10)(DX*4), Y10
+	VMULPS	Y8, Y10, Y11
+	VADDPS	Y11, Y4, Y4
+	VMULPS	Y9, Y10, Y12
+	VADDPS	Y12, Y5, Y5
+
+	VBROADCASTSS	(R11)(DX*4), Y10
+	VMULPS	Y8, Y10, Y11
+	VADDPS	Y11, Y6, Y6
+	VMULPS	Y9, Y10, Y12
+	VADDPS	Y12, Y7, Y7
+
+	ADDQ	$64, BX
+	INCQ	DX
+	CMPQ	DX, CX
+	JLT	loop
+
+done:
+	VMOVUPS	Y0, (DI)
+	VMOVUPS	Y1, 32(DI)
+	VMOVUPS	Y2, 64(DI)
+	VMOVUPS	Y3, 96(DI)
+	VMOVUPS	Y4, 128(DI)
+	VMOVUPS	Y5, 160(DI)
+	VMOVUPS	Y6, 192(DI)
+	VMOVUPS	Y7, 224(DI)
+	VZEROUPPER
+	RET

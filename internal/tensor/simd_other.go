@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds have no vector kernel; the scalar panel path runs
+// everywhere.
+const useAVX2 = false
+
+func matmulTransBRowsAVX2(c, a, b []float32, lo, hi, k, n int, acc bool) {
+	matmulTransBRowsScalar(c, a, b, lo, hi, k, n, acc)
+}

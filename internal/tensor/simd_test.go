@@ -1,0 +1,78 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAVX2PanelMatchesScalar drives the vector and scalar A·Bᵀ panel
+// kernels over awkward shapes (remainder rows, remainder columns, tiny k)
+// and demands bitwise-identical outputs in both overwrite and accumulate
+// modes. On machines without AVX2 the vector path aliases the scalar one
+// and the test degenerates to a self-check.
+func TestAVX2PanelMatchesScalar(t *testing.T) {
+	if !useAVX2 {
+		t.Log("AVX2 unavailable; vector path aliases scalar path")
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, m := range []int{1, 3, 4, 5, 9, 16} {
+		for _, k := range []int{1, 4, 7, 17, 144} {
+			for _, n := range []int{1, 8, 15, 16, 17, 31, 32, 47, 256} {
+				a := make([]float32, m*k)
+				b := make([]float32, n*k)
+				for i := range a {
+					a[i] = float32(rng.NormFloat64())
+				}
+				for i := range b {
+					b[i] = float32(rng.NormFloat64())
+				}
+				for _, acc := range []bool{false, true} {
+					want := make([]float32, m*n)
+					got := make([]float32, m*n)
+					if acc {
+						for i := range want {
+							v := float32(rng.NormFloat64())
+							want[i], got[i] = v, v
+						}
+					}
+					matmulTransBRowsScalar(want, a, b, 0, m, k, n, acc)
+					matmulTransBRowsAVX2(got, a, b, 0, m, k, n, acc)
+					for i := range want {
+						if math.Float32bits(want[i]) != math.Float32bits(got[i]) {
+							t.Fatalf("m=%d k=%d n=%d acc=%v: C[%d] vector %x scalar %x",
+								m, k, n, acc, i, math.Float32bits(got[i]), math.Float32bits(want[i]))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAVX2PanelPartialRows exercises lo/hi windows that do not start at
+// row zero, as produced by Parallel sharding.
+func TestAVX2PanelPartialRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const m, k, n = 13, 21, 40
+	a := make([]float32, m*k)
+	b := make([]float32, n*k)
+	for i := range a {
+		a[i] = float32(rng.NormFloat64())
+	}
+	for i := range b {
+		b[i] = float32(rng.NormFloat64())
+	}
+	for _, win := range [][2]int{{0, 13}, {2, 9}, {5, 6}, {3, 13}} {
+		want := make([]float32, m*n)
+		got := make([]float32, m*n)
+		matmulTransBRowsScalar(want, a, b, win[0], win[1], k, n, false)
+		matmulTransBRowsAVX2(got, a, b, win[0], win[1], k, n, false)
+		for i := range want {
+			if math.Float32bits(want[i]) != math.Float32bits(got[i]) {
+				t.Fatalf("window %v: C[%d] vector %x scalar %x",
+					win, i, math.Float32bits(got[i]), math.Float32bits(want[i]))
+			}
+		}
+	}
+}

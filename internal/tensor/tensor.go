@@ -32,6 +32,23 @@ func New(shape ...int) *Tensor {
 	return &Tensor{Data: make([]float32, n), shape: append([]int(nil), shape...)}
 }
 
+// Reuse returns t when it already has exactly the given shape — contents
+// preserved, NOT zeroed — otherwise a fresh zero-filled tensor. Layers
+// use it to recycle activation/gradient buffers across training steps;
+// callers must fully overwrite (or explicitly zero) the returned data,
+// and must not hand the buffer to code that outlives the next call.
+func Reuse(t *Tensor, shape ...int) *Tensor {
+	if t == nil || len(t.shape) != len(shape) {
+		return New(shape...)
+	}
+	for i, d := range shape {
+		if t.shape[i] != d {
+			return New(shape...)
+		}
+	}
+	return t
+}
+
 // FromSlice wraps data in a tensor of the given shape. The slice is used
 // directly (not copied); its length must equal the shape's element count.
 func FromSlice(data []float32, shape ...int) *Tensor {
