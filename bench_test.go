@@ -230,7 +230,7 @@ func BenchmarkConvBackward(b *testing.B) {
 // Tiny scale (4 clients, parallel local updates, real serialization).
 func BenchmarkFLRound(b *testing.B) {
 	env := experiments.BuildCIFAREnv(experiments.Tiny, "resnet20", experiments.ClientSet{Clients: 4, Ratio: 1}, 1)
-	algo := fl.FedAvg{}
+	algo := &fl.FedAvg{}
 	algo.Setup(env)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

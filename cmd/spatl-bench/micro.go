@@ -5,11 +5,16 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 
+	"spatl/internal/algo"
 	"spatl/internal/comm"
+	"spatl/internal/data"
 	"spatl/internal/experiments"
 	"spatl/internal/fl"
+	"spatl/internal/flnet"
+	"spatl/internal/models"
 	"spatl/internal/nn"
 	"spatl/internal/tensor"
 )
@@ -220,7 +225,7 @@ var microBenchmarks = []struct {
 	}},
 	{"FLRound", func(b *testing.B) {
 		env := experiments.BuildCIFAREnv(experiments.Tiny, "resnet20", experiments.ClientSet{Clients: 4, Ratio: 1}, 1)
-		algo := fl.FedAvg{}
+		algo := &fl.FedAvg{}
 		algo.Setup(env)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -234,6 +239,41 @@ var microBenchmarks = []struct {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			algo.Round(env, i, env.SampleClients())
+		}
+	}},
+	{"FlnetRound", func(b *testing.B) {
+		// One full FedAvg round over loopback TCP — the same algo core as
+		// FLRound plus framing, sockets and the fault-tolerant round loop.
+		const clients = 4
+		spec := models.Spec{Arch: "mlp", Classes: 4, InC: 3, H: 8, W: 8, Width: 0.5}
+		ds := data.SynthCIFAR(data.SynthCIFARConfig{Classes: 4, H: 8, W: 8, Noise: 0.25}, clients*60, 1, 2)
+		parts := data.DirichletPartition(ds.Y, 4, clients, 0.5, 10, nn.Rng(3))
+		srv, err := flnet.NewServer(flnet.ServerConfig{
+			Addr: "127.0.0.1:0", Clients: clients, Rounds: b.N, Seed: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := algo.Config{NumClients: clients, LocalEpochs: 1, BatchSize: 16, LR: 0.02, Momentum: 0.9, Seed: 5}
+		agg := algo.NewFedAvgAggregator(models.Build(spec, 5), cfg)
+		b.ResetTimer()
+		serverErr := make(chan error, 1)
+		go func() { serverErr <- srv.Run(agg) }()
+		var wg sync.WaitGroup
+		for i := 0; i < clients; i++ {
+			tr, va := ds.Subset(parts[i]).Split(0.8)
+			t := algo.NewFedAvgTrainer(&algo.Client{ID: i, Train: tr, Val: va, Model: models.Build(spec, 5)}, cfg)
+			wg.Add(1)
+			go func(i int, t *algo.FedAvgTrainer) {
+				defer wg.Done()
+				if err := flnet.RunClient(srv.Addr(), uint32(i), t.Client.Train.Len(), t); err != nil {
+					b.Error(err)
+				}
+			}(i, t)
+		}
+		wg.Wait()
+		if err := <-serverErr; err != nil {
+			b.Fatal(err)
 		}
 	}},
 }

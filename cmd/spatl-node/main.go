@@ -1,6 +1,7 @@
 // Command spatl-node runs federated learning over real TCP — one process
 // per role — demonstrating that the algorithms deploy unchanged outside
-// the in-process simulator.
+// the in-process simulator: the server and client cores come from
+// internal/algo, the same implementations the simulator drives.
 //
 // Start a server, then one process per client (here 4 clients):
 //
@@ -10,7 +11,10 @@
 //	...
 //
 // Every node derives the same synthetic non-IID data split from the
-// shared seed, so client i of n always holds shard i.
+// shared seed, so client i of n always holds shard i. All five
+// algorithms are available via -algo; the server tolerates stragglers
+// when -straggler-timeout is set, aggregating each round from the
+// clients that reported in time.
 package main
 
 import (
@@ -18,9 +22,11 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
+	"spatl/internal/algo"
 	"spatl/internal/data"
-	"spatl/internal/fl"
+	"spatl/internal/eval"
 	"spatl/internal/flnet"
 	"spatl/internal/models"
 	"spatl/internal/rl"
@@ -29,9 +35,9 @@ import (
 func main() {
 	var (
 		role    = flag.String("role", "", "server | client")
-		algo    = flag.String("algo", "fedavg", "federation algorithm: fedavg | spatl")
+		algoF   = flag.String("algo", "fedavg", "federation algorithm: fedavg | fedprox | scaffold | fednova | spatl")
 		addr    = flag.String("addr", "localhost:7070", "server address (server: listen, client: dial)")
-		clients = flag.Int("clients", 4, "number of clients in the federation (server)")
+		clients = flag.Int("clients", 4, "number of clients in the federation")
 		id      = flag.Int("id", 0, "this client's id (client)")
 		of      = flag.Int("of", 4, "total clients, for data sharding (client)")
 		rounds  = flag.Int("rounds", 10, "federated rounds (server)")
@@ -39,60 +45,91 @@ func main() {
 		lr      = flag.Float64("lr", 0.02, "local learning rate (client)")
 		seed    = flag.Int64("seed", 1, "shared federation seed (must match across nodes)")
 		save    = flag.String("save", "", "write the final model checkpoint here (client)")
+
+		helloTimeout     = flag.Duration("hello-timeout", 30*time.Second, "server: max wait for a client's registration frame")
+		stragglerTimeout = flag.Duration("straggler-timeout", 0, "server: max wait for a round upload before dropping the client (0 = wait forever)")
+		writeTimeout     = flag.Duration("write-timeout", 30*time.Second, "server: per-broadcast write deadline")
+		dialTimeout      = flag.Duration("dial-timeout", 30*time.Second, "client: TCP connect deadline")
 	)
 	flag.Parse()
 
 	spec := models.Spec{Arch: "resnet20", Classes: 6, InC: 3, H: 16, W: 16, Width: 0.25}
+	// The shared hyperparameters; Seed must match across every node so
+	// the per-(round, client) training seeds line up.
+	cfg := algo.Config{
+		NumClients: *clients, LocalEpochs: *epochs, BatchSize: 16,
+		LR: *lr, Momentum: 0.9, Seed: *seed,
+	}
+	spatlOpts := algo.SPATLOptions{AgentCfg: rl.AgentConfig{Dim: 16, HeadHidden: 32, Seed: *seed + 31}}
 
 	switch *role {
 	case "server":
 		srv, err := flnet.NewServer(flnet.ServerConfig{
 			Addr: *addr, Clients: *clients, Rounds: *rounds, Seed: *seed,
+			HelloTimeout:     *helloTimeout,
+			StragglerTimeout: *stragglerTimeout,
+			WriteTimeout:     *writeTimeout,
 		})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("spatl-node server listening on %s (%s), waiting for %d clients...\n", srv.Addr(), *algo, *clients)
+		fmt.Printf("spatl-node server listening on %s (%s), waiting for %d clients...\n", srv.Addr(), *algoF, *clients)
+		global := models.Build(spec, *seed)
 		var agg flnet.Aggregator
-		switch *algo {
-		case "fedavg":
-			agg = &flnet.FedAvgAggregator{Global: models.Build(spec, *seed)}
+		switch *algoF {
+		case "fedavg", "fedprox": // FedProx's proximal term is client-side
+			agg = algo.NewFedAvgAggregator(global, cfg)
+		case "scaffold":
+			agg = algo.NewSCAFFOLDAggregator(global, cfg)
+		case "fednova":
+			agg = algo.NewFedNovaAggregator(global, cfg)
 		case "spatl":
-			agg = flnet.NewSPATLAggregator(models.Build(spec, *seed), *clients)
+			agg = algo.NewSPATLAggregator(global, spatlOpts, cfg)
 		default:
-			fatal(fmt.Errorf("unknown -algo %q", *algo))
+			fatal(fmt.Errorf("unknown -algo %q", *algoF))
 		}
 		if err := srv.Run(agg); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("federation finished: %d rounds, uplink %.2f MB, downlink %.2f MB\n",
 			*rounds, float64(srv.UpBytes)/(1<<20), float64(srv.DownBytes)/(1<<20))
+		for _, st := range srv.ClientStats() {
+			if st.Drops > 0 || st.Errors > 0 || !st.Alive {
+				fmt.Printf("client %d: alive=%v drops=%d errors=%d\n", st.ID, st.Alive, st.Drops, st.Errors)
+			}
+		}
 
 	case "client":
 		train, val := shardFor(spec, *id, *of, *seed)
-		opts := fl.LocalOpts{Epochs: *epochs, BatchSize: 16, LR: *lr, Momentum: 0.9}
+		// The model must start from the server's initialization so the
+		// federation is reproducible across transports.
+		c := &algo.Client{ID: *id, Train: train, Val: val, Model: models.Build(spec, *seed)}
 		var tr flnet.Trainer
-		var model *models.SplitModel
-		switch *algo {
+		switch *algoF {
 		case "fedavg":
-			ft := flnet.NewFedAvgTrainer(spec, train, val, *id, opts, *seed+int64(*id))
-			tr, model = ft, ft.Client.Model
+			tr = algo.NewFedAvgTrainer(c, cfg)
+		case "fedprox":
+			tr = algo.NewFedProxTrainer(c, cfg)
+		case "scaffold":
+			tr = algo.NewSCAFFOLDTrainer(c, cfg)
+		case "fednova":
+			tr = algo.NewFedNovaTrainer(c, cfg)
 		case "spatl":
-			st := flnet.NewSPATLTrainer(spec, train, val, *id, opts,
-				rl.AgentConfig{Dim: 16, HeadHidden: 32, Seed: *seed + 31}, *seed+int64(*id))
-			tr, model = st, st.Client.Model
+			tr = algo.NewSPATLTrainer(c, spatlOpts, cfg)
 		default:
-			fatal(fmt.Errorf("unknown -algo %q", *algo))
+			fatal(fmt.Errorf("unknown -algo %q", *algoF))
 		}
 		fmt.Printf("spatl-node client %d/%d (%s): %d train / %d val samples, dialing %s...\n",
-			*id, *of, *algo, train.Len(), val.Len(), *addr)
-		if err := flnet.RunClient(*addr, uint32(*id), train.Len(), tr); err != nil {
+			*id, *of, *algoF, train.Len(), val.Len(), *addr)
+		err := flnet.RunClientOpts(*addr, uint32(*id), train.Len(), tr,
+			flnet.ClientOptions{DialTimeout: *dialTimeout})
+		if err != nil {
 			fatal(err)
 		}
-		acc := fl.EvalAccuracy(model, val, 32)
+		acc := eval.Accuracy(c.Model, val, 32)
 		fmt.Printf("client %d done: local validation accuracy %.3f\n", *id, acc)
 		if *save != "" {
-			if err := model.SaveFile(*save); err != nil {
+			if err := c.Model.SaveFile(*save); err != nil {
 				fatal(err)
 			}
 			fmt.Printf("saved final model to %s\n", *save)

@@ -4,7 +4,9 @@
 // full SPATL protocol — encoder-only sharing, gradient control, salient
 // sparse uploads with index ranges — across loopback TCP connections:
 // one aggregation server and three client goroutines that could equally
-// be separate processes or machines (see cmd/spatl-node). Run with:
+// be separate processes or machines (see cmd/spatl-node). The algorithm
+// cores come from internal/algo, the same implementations the simulator
+// drives — only the transport differs. Run with:
 //
 //	go run ./examples/distributed
 package main
@@ -14,8 +16,9 @@ import (
 	"math/rand"
 	"sync"
 
+	"spatl/internal/algo"
 	"spatl/internal/data"
-	"spatl/internal/fl"
+	"spatl/internal/eval"
 	"spatl/internal/flnet"
 	"spatl/internal/models"
 	"spatl/internal/rl"
@@ -38,18 +41,23 @@ func main() {
 	}
 	fmt.Printf("server listening on %s\n", srv.Addr())
 	global := models.Build(spec, 5)
-	agg := flnet.NewSPATLAggregator(global, clients)
+	opts := algo.SPATLOptions{AgentCfg: rl.AgentConfig{Dim: 16, HeadHidden: 32, Seed: 6}}
+	cfg := algo.Config{
+		NumClients: clients, LocalEpochs: 2, BatchSize: 16,
+		LR: 0.02, Momentum: 0.9, Seed: 20,
+	}
+	agg := algo.NewSPATLAggregator(global, opts, cfg)
 
 	done := make(chan error, 1)
 	go func() { done <- srv.Run(agg) }()
 
 	var wg sync.WaitGroup
-	trainers := make([]*flnet.SPATLTrainer, clients)
+	trainers := make([]*algo.SPATLTrainer, clients)
 	for i := 0; i < clients; i++ {
 		tr, va := ds.Subset(parts[i]).Split(0.8)
-		trainers[i] = flnet.NewSPATLTrainer(spec, tr, va, i, fl.LocalOpts{
-			Epochs: 2, BatchSize: 16, LR: 0.02, Momentum: 0.9,
-		}, rl.AgentConfig{Dim: 16, HeadHidden: 32, Seed: 6}, int64(20+i))
+		trainers[i] = algo.NewSPATLTrainer(&algo.Client{
+			ID: i, Train: tr, Val: va, Model: models.Build(spec, int64(20+i)),
+		}, opts, cfg)
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -70,7 +78,7 @@ func main() {
 	fmt.Printf("a dense state+control exchange (SCAFFOLD-style) would have uplinked %.2f MB — "+
 		"salient selection saved %.0f%%\n", dense, 100*(1-float64(srv.UpBytes)/(1<<20)/dense))
 	for i, tr := range trainers {
-		acc := fl.EvalAccuracy(tr.Client.Model, tr.Client.Val, 32)
+		acc := eval.Accuracy(tr.Client.Model, tr.Client.Val, 32)
 		fmt.Printf("client %d personalized accuracy: %.3f\n", i, acc)
 	}
 }

@@ -1,4 +1,4 @@
-package flnet
+package algo
 
 import (
 	"math"
@@ -37,7 +37,7 @@ func TestSPATLFinishRoundMatchesSerial(t *testing.T) {
 	spec := models.Spec{Arch: "resnet20", Classes: 4, InC: 3, H: 8, W: 8, Width: 0.25}
 	global := models.Build(spec, 11)
 	const clients = 5
-	agg := NewSPATLAggregator(global, clients)
+	agg := NewSPATLAggregator(global, SPATLOptions{}, Config{NumClients: clients})
 	n := global.StateLen(models.ScopeEncoder)
 	nCtrl := nn.ParamCount(global.EncoderParams())
 
@@ -48,7 +48,7 @@ func TestSPATLFinishRoundMatchesSerial(t *testing.T) {
 	uploads := make([]spatlUpload, clients)
 	for i := range uploads {
 		uploads[i] = spatlUpload{dW: synthSparse(rng, n), dC: synthSparse(rng, nCtrl)}
-		agg.Collect(0, uint32(i), 100, JoinPayloads(
+		agg.Collect(0, uint32(i), 100, comm.JoinPayloads(
 			comm.EncodeSparse(uploads[i].dW), comm.EncodeSparse(uploads[i].dC)))
 	}
 	agg.FinishRound(0)
@@ -96,20 +96,25 @@ func TestSPATLFinishRoundMatchesSerial(t *testing.T) {
 }
 
 // TestSPATLAggregatorCountsDrops verifies malformed uploads are counted
-// instead of silently vanishing.
+// instead of silently vanishing. A bad control part alone is not a drop:
+// the weight delta still aggregates (the model update stays sound) and
+// only the control contribution is discarded.
 func TestSPATLAggregatorCountsDrops(t *testing.T) {
 	spec := models.Spec{Arch: "cnn2", Classes: 2, InC: 1, H: 8, W: 8}
-	agg := NewSPATLAggregator(models.Build(spec, 3), 2)
-	agg.Collect(0, 0, 10, []byte{1, 2})                            // truncated framing
-	agg.Collect(0, 1, 10, JoinPayloads([]byte{9, 9}, []byte{}))    // bad dW
+	agg := NewSPATLAggregator(models.Build(spec, 3), SPATLOptions{}, Config{NumClients: 2})
+	agg.Collect(0, 0, 10, []byte{1, 2})                              // truncated framing
+	agg.Collect(0, 1, 10, comm.JoinPayloads([]byte{9, 9}, []byte{})) // bad dW
 	rng := rand.New(rand.NewSource(1))
 	dW := synthSparse(rng, agg.Global.StateLen(models.ScopeEncoder))
-	agg.Collect(0, 2, 10, JoinPayloads(comm.EncodeSparse(dW), []byte{7})) // good dW, bad dC
-	if got := agg.Dropped(); got != 3 {
-		t.Fatalf("Dropped() = %d, want 3", got)
+	agg.Collect(0, 2, 10, comm.JoinPayloads(comm.EncodeSparse(dW), []byte{7})) // good dW, bad dC
+	if got := agg.Dropped(); got != 2 {
+		t.Fatalf("Dropped() = %d, want 2", got)
 	}
 	if len(agg.pending) != 1 {
 		t.Fatalf("pending = %d, want 1 (the good dW survives)", len(agg.pending))
+	}
+	if agg.pending[0].dC != nil {
+		t.Fatal("the bad control part must be discarded")
 	}
 	agg.FinishRound(0)
 }
@@ -119,23 +124,20 @@ func TestSPATLAggregatorCountsDrops(t *testing.T) {
 func TestFedAvgAggregatorMatchesSerial(t *testing.T) {
 	spec := models.Spec{Arch: "cnn2", Classes: 2, InC: 1, H: 8, W: 8}
 	global := models.Build(spec, 7)
-	agg := &FedAvgAggregator{Global: global}
+	agg := NewFedAvgAggregator(global, Config{NumClients: 3})
 	n := global.StateLen(models.ScopeAll)
 
 	rng := rand.New(rand.NewSource(17))
-	sum := make([]float64, n)
-	var weight float64
-	for i := 0; i < 3; i++ {
+	states := make([][]float32, 3)
+	weights := make([]float64, 3)
+	for i := range states {
 		st := make([]float32, n)
 		for j := range st {
 			st[j] = float32(rng.NormFloat64())
 		}
-		w := float64(50 + i*10)
-		for j, v := range st {
-			sum[j] += w * float64(v)
-		}
-		weight += w
-		agg.Collect(0, uint32(i), int(w), comm.EncodeDense(st))
+		states[i] = st
+		weights[i] = float64(50 + i*10)
+		agg.Collect(0, uint32(i), int(weights[i]), comm.EncodeDense(st))
 	}
 	agg.Collect(0, 9, 10, []byte{0xFF, 0xFF}) // corrupt upload
 	if got := agg.Dropped(); got != 1 {
@@ -143,12 +145,60 @@ func TestFedAvgAggregatorMatchesSerial(t *testing.T) {
 	}
 	agg.FinishRound(0)
 
+	want := WeightedAverageSerial(states, weights)
 	got := global.State(models.ScopeAll)
 	for j := range got {
-		want := float32(sum[j] / weight)
-		if math.Float32bits(got[j]) != math.Float32bits(want) {
+		if math.Float32bits(got[j]) != math.Float32bits(want[j]) {
 			t.Fatalf("state[%d] differs bitwise: %x vs %x", j,
-				math.Float32bits(got[j]), math.Float32bits(want))
+				math.Float32bits(got[j]), math.Float32bits(want[j]))
 		}
+	}
+}
+
+// TestWeightedAverageMatchesSerial pits the parallel reduction against
+// the serial reference on awkward sizes, including nil (lost) states.
+func TestWeightedAverageMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range []int{1, 7, 1023, 4096, 10001} {
+		states := make([][]float32, 6)
+		weights := make([]float64, 6)
+		for i := range states {
+			if i == 3 {
+				continue // a lost client
+			}
+			st := make([]float32, n)
+			for j := range st {
+				st[j] = float32(rng.NormFloat64())
+			}
+			states[i] = st
+			weights[i] = float64(10 + i)
+		}
+		want := WeightedAverageSerial(states, weights)
+		got := WeightedAverage(states, weights)
+		for j := range want {
+			if math.Float32bits(got[j]) != math.Float32bits(want[j]) {
+				t.Fatalf("n=%d: [%d] differs bitwise", n, j)
+			}
+		}
+	}
+	if WeightedAverage(make([][]float32, 4), make([]float64, 4)) != nil {
+		t.Fatal("all-nil states must reduce to nil")
+	}
+}
+
+func TestClipRanges(t *testing.T) {
+	in := []comm.Range{{Start: 0, Len: 4}, {Start: 10, Len: 6}, {Start: 20, Len: 3}}
+	got := ClipRanges(in, 12)
+	if len(got) != 2 {
+		t.Fatalf("ranges = %d, want 2", len(got))
+	}
+	if got[0] != (comm.Range{Start: 0, Len: 4}) {
+		t.Fatalf("range 0 = %+v", got[0])
+	}
+	if got[1] != (comm.Range{Start: 10, Len: 2}) {
+		t.Fatalf("straddling range not truncated: %+v", got[1])
+	}
+	if n := len(ClipRanges(in, 0)); n != 0 {
+		t.Fatalf("clip to 0 kept %d ranges", n)
 	}
 }

@@ -1,0 +1,137 @@
+package algo
+
+import (
+	"math/rand"
+	"sync/atomic"
+
+	"spatl/internal/comm"
+	"spatl/internal/models"
+	"spatl/internal/nn"
+)
+
+// FedAvgAggregator is the server side of FedAvg (McMahan et al.):
+// data-size-weighted model averaging over dense checkpoint payloads.
+// FedProx shares it — the proximal term is purely client-side.
+type FedAvgAggregator struct {
+	Global *models.SplitModel
+
+	cfg     Config
+	states  [][]float32 // decoded uploads, buffered in collect order
+	weights []float64
+	bcast   []byte // reusable broadcast body
+	dropped atomic.Int64
+}
+
+// NewFedAvgAggregator wires the aggregator around the global model.
+func NewFedAvgAggregator(global *models.SplitModel, cfg Config) *FedAvgAggregator {
+	return &FedAvgAggregator{Global: global, cfg: cfg.WithDefaults()}
+}
+
+// Dropped reports how many malformed uploads have been discarded since
+// construction; surfaced so operators can tell a skewed aggregate from a
+// healthy one.
+func (a *FedAvgAggregator) Dropped() int64 { return a.dropped.Load() }
+
+// Broadcast implements Aggregator.
+func (a *FedAvgAggregator) Broadcast(round int) []byte {
+	n := a.Global.StateLen(models.ScopeAll)
+	state := a.Global.StateInto(models.ScopeAll, comm.GetF32(n))
+	a.bcast = a.cfg.encodeDenseInto(a.bcast, state)
+	comm.PutF32(state)
+	return a.bcast
+}
+
+// Collect implements Aggregator: decode into a pooled vector and buffer
+// it; the reduction happens in FinishRound so it can replay collect
+// order deterministically.
+func (a *FedAvgAggregator) Collect(round int, client uint32, trainSize int, payload []byte) {
+	n := a.Global.StateLen(models.ScopeAll)
+	state, err := comm.DecodeDenseAnyInto(comm.GetF32(n), payload)
+	if err != nil || len(state) != n {
+		a.dropped.Add(1)
+		comm.PutF32(state)
+		return
+	}
+	a.states = append(a.states, state)
+	a.weights = append(a.weights, float64(trainSize))
+}
+
+// FinishRound implements Aggregator: the deterministic parallel weighted
+// average, bitwise identical to the serial reference at any GOMAXPROCS.
+func (a *FedAvgAggregator) FinishRound(round int) {
+	if avg := WeightedAverage(a.states, a.weights); avg != nil {
+		a.Global.SetState(models.ScopeAll, avg)
+	}
+	for _, st := range a.states {
+		comm.PutF32(st)
+	}
+	a.states = a.states[:0]
+	a.weights = a.weights[:0]
+}
+
+// Final implements Aggregator.
+func (a *FedAvgAggregator) Final() []byte {
+	return comm.EncodeDense(a.Global.State(models.ScopeAll))
+}
+
+// FedAvgTrainer is the client side of FedAvg and (with prox set)
+// FedProx: install the broadcast model, run local SGD on the private
+// shard, upload the trained weights. The upload is a single dense
+// payload, so FedProx's per-round traffic equals FedAvg's exactly.
+type FedAvgTrainer struct {
+	Client *Client
+
+	// FinalModel is populated by Finish.
+	FinalModel []float32
+
+	cfg   Config
+	prox  bool
+	upBuf []byte // reusable upload body
+}
+
+// NewFedAvgTrainer wires a trainer around a client.
+func NewFedAvgTrainer(c *Client, cfg Config) *FedAvgTrainer {
+	return &FedAvgTrainer{Client: c, cfg: cfg.WithDefaults()}
+}
+
+// NewFedProxTrainer is NewFedAvgTrainer plus the proximal term μ(w −
+// w_global) on every local gradient (Li et al.).
+func NewFedProxTrainer(c *Client, cfg Config) *FedAvgTrainer {
+	t := NewFedAvgTrainer(c, cfg)
+	t.prox = true
+	if t.cfg.ProxMu == 0 {
+		t.cfg.ProxMu = 0.01
+	}
+	return t
+}
+
+// LocalUpdate implements Trainer.
+func (t *FedAvgTrainer) LocalUpdate(round int, payload []byte) []byte {
+	m := t.Client.Model
+	n := m.StateLen(models.ScopeAll)
+	state, err := comm.DecodeDenseAnyInto(comm.GetF32(n), payload)
+	if err != nil || len(state) != n {
+		comm.PutF32(state)
+		return nil
+	}
+	m.SetState(models.ScopeAll, state)
+	comm.PutF32(state)
+	opts := t.cfg.localOpts(m.Params(), round)
+	if t.prox {
+		opts.Hook = addProx(t.cfg.ProxMu, nn.FlattenParams(m.Params()))
+	}
+	rng := rand.New(rand.NewSource(ClientSeed(t.cfg.Seed, round, t.Client.ID)))
+	LocalSGD(t.Client, opts, rng)
+	local := m.StateInto(models.ScopeAll, comm.GetF32(n))
+	t.upBuf = t.cfg.encodeDenseInto(t.upBuf, local)
+	comm.PutF32(local)
+	return t.upBuf
+}
+
+// Finish implements Trainer.
+func (t *FedAvgTrainer) Finish(payload []byte) {
+	if state, err := comm.DecodeDenseAnyInto(nil, payload); err == nil {
+		t.Client.Model.SetState(models.ScopeAll, state)
+		t.FinalModel = state
+	}
+}

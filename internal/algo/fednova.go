@@ -1,0 +1,214 @@
+package algo
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sync/atomic"
+
+	"spatl/internal/comm"
+	"spatl/internal/models"
+	"spatl/internal/nn"
+	"spatl/internal/tensor"
+)
+
+// FedNovaAggregator is the server side of FedNova (Wang et al.):
+// normalized updates dᵢ = (x_g − x_i)/τᵢ weighted by data size, with
+// τ_eff = Σpᵢτᵢ rescaling, plus the momentum variant — clients ship
+// their momentum buffers, the server averages and redistributes them
+// (the ≈2× per-round uplink the SPATL paper reports for FedNova).
+type FedNovaAggregator struct {
+	Global *models.SplitModel
+
+	cfg      Config
+	velocity []float32 // server-averaged momentum over trainable params
+	bcast    []byte
+	pending  []fednovaUpload
+	dropped  atomic.Int64
+}
+
+// fednovaUpload is one client's decoded round contribution.
+type fednovaUpload struct {
+	d, v []float32
+	tau  float64 // local step count τᵢ
+	w    float64 // data-size weight
+}
+
+// NewFedNovaAggregator wires the aggregator around the global model.
+func NewFedNovaAggregator(global *models.SplitModel, cfg Config) *FedNovaAggregator {
+	return &FedNovaAggregator{
+		Global:   global,
+		cfg:      cfg.WithDefaults(),
+		velocity: make([]float32, nn.ParamCount(global.Params())),
+	}
+}
+
+// Velocity exposes the server-averaged momentum (read-only use).
+func (a *FedNovaAggregator) Velocity() []float32 { return a.velocity }
+
+// Dropped reports how many malformed uploads have been discarded.
+func (a *FedNovaAggregator) Dropped() int64 { return a.dropped.Load() }
+
+// Broadcast implements Aggregator: joined dense payloads for the model
+// state and the server momentum.
+func (a *FedNovaAggregator) Broadcast(round int) []byte {
+	n := a.Global.StateLen(models.ScopeAll)
+	state := a.Global.StateInto(models.ScopeAll, comm.GetF32(n))
+	encS := a.cfg.encodeDenseInto(comm.GetBuf(a.cfg.denseLen(n)), state)
+	encV := a.cfg.encodeDenseInto(comm.GetBuf(a.cfg.denseLen(len(a.velocity))), a.velocity)
+	a.bcast = comm.JoinPayloadsInto(a.bcast, encS, encV)
+	comm.PutBuf(encV)
+	comm.PutBuf(encS)
+	comm.PutF32(state)
+	return a.bcast
+}
+
+// Collect implements Aggregator: three joined parts — normalized update
+// d, momentum buffer, and the local step count τ as 4-byte little-endian.
+func (a *FedNovaAggregator) Collect(round int, client uint32, trainSize int, payload []byte) {
+	parts, err := comm.SplitPayloads(payload)
+	if err != nil || len(parts) != 3 || len(parts[2]) != 4 {
+		a.dropped.Add(1)
+		return
+	}
+	steps := binary.LittleEndian.Uint32(parts[2])
+	nState := a.Global.StateLen(models.ScopeAll)
+	d, err1 := comm.DecodeDenseAnyInto(comm.GetF32(nState), parts[0])
+	v, err2 := comm.DecodeDenseAnyInto(comm.GetF32(len(a.velocity)), parts[1])
+	if err1 != nil || err2 != nil || len(d) != nState || len(v) != len(a.velocity) || steps == 0 {
+		a.dropped.Add(1)
+		comm.PutF32(d)
+		comm.PutF32(v)
+		return
+	}
+	a.pending = append(a.pending, fednovaUpload{d: d, v: v, tau: float64(steps), w: float64(trainSize)})
+}
+
+// FinishRound implements Aggregator: τ_eff = Σ pᵢ·τᵢ ; x_g ← x_g −
+// τ_eff · Σ pᵢ·dᵢ ; velocity = Σ pᵢ·vᵢ. The reductions chunk the
+// parameter dimension, clients in fixed order per index, bitwise
+// identical to the serial loops at any GOMAXPROCS.
+func (a *FedNovaAggregator) FinishRound(round int) {
+	if len(a.pending) == 0 {
+		return
+	}
+	total := 0.0
+	for _, u := range a.pending {
+		total += u.w
+	}
+	if total == 0 {
+		a.release()
+		return
+	}
+	var tauEff float64
+	for _, u := range a.pending {
+		tauEff += (u.w / total) * u.tau
+	}
+	nState := a.Global.StateLen(models.ScopeAll)
+	globalState := a.Global.StateInto(models.ScopeAll, comm.GetF32(nState))
+	newState := comm.GetF32(nState)
+	tensor.Parallel(nState, func(lo, hi int) {
+		copy(newState[lo:hi], globalState[lo:hi])
+		for _, u := range a.pending {
+			p := u.w / total
+			for j := lo; j < hi; j++ {
+				newState[j] -= float32(tauEff * p * float64(u.d[j]))
+			}
+		}
+	})
+	a.Global.SetState(models.ScopeAll, newState)
+	comm.PutF32(newState)
+	comm.PutF32(globalState)
+	tensor.Parallel(len(a.velocity), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			a.velocity[j] = 0
+		}
+		for _, u := range a.pending {
+			p := u.w / total
+			for j := lo; j < hi; j++ {
+				a.velocity[j] += float32(p * float64(u.v[j]))
+			}
+		}
+	})
+	a.release()
+}
+
+func (a *FedNovaAggregator) release() {
+	for _, u := range a.pending {
+		comm.PutF32(u.d)
+		comm.PutF32(u.v)
+	}
+	a.pending = a.pending[:0]
+}
+
+// Final implements Aggregator.
+func (a *FedNovaAggregator) Final() []byte {
+	return comm.EncodeDense(a.Global.State(models.ScopeAll))
+}
+
+// FedNovaTrainer is the client side: warm-start momentum from the
+// broadcast buffer, run local SGD, upload the τ-normalized update, the
+// final momentum and the step count.
+type FedNovaTrainer struct {
+	Client *Client
+
+	cfg   Config
+	upBuf []byte
+}
+
+// NewFedNovaTrainer wires a trainer around a client.
+func NewFedNovaTrainer(c *Client, cfg Config) *FedNovaTrainer {
+	return &FedNovaTrainer{Client: c, cfg: cfg.WithDefaults()}
+}
+
+// LocalUpdate implements Trainer.
+func (t *FedNovaTrainer) LocalUpdate(round int, payload []byte) []byte {
+	m := t.Client.Model
+	nState := m.StateLen(models.ScopeAll)
+	nVel := nn.ParamCount(m.Params())
+	parts, err := comm.SplitPayloads(payload)
+	if err != nil || len(parts) != 2 {
+		return nil
+	}
+	globalState, err1 := comm.DecodeDenseAnyInto(comm.GetF32(nState), parts[0])
+	initVel, err2 := comm.DecodeDenseAnyInto(comm.GetF32(nVel), parts[1])
+	if err1 != nil || err2 != nil || len(globalState) != nState || len(initVel) != nVel {
+		comm.PutF32(globalState)
+		comm.PutF32(initVel)
+		return nil
+	}
+	m.SetState(models.ScopeAll, globalState)
+	rng := rand.New(rand.NewSource(ClientSeed(t.cfg.Seed, round, t.Client.ID)))
+	opts := t.cfg.localOpts(m.Params(), round)
+	opts.InitVelocity = initVel // SetVelocity copies, pooled buffer is safe
+	steps, vel := LocalSGD(t.Client, opts, rng)
+	comm.PutF32(initVel)
+
+	localState := m.StateInto(models.ScopeAll, comm.GetF32(nState))
+	d := comm.GetF32(nState)
+	inv := 1.0 / float64(steps)
+	for j := range d {
+		d[j] = float32(float64(globalState[j]-localState[j]) * inv)
+	}
+	comm.PutF32(localState)
+	comm.PutF32(globalState)
+	if vel == nil {
+		vel = make([]float32, nVel)
+	}
+	t.Client.Velocity = vel
+	encD := t.cfg.encodeDenseInto(comm.GetBuf(t.cfg.denseLen(len(d))), d)
+	encV := t.cfg.encodeDenseInto(comm.GetBuf(t.cfg.denseLen(len(vel))), vel)
+	var stepsBuf [4]byte
+	binary.LittleEndian.PutUint32(stepsBuf[:], uint32(steps))
+	t.upBuf = comm.JoinPayloadsInto(t.upBuf, encD, encV, stepsBuf[:])
+	comm.PutBuf(encV)
+	comm.PutBuf(encD)
+	comm.PutF32(d)
+	return t.upBuf
+}
+
+// Finish implements Trainer.
+func (t *FedNovaTrainer) Finish(payload []byte) {
+	if state, err := comm.DecodeDenseAnyInto(nil, payload); err == nil {
+		t.Client.Model.SetState(models.ScopeAll, state)
+	}
+}

@@ -1,0 +1,144 @@
+package algo
+
+import (
+	"spatl/internal/comm"
+	"spatl/internal/nn"
+	"spatl/internal/tensor"
+)
+
+// EffectiveLR is the asymptotic per-gradient step size of momentum SGD:
+// η/(1−µ). Control-variate updates (SCAFFOLD, SPATL) divide cumulative
+// weight movement by it to recover average gradients.
+func EffectiveLR(lr, momentum float64) float64 {
+	if momentum > 0 && momentum < 1 {
+		return lr / (1 - momentum)
+	}
+	return lr
+}
+
+// WeightedAverageSerial is the retained reference reduction: Σ wᵢ·stateᵢ
+// / Σ wᵢ in float64, clients outer, parameters inner. WeightedAverage
+// must match it bitwise; determinism tests compare the two.
+func WeightedAverageSerial(states [][]float32, weights []float64) []float32 {
+	total := 0.0
+	var first []float32
+	for si, st := range states {
+		if st == nil {
+			continue
+		}
+		if first == nil {
+			first = st
+		}
+		total += weights[si]
+	}
+	if first == nil || total == 0 {
+		return nil
+	}
+	acc := make([]float64, len(first))
+	for si, st := range states {
+		if st == nil {
+			continue
+		}
+		w := weights[si] / total
+		for i, v := range st {
+			acc[i] += w * float64(v)
+		}
+	}
+	out := make([]float32, len(acc))
+	for i, v := range acc {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// WeightedAverage returns Σ wᵢ·stateᵢ / Σ wᵢ computed in float64,
+// skipping nil states (clients whose upload was lost). Returns nil when
+// no state survives.
+//
+// The reduction is parallelized by chunking the parameter dimension;
+// within a chunk every index still sums clients in ascending order, so
+// the result is bitwise identical to WeightedAverageSerial at any
+// GOMAXPROCS.
+func WeightedAverage(states [][]float32, weights []float64) []float32 {
+	total := 0.0
+	var first []float32
+	for si, st := range states {
+		if st == nil {
+			continue
+		}
+		if first == nil {
+			first = st
+		}
+		total += weights[si]
+	}
+	if first == nil || total == 0 {
+		return nil
+	}
+	out := make([]float32, len(first))
+	tensor.Parallel(len(first), func(lo, hi int) {
+		acc := make([]float64, hi-lo)
+		for si, st := range states {
+			if st == nil {
+				continue
+			}
+			w := weights[si] / total
+			for i, v := range st[lo:hi] {
+				acc[i] += w * float64(v)
+			}
+		}
+		for i, v := range acc {
+			out[lo+i] = float32(v)
+		}
+	})
+	return out
+}
+
+// ClipRanges restricts index ranges to [0, n): ranges entirely above n
+// are dropped; a straddling range is truncated. Used to map state-vector
+// index ranges onto the (prefix) trainable-parameter vector that control
+// variates cover.
+func ClipRanges(ranges []comm.Range, n int) []comm.Range {
+	out := make([]comm.Range, 0, len(ranges))
+	for _, r := range ranges {
+		if int(r.Start) >= n {
+			break
+		}
+		if int(r.Start+r.Len) > n {
+			r.Len = uint32(n) - r.Start
+		}
+		if r.Len > 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// addProx returns a LocalOpts hook adding FedProx's proximal gradient
+// term μ(w − w_global) against the flattened global trainable weights.
+func addProx(mu float64, globalFlat []float32) func(params []*nn.Param) {
+	return func(params []*nn.Param) {
+		off := 0
+		m := float32(mu)
+		for _, p := range params {
+			for j := range p.G.Data {
+				p.G.Data[j] += m * (p.W.Data[j] - globalFlat[off+j])
+			}
+			off += p.W.Len()
+		}
+	}
+}
+
+// addControl returns a hook applying SCAFFOLD-style gradient correction
+// g += c − cᵢ over the flattened parameters in ctrlP (which may be a
+// subset of the trained parameters — SPATL corrects only the encoder).
+func addControl(c, ci []float32, ctrlP []*nn.Param) func(params []*nn.Param) {
+	return func(params []*nn.Param) {
+		off := 0
+		for _, p := range ctrlP {
+			for j := range p.G.Data {
+				p.G.Data[j] += c[off+j] - ci[off+j]
+			}
+			off += p.W.Len()
+		}
+	}
+}

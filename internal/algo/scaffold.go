@@ -1,0 +1,212 @@
+package algo
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"spatl/internal/comm"
+	"spatl/internal/models"
+	"spatl/internal/nn"
+	"spatl/internal/tensor"
+)
+
+// SCAFFOLDAggregator is the server side of SCAFFOLD (Karimireddy et
+// al.): it holds the server control variate c, broadcasts it alongside
+// the model, and folds the uploaded (Δw, Δc) pairs with
+// x += (1/|S|)·ΣΔw and c += (1/N)·ΣΔc.
+type SCAFFOLDAggregator struct {
+	Global *models.SplitModel
+
+	cfg     Config
+	c       []float32 // server control variate over trainable params
+	bcast   []byte
+	pending []scaffoldUpload // decoded uploads in collect order
+	dropped atomic.Int64
+}
+
+// scaffoldUpload is one client's decoded round contribution.
+type scaffoldUpload struct {
+	dW, dC []float32
+}
+
+// NewSCAFFOLDAggregator wires the aggregator around the global model.
+// cfg.NumClients must be the federation size N (the control update
+// scales by 1/N).
+func NewSCAFFOLDAggregator(global *models.SplitModel, cfg Config) *SCAFFOLDAggregator {
+	cfg = cfg.WithDefaults()
+	if cfg.NumClients <= 0 {
+		panic(fmt.Sprintf("algo: SCAFFOLD needs Config.NumClients > 0, got %d", cfg.NumClients))
+	}
+	return &SCAFFOLDAggregator{
+		Global: global,
+		cfg:    cfg,
+		c:      make([]float32, nn.ParamCount(global.Params())),
+	}
+}
+
+// ControlVariate exposes the server control variate c (read-only use).
+func (a *SCAFFOLDAggregator) ControlVariate() []float32 { return a.c }
+
+// Dropped reports how many malformed uploads have been discarded.
+func (a *SCAFFOLDAggregator) Dropped() int64 { return a.dropped.Load() }
+
+// Broadcast implements Aggregator: joined dense payloads for the model
+// state and the server control variate.
+func (a *SCAFFOLDAggregator) Broadcast(round int) []byte {
+	n := a.Global.StateLen(models.ScopeAll)
+	state := a.Global.StateInto(models.ScopeAll, comm.GetF32(n))
+	encS := a.cfg.encodeDenseInto(comm.GetBuf(a.cfg.denseLen(n)), state)
+	encC := a.cfg.encodeDenseInto(comm.GetBuf(a.cfg.denseLen(len(a.c))), a.c)
+	a.bcast = comm.JoinPayloadsInto(a.bcast, encS, encC)
+	comm.PutBuf(encC)
+	comm.PutBuf(encS)
+	comm.PutF32(state)
+	return a.bcast
+}
+
+// Collect implements Aggregator.
+func (a *SCAFFOLDAggregator) Collect(round int, client uint32, trainSize int, payload []byte) {
+	parts, err := comm.SplitPayloads(payload)
+	if err != nil || len(parts) != 2 {
+		a.dropped.Add(1)
+		return
+	}
+	nState := a.Global.StateLen(models.ScopeAll)
+	dW, err1 := comm.DecodeDenseAnyInto(comm.GetF32(nState), parts[0])
+	dC, err2 := comm.DecodeDenseAnyInto(comm.GetF32(len(a.c)), parts[1])
+	if err1 != nil || err2 != nil || len(dW) != nState || len(dC) != len(a.c) {
+		a.dropped.Add(1)
+		comm.PutF32(dW)
+		comm.PutF32(dC)
+		return
+	}
+	a.pending = append(a.pending, scaffoldUpload{dW: dW, dC: dC})
+}
+
+// FinishRound implements Aggregator: x += (1/|S|)·ΣΔw ; c += (1/N)·ΣΔc,
+// where S is the set of clients whose uploads actually arrived. Both
+// reductions chunk the parameter dimension and sum clients in fixed
+// order per index, bitwise identical to the serial loops at any
+// GOMAXPROCS.
+func (a *SCAFFOLDAggregator) FinishRound(round int) {
+	if len(a.pending) == 0 {
+		return
+	}
+	nState := a.Global.StateLen(models.ScopeAll)
+	globalState := a.Global.StateInto(models.ScopeAll, comm.GetF32(nState))
+	invS := 1.0 / float64(len(a.pending))
+	newState := comm.GetF32(nState)
+	tensor.Parallel(nState, func(lo, hi int) {
+		copy(newState[lo:hi], globalState[lo:hi])
+		for _, u := range a.pending {
+			for j := lo; j < hi; j++ {
+				newState[j] += float32(invS * float64(u.dW[j]))
+			}
+		}
+	})
+	a.Global.SetState(models.ScopeAll, newState)
+	comm.PutF32(newState)
+	invN := 1.0 / float64(a.cfg.NumClients)
+	tensor.Parallel(len(a.c), func(lo, hi int) {
+		for _, u := range a.pending {
+			for j := lo; j < hi; j++ {
+				a.c[j] += float32(invN * float64(u.dC[j]))
+			}
+		}
+	})
+	for _, u := range a.pending {
+		comm.PutF32(u.dW)
+		comm.PutF32(u.dC)
+	}
+	a.pending = a.pending[:0]
+	comm.PutF32(globalState)
+}
+
+// Final implements Aggregator.
+func (a *SCAFFOLDAggregator) Final() []byte {
+	return comm.EncodeDense(a.Global.State(models.ScopeAll))
+}
+
+// SCAFFOLDTrainer is the client side: control-variate-corrected local
+// SGD, then an Option-II control update, uploading the joined (Δw, Δc)
+// pair — the ≈2× FedAvg per-round payload the SPATL paper highlights.
+type SCAFFOLDTrainer struct {
+	Client *Client
+
+	cfg   Config
+	upBuf []byte
+}
+
+// NewSCAFFOLDTrainer wires a trainer around a client, initializing its
+// control variate to zero if unset.
+func NewSCAFFOLDTrainer(c *Client, cfg Config) *SCAFFOLDTrainer {
+	if c.Control == nil {
+		c.Control = make([]float32, nn.ParamCount(c.Model.Params()))
+	}
+	return &SCAFFOLDTrainer{Client: c, cfg: cfg.WithDefaults()}
+}
+
+// LocalUpdate implements Trainer.
+func (t *SCAFFOLDTrainer) LocalUpdate(round int, payload []byte) []byte {
+	m := t.Client.Model
+	nState := m.StateLen(models.ScopeAll)
+	nCtrl := len(t.Client.Control)
+	parts, err := comm.SplitPayloads(payload)
+	if err != nil || len(parts) != 2 {
+		return nil
+	}
+	globalState, err1 := comm.DecodeDenseAnyInto(comm.GetF32(nState), parts[0])
+	serverC, err2 := comm.DecodeDenseAnyInto(comm.GetF32(nCtrl), parts[1])
+	if err1 != nil || err2 != nil || len(globalState) != nState || len(serverC) != nCtrl {
+		comm.PutF32(globalState)
+		comm.PutF32(serverC)
+		return nil
+	}
+	m.SetState(models.ScopeAll, globalState)
+	globalFlat := nn.FlattenParams(m.Params())
+
+	rng := rand.New(rand.NewSource(ClientSeed(t.cfg.Seed, round, t.Client.ID)))
+	opts := t.cfg.localOpts(m.Params(), round)
+	opts.Hook = addControl(serverC, t.Client.Control, m.Params())
+	steps, _ := LocalSGD(t.Client, opts, rng)
+
+	localFlat := nn.FlattenParams(m.Params())
+	localState := m.StateInto(models.ScopeAll, comm.GetF32(nState))
+	// Option-II control update: cᵢ⁺ = cᵢ − c + (x_g − x_i)/(K·η_eff).
+	// With classical momentum each unit of gradient moves the weights
+	// by ≈ η/(1−µ) over time, so the effective step size is scaled
+	// accordingly; without the correction the control variates
+	// overestimate gradients by 1/(1−µ) and training explodes.
+	inv := 1.0 / (float64(steps) * EffectiveLR(t.cfg.LRAt(round), t.cfg.Momentum))
+	newCi := make([]float32, nCtrl)
+	dC := comm.GetF32(nCtrl)
+	for j := range localFlat {
+		newCi[j] = t.Client.Control[j] - serverC[j] + float32(float64(globalFlat[j]-localFlat[j])*inv)
+		dC[j] = newCi[j] - t.Client.Control[j]
+	}
+	t.Client.Control = newCi
+	comm.PutF32(serverC)
+
+	dW := comm.GetF32(nState)
+	for j := range localState {
+		dW[j] = localState[j] - globalState[j]
+	}
+	comm.PutF32(localState)
+	comm.PutF32(globalState)
+	encW := t.cfg.encodeDenseInto(comm.GetBuf(t.cfg.denseLen(nState)), dW)
+	encC := t.cfg.encodeDenseInto(comm.GetBuf(t.cfg.denseLen(nCtrl)), dC)
+	t.upBuf = comm.JoinPayloadsInto(t.upBuf, encW, encC)
+	comm.PutBuf(encC)
+	comm.PutBuf(encW)
+	comm.PutF32(dW)
+	comm.PutF32(dC)
+	return t.upBuf
+}
+
+// Finish implements Trainer.
+func (t *SCAFFOLDTrainer) Finish(payload []byte) {
+	if state, err := comm.DecodeDenseAnyInto(nil, payload); err == nil {
+		t.Client.Model.SetState(models.ScopeAll, state)
+	}
+}

@@ -16,75 +16,40 @@
 //     variates correct gradient drift, but only on the encoder (the
 //     generic parameters); the predictor's gradients stay heterogeneous.
 //
-// The package provides the fl.Algorithm implementation, the cold-start
-// transfer path for never-selected clients (eq. 4), and the agent
-// pre-training entry point used by the experiment harness.
+// The algorithm itself — aggregator and trainer — lives in the
+// transport-agnostic internal/algo package, shared with the TCP
+// transport (internal/flnet); this package adapts it to the simulation's
+// fl.Algorithm interface and adds the cold-start transfer path for
+// never-selected clients (eq. 4) plus the agent pre-training entry
+// point used by the experiment harness.
 package core
 
 import (
 	"math/rand"
-	"sync"
 
+	"spatl/internal/algo"
 	"spatl/internal/comm"
 	"spatl/internal/fl"
 	"spatl/internal/models"
-	"spatl/internal/nn"
 	"spatl/internal/prune"
-	"spatl/internal/rl"
-	"spatl/internal/tensor"
 )
 
-// Options configures SPATL. The zero value enables everything with the
-// paper's defaults; the Disable* switches drive the ablation studies.
-type Options struct {
-	// DisableSelection uploads the full encoder instead of the salient
-	// subset (Fig. 4 ablation).
-	DisableSelection bool
-	// DisableTransfer shares the predictor as well as the encoder — a
-	// uniform model, as the baselines use (Fig. 5a ablation).
-	DisableTransfer bool
-	// DisableGradControl removes the control-variate correction
-	// (Fig. 5b ablation).
-	DisableGradControl bool
+// Options configures SPATL; it aliases the transport-agnostic
+// algo.SPATLOptions. The zero value enables everything with the paper's
+// defaults; the Disable* switches drive the ablation studies.
+type Options = algo.SPATLOptions
 
-	// FLOPsBudget is the agent's sub-network FLOPs constraint as a
-	// fraction of the full model (default 0.6).
-	FLOPsBudget float64
-	// AgentCfg configures the selection agent.
-	AgentCfg rl.AgentConfig
-	// Pretrained, when non-nil, initializes every client's agent from
-	// pre-trained weights (see PretrainAgent); fine-tuning then updates
-	// only the MLP heads, as in §V-A.
-	Pretrained []float32
-	// FineTuneRounds is the number of initial communication rounds during
-	// which selected clients fine-tune their agents (default 10).
-	FineTuneRounds int
-	// FineTuneEpisodes is the rollout batch per fine-tune update
-	// (default 4).
-	FineTuneEpisodes int
-}
+// Client aliases fl.Client for readability of the public API.
+type Client = fl.Client
 
-func (o Options) withDefaults() Options {
-	if o.FLOPsBudget == 0 {
-		o.FLOPsBudget = 0.6
-	}
-	if o.FineTuneRounds == 0 {
-		o.FineTuneRounds = 10
-	}
-	if o.FineTuneEpisodes == 0 {
-		o.FineTuneEpisodes = 4
-	}
-	return o
-}
-
-// SPATL implements fl.Algorithm.
+// SPATL implements fl.Algorithm by wiring the shared algo.SPATL core
+// into the in-process transport.
 type SPATL struct {
 	Opts Options
 
-	c []float32 // server control variate over encoder trainable params
-
-	mu     sync.Mutex
-	agents map[int]*rl.Agent // per-client fine-tuned selection agents
+	sim      *fl.Sim
+	agg      *algo.SPATLAggregator
+	trainers []*algo.SPATLTrainer
 
 	// LastSelections records each client's most recent selection, for
 	// the inference-acceleration analysis (§V-D).
@@ -94,8 +59,7 @@ type SPATL struct {
 // New constructs a SPATL instance.
 func New(opts Options) *SPATL {
 	return &SPATL{
-		Opts:           opts.withDefaults(),
-		agents:         map[int]*rl.Agent{},
+		Opts:           opts.WithDefaults(),
 		LastSelections: map[int]*prune.Selection{},
 	}
 }
@@ -103,50 +67,31 @@ func New(opts Options) *SPATL {
 // Name implements fl.Algorithm.
 func (s *SPATL) Name() string { return "spatl" }
 
-// scope returns the communication scope: encoder-only normally, the full
-// model when transfer learning is disabled.
-func (s *SPATL) scope() models.Scope {
-	if s.Opts.DisableTransfer {
-		return models.ScopeAll
-	}
-	return models.ScopeEncoder
-}
-
-// ctrlParams returns the parameters subject to gradient control — the
-// generic (encoder) parameters (§IV-C), or all parameters when transfer
-// is disabled.
-func (s *SPATL) ctrlParams(m *models.SplitModel) []*nn.Param {
-	if s.Opts.DisableTransfer {
-		return m.Params()
-	}
-	return m.EncoderParams()
-}
+// ControlVariate exposes the server control variate over the encoder's
+// trainable parameters (read-only use).
+func (s *SPATL) ControlVariate() []float32 { return s.agg.ControlVariate() }
 
 // Setup implements fl.Algorithm.
 func (s *SPATL) Setup(env *fl.Env) {
-	n := nn.ParamCount(s.ctrlParams(env.Global))
-	s.c = make([]float32, n)
-	for _, c := range env.Clients {
-		c.Control = make([]float32, n)
+	cfg := env.AlgoConfig()
+	s.agg = algo.NewSPATLAggregator(env.Global, s.Opts, cfg)
+	s.trainers = make([]*algo.SPATLTrainer, len(env.Clients))
+	trainers := make([]algo.Trainer, len(env.Clients))
+	for i, c := range env.Clients {
+		s.trainers[i] = algo.NewSPATLTrainer(c, s.Opts, cfg)
+		trainers[i] = s.trainers[i]
 	}
+	s.sim = fl.NewSim(env, s.agg, trainers)
 }
 
-// agentFor returns the client's selection agent, creating it from the
-// pre-trained weights (or fresh) on first use.
-func (s *SPATL) agentFor(clientID int) *rl.Agent {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if a, ok := s.agents[clientID]; ok {
-		return a
+// Round implements fl.Algorithm: one SPATL communication round.
+func (s *SPATL) Round(env *fl.Env, round int, selected []int) {
+	s.sim.Round(round, selected)
+	for _, ci := range selected {
+		if sel := s.trainers[ci].LastSelection; sel != nil {
+			s.LastSelections[ci] = sel
+		}
 	}
-	cfg := s.Opts.AgentCfg
-	cfg.Seed += int64(clientID)
-	a := rl.NewAgent(cfg)
-	if s.Opts.Pretrained != nil {
-		a.Load(s.Opts.Pretrained)
-	}
-	s.agents[clientID] = a
-	return a
 }
 
 // EvalModel implements fl.Algorithm: the client's deployed model is the
@@ -156,207 +101,18 @@ func (s *SPATL) agentFor(clientID int) *rl.Agent {
 // prunes this model to the client's salient sub-network; see
 // prune.ZeroPruned / prune.Extract and the inference experiment.
 func (s *SPATL) EvalModel(env *fl.Env, c *Client) *models.SplitModel {
-	st := env.Global.StateInto(s.scope(), comm.GetF32(env.Global.StateLen(s.scope())))
-	c.Model.SetState(s.scope(), st)
+	scope := s.Opts.Scope()
+	st := env.Global.StateInto(scope, comm.GetF32(env.Global.StateLen(scope)))
+	c.Model.SetState(scope, st)
 	comm.PutF32(st)
 	return c.Model
-}
-
-// Client aliases fl.Client for readability of the public API.
-type Client = fl.Client
-
-// Round implements fl.Algorithm: one SPATL communication round.
-func (s *SPATL) Round(env *fl.Env, round int, selected []int) {
-	scope := s.scope()
-	nState := env.Global.StateLen(scope)
-	globalState := env.Global.StateInto(scope, comm.GetF32(nState))
-	statePayload := env.EncodeDenseInto(comm.GetBuf(env.DensePayloadLen(nState)), globalState)
-	ctrlPayload := env.EncodeDenseInto(comm.GetBuf(env.DensePayloadLen(len(s.c))), s.c)
-
-	type upload struct {
-		dW *comm.Sparse
-		dC *comm.Sparse
-	}
-	uploads := make([]upload, len(selected))
-
-	fl.ParallelClients(selected, func(pos int) {
-		ci := selected[pos]
-		c := env.Clients[ci]
-		// ➊ download the shared encoder (and control variate).
-		env.Meter.AddDown(len(statePayload))
-		if env.ClientFailed(round, ci) {
-			return // crashed after download: nothing uploads
-		}
-		dl := mustDenseInto(comm.GetF32(nState), statePayload)
-		c.Model.SetState(scope, dl)
-		comm.PutF32(dl)
-		var serverC []float32
-		if !s.Opts.DisableGradControl {
-			env.Meter.AddDown(len(ctrlPayload))
-			serverC = mustDenseInto(comm.GetF32(len(s.c)), ctrlPayload)
-		}
-
-		rng := rand.New(rand.NewSource(env.ClientSeed(round, ci)))
-
-		// ➋ local update: transfer the encoder's knowledge through the
-		// local predictor; gradient control corrects only the generic
-		// (encoder) parameters.
-		ctrlP := s.ctrlParams(c.Model)
-		nCtrl := nn.ParamCount(ctrlP)
-		var hook func([]*nn.Param)
-		if !s.Opts.DisableGradControl {
-			ctrl := serverC
-			ci2 := c.Control
-			hook = func(params []*nn.Param) {
-				off := 0
-				for _, p := range ctrlP {
-					for j := range p.G.Data {
-						p.G.Data[j] += ctrl[off+j] - ci2[off+j]
-					}
-					off += p.W.Len()
-				}
-				_ = params
-			}
-		}
-		gBefore := nn.FlattenParams(ctrlP)
-		steps, _ := fl.LocalSGD(c, fl.LocalOpts{
-			Params: c.Model.Params(), Epochs: env.Cfg.LocalEpochs, BatchSize: env.Cfg.BatchSize,
-			LR: env.LRAt(round), Momentum: env.Cfg.Momentum, WeightDecay: env.Cfg.WeightDecay,
-			GradClip: env.Cfg.GradClip,
-			Hook:     hook,
-		}, rng)
-
-		// Control variate update (option II of SCAFFOLD, over the
-		// generic parameters only).
-		var dC []float32
-		if !s.Opts.DisableGradControl {
-			localCtrl := nn.FlattenParams(ctrlP)
-			inv := 1.0 / (float64(steps) * fl.EffectiveLR(env.LRAt(round), env.Cfg.Momentum))
-			newCi := make([]float32, nCtrl)
-			dC = comm.GetF32(nCtrl)
-			for j := 0; j < nCtrl; j++ {
-				newCi[j] = c.Control[j] - serverC[j] + float32(float64(gBefore[j]-localCtrl[j])*inv)
-				dC[j] = newCi[j] - c.Control[j]
-			}
-			c.Control = newCi
-			comm.PutF32(serverC)
-		}
-
-		// ➌ salient parameter selection on the trained encoder.
-		sel := s.selectSalient(env, c, round, rng)
-		s.mu.Lock()
-		s.LastSelections[ci] = sel
-		s.mu.Unlock()
-
-		// ➍ upload only the salient parameter deltas and their indices.
-		localState := c.Model.StateInto(scope, comm.GetF32(nState))
-		dW := comm.GetF32(len(localState))
-		for j := range localState {
-			dW[j] = localState[j] - globalState[j]
-		}
-		comm.PutF32(localState)
-		var sw comm.Sparse
-		comm.GatherSparseInto(&sw, dW, sel.Ranges)
-		bufW := env.EncodeSparseInto(comm.GetBuf(env.SparsePayloadLen(&sw)), &sw)
-		env.Meter.AddUp(len(bufW))
-		uploads[pos].dW = mustSparseInto(&comm.Sparse{Values: sw.Values[:0]}, bufW)
-		comm.PutBuf(bufW)
-		comm.PutF32(dW)
-
-		if !s.Opts.DisableGradControl {
-			ctrlRanges := clipRanges(sel.Ranges, nCtrl)
-			var sc comm.Sparse
-			comm.GatherSparseInto(&sc, dC, ctrlRanges)
-			bufC := env.EncodeSparseInto(comm.GetBuf(env.SparsePayloadLen(&sc)), &sc)
-			env.Meter.AddUp(len(bufC))
-			uploads[pos].dC = mustSparseInto(&comm.Sparse{Values: sc.Values[:0]}, bufC)
-			comm.PutBuf(bufC)
-			comm.PutF32(dC)
-		}
-	})
-
-	// Server: per-index averaged aggregation of salient deltas (eq. 12),
-	// chunked over the parameter dimension. Within a chunk every index
-	// accumulates clients in upload order, so the result is bitwise
-	// identical to the serial ScatterAdd loop at any GOMAXPROCS.
-	sum := comm.GetF32(nState)
-	count := make([]int32, nState)
-	newState := comm.GetF32(nState)
-	tensor.Parallel(nState, func(lo, hi int) {
-		for j := lo; j < hi; j++ {
-			sum[j] = 0
-		}
-		for _, u := range uploads {
-			if u.dW == nil {
-				continue
-			}
-			comm.ScatterAddRange(sum, count, u.dW, lo, hi)
-		}
-		copy(newState[lo:hi], globalState[lo:hi])
-		for j := lo; j < hi; j++ {
-			if count[j] > 0 {
-				newState[j] += sum[j] / float32(count[j])
-			}
-		}
-	})
-	env.Global.SetState(scope, newState)
-	comm.PutF32(newState)
-	comm.PutF32(sum)
-
-	// Control variate: c += (1/N)·ΣΔcᵢ at the uploaded indices (eq. 11),
-	// sharded over the parameter dimension with the same fixed client
-	// order per index.
-	if !s.Opts.DisableGradControl {
-		invN := float32(1.0 / float64(env.Cfg.NumClients))
-		tensor.Parallel(len(s.c), func(lo, hi int) {
-			for _, u := range uploads {
-				if u.dC == nil {
-					continue
-				}
-				comm.ScatterAddScaledRange(s.c, u.dC, invN, lo, hi)
-			}
-		})
-	}
-	for _, u := range uploads {
-		if u.dW != nil {
-			comm.PutSparse(u.dW)
-		}
-		if u.dC != nil {
-			comm.PutSparse(u.dC)
-		}
-	}
-	comm.PutBuf(statePayload)
-	comm.PutBuf(ctrlPayload)
-	comm.PutF32(globalState)
-}
-
-// selectSalient runs the client's selection agent: fine-tune (head-only
-// PPO) during the first FineTuneRounds rounds, then act greedily. With
-// selection disabled, everything is salient.
-func (s *SPATL) selectSalient(env *fl.Env, c *Client, round int, rng *rand.Rand) *prune.Selection {
-	units := c.Model.PrunableUnits()
-	if s.Opts.DisableSelection || len(units) == 0 {
-		ratios := make([]float64, len(units))
-		for i := range ratios {
-			ratios[i] = 1
-		}
-		return prune.Select(c.Model, ratios)
-	}
-	agent := s.agentFor(c.ID)
-	penv := prune.NewEnv(c.Model, c.Val, s.Opts.FLOPsBudget)
-	if round < s.Opts.FineTuneRounds {
-		ppo := rl.NewPPO(agent, s.Opts.Pretrained != nil)
-		rl.Train(ppo, penv, 1, s.Opts.FineTuneEpisodes, rng)
-	}
-	action := rl.BestAction(agent, penv)
-	return prune.Select(c.Model, action)
 }
 
 // ColdStart adapts a client that never participated in training (eq. 4):
 // it downloads the current global encoder and fits only its local
 // predictor, leaving the shared representation untouched.
 func (s *SPATL) ColdStart(env *fl.Env, c *Client, epochs int, rng *rand.Rand) {
-	scope := s.scope()
+	scope := s.Opts.Scope()
 	n := env.Global.StateLen(scope)
 	st := env.Global.StateInto(scope, comm.GetF32(n))
 	payload := env.EncodeDenseInto(comm.GetBuf(env.DensePayloadLen(n)), st)
@@ -373,10 +129,6 @@ func (s *SPATL) ColdStart(env *fl.Env, c *Client, epochs int, rng *rand.Rand) {
 	}, rng)
 }
 
-func mustDense(buf []byte) []float32 {
-	return mustDenseInto(nil, buf)
-}
-
 // mustDenseInto decodes into dst (typically from comm.GetF32), panicking
 // on corruption — the simulation transports bytes in-process.
 func mustDenseInto(dst []float32, buf []byte) []float32 {
@@ -385,33 +137,4 @@ func mustDenseInto(dst []float32, buf []byte) []float32 {
 		panic(err)
 	}
 	return v
-}
-
-// mustSparseInto decodes into s, reusing its Ranges/Values capacity, and
-// returns s.
-func mustSparseInto(s *comm.Sparse, buf []byte) *comm.Sparse {
-	if err := comm.DecodeSparseAnyInto(s, buf); err != nil {
-		panic(err)
-	}
-	return s
-}
-
-// clipRanges restricts ranges to [0, n): ranges entirely above n are
-// dropped; a straddling range is truncated. Used to map encoder-state
-// index ranges onto the (prefix) trainable-parameter vector that control
-// variates cover.
-func clipRanges(ranges []comm.Range, n int) []comm.Range {
-	out := make([]comm.Range, 0, len(ranges))
-	for _, r := range ranges {
-		if int(r.Start) >= n {
-			break
-		}
-		if int(r.Start+r.Len) > n {
-			r.Len = uint32(n) - r.Start
-		}
-		if r.Len > 0 {
-			out = append(out, r)
-		}
-	}
-	return out
 }

@@ -5,7 +5,6 @@ import (
 	"math/rand"
 	"testing"
 
-	"spatl/internal/comm"
 	"spatl/internal/data"
 	"spatl/internal/fl"
 	"spatl/internal/models"
@@ -61,7 +60,7 @@ func TestSPATLPerRoundUplinkComparableToFedAvg(t *testing.T) {
 		return res.Records[len(res.Records)-1].CumUp
 	}
 	upS := upOf(New(fastOpts()))
-	upF := upOf(fl.FedAvg{})
+	upF := upOf(&fl.FedAvg{})
 	upSc := upOf(&fl.SCAFFOLD{})
 	if ratio := float64(upS) / float64(upF); ratio > 1.6 {
 		t.Fatalf("SPATL/FedAvg uplink ratio %.2f, want ≤ 1.6", ratio)
@@ -167,7 +166,7 @@ func TestServerControlVariateMoves(t *testing.T) {
 	s := New(fastOpts())
 	fl.Run(env, s, fl.RunOpts{Rounds: 2})
 	var nonzero int
-	for _, v := range s.c {
+	for _, v := range s.ControlVariate() {
 		if v != 0 {
 			nonzero++
 		}
@@ -194,23 +193,6 @@ func TestColdStartTrainsOnlyPredictor(t *testing.T) {
 	acc := fl.EvalAccuracy(c.Model, c.Val, 32)
 	if acc < 0.25 {
 		t.Fatalf("cold-started client accuracy %.3f below chance", acc)
-	}
-}
-
-func TestClipRanges(t *testing.T) {
-	rs := []comm.Range{{Start: 0, Len: 5}, {Start: 8, Len: 4}, {Start: 20, Len: 3}}
-	got := clipRanges(rs, 10)
-	if len(got) != 2 {
-		t.Fatalf("clipped to %d ranges, want 2", len(got))
-	}
-	if got[0] != (comm.Range{Start: 0, Len: 5}) {
-		t.Fatalf("first range %v", got[0])
-	}
-	if got[1] != (comm.Range{Start: 8, Len: 2}) {
-		t.Fatalf("straddling range %v, want truncated to len 2", got[1])
-	}
-	if len(clipRanges(rs, 0)) != 0 {
-		t.Fatal("n=0 must clip everything")
 	}
 }
 

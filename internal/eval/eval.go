@@ -1,0 +1,74 @@
+// Package eval holds the transport- and algorithm-independent model
+// evaluation helpers shared by the simulation framework (internal/fl)
+// and the pruning environment (internal/prune). It sits below both so
+// neither drags the other in.
+package eval
+
+import (
+	"spatl/internal/data"
+	"spatl/internal/models"
+	"spatl/internal/nn"
+)
+
+// Accuracy computes top-1 accuracy of m on ds in evaluation mode,
+// batching for throughput.
+func Accuracy(m *models.SplitModel, ds *data.Dataset, batchSize int) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	correct := 0
+	for lo := 0; lo < ds.Len(); lo += batchSize {
+		hi := lo + batchSize
+		if hi > ds.Len() {
+			hi = ds.Len()
+		}
+		idx := make([]int, hi-lo)
+		for i := range idx {
+			idx[i] = lo + i
+		}
+		x, y := ds.Batch(idx)
+		out := m.Forward(x, false)
+		for i := 0; i < len(y); i++ {
+			row := out.Data[i*out.Dim(1) : (i+1)*out.Dim(1)]
+			best, bi := row[0], 0
+			for j, v := range row[1:] {
+				if v > best {
+					best, bi = v, j+1
+				}
+			}
+			if bi == y[i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+// Loss computes mean cross-entropy of m on ds in evaluation mode.
+func Loss(m *models.SplitModel, ds *data.Dataset, batchSize int) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	var total float64
+	for lo := 0; lo < ds.Len(); lo += batchSize {
+		hi := lo + batchSize
+		if hi > ds.Len() {
+			hi = ds.Len()
+		}
+		idx := make([]int, hi-lo)
+		for i := range idx {
+			idx[i] = lo + i
+		}
+		x, y := ds.Batch(idx)
+		out := m.Forward(x, false)
+		loss, _ := nn.SoftmaxCrossEntropy(out, y)
+		total += loss * float64(len(y))
+	}
+	return total / float64(ds.Len())
+}

@@ -242,9 +242,9 @@ func agentCfg(s Scale, seed int64) rl.AgentConfig {
 func NewAlgorithm(name string, s Scale, seed int64) fl.Algorithm {
 	switch name {
 	case "fedavg":
-		return fl.FedAvg{}
+		return &fl.FedAvg{}
 	case "fedprox":
-		return fl.FedProx{}
+		return &fl.FedProx{}
 	case "fednova":
 		return &fl.FedNova{}
 	case "scaffold":

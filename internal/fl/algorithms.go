@@ -1,270 +1,88 @@
 package fl
 
 import (
-	"math/rand"
-
-	"spatl/internal/comm"
+	"spatl/internal/algo"
 	"spatl/internal/models"
-	"spatl/internal/nn"
-	"spatl/internal/tensor"
 )
 
-// EffectiveLR is the asymptotic per-gradient step size of momentum SGD:
-// η/(1−µ). Control-variate updates (SCAFFOLD, SPATL) divide cumulative
-// weight movement by it to recover average gradients.
-func EffectiveLR(lr, momentum float64) float64 {
-	if momentum > 0 && momentum < 1 {
-		return lr / (1 - momentum)
-	}
-	return lr
-}
+// The four baseline algorithms are implemented once, transport-free, in
+// internal/algo; this file adapts them to the simulation's Algorithm
+// interface by wiring an aggregator around the global model and one
+// trainer per client, then delegating rounds to the Sim transport.
 
-// decodeDense decodes a broadcast payload, panicking on corruption (the
-// simulation transports bytes in-process, so corruption is a bug).
-func decodeDense(buf []byte) []float32 {
-	return decodeDenseInto(nil, buf)
-}
+// EffectiveLR re-exports algo.EffectiveLR for the simulation's callers.
+func EffectiveLR(lr, momentum float64) float64 { return algo.EffectiveLR(lr, momentum) }
 
-// decodeDenseInto is decodeDense into a caller buffer — typically from
-// comm.GetF32, so the per-client decode paths recycle their vectors.
-func decodeDenseInto(dst []float32, buf []byte) []float32 {
-	v, err := comm.DecodeDenseAnyInto(dst, buf)
-	if err != nil {
-		panic(err)
-	}
-	return v
-}
-
-// weightedAverageSerial is the retained reference reduction: Σ wᵢ·stateᵢ
-// / Σ wᵢ in float64, clients outer, parameters inner. weightedAverage
-// must match it bitwise; determinism tests compare the two.
+// weightedAverageSerial is the serial reference reduction (see
+// algo.WeightedAverageSerial); retained for the determinism tests.
 func weightedAverageSerial(states [][]float32, weights []float64) []float32 {
-	total := 0.0
-	var first []float32
-	for si, st := range states {
-		if st == nil {
-			continue
-		}
-		if first == nil {
-			first = st
-		}
-		total += weights[si]
-	}
-	if first == nil || total == 0 {
-		return nil
-	}
-	acc := make([]float64, len(first))
-	for si, st := range states {
-		if st == nil {
-			continue
-		}
-		w := weights[si] / total
-		for i, v := range st {
-			acc[i] += w * float64(v)
-		}
-	}
-	out := make([]float32, len(acc))
-	for i, v := range acc {
-		out[i] = float32(v)
-	}
-	return out
+	return algo.WeightedAverageSerial(states, weights)
 }
 
-// weightedAverage returns Σ wᵢ·stateᵢ / Σ wᵢ computed in float64,
-// skipping nil states (clients whose upload was lost to failure
-// injection). Returns nil when no state survives.
-//
-// The reduction is parallelized by chunking the parameter dimension;
-// within a chunk every index still sums clients in ascending order, so
-// the result is bitwise identical to weightedAverageSerial at any
-// GOMAXPROCS.
+// weightedAverage is the deterministic parallel reduction (see
+// algo.WeightedAverage).
 func weightedAverage(states [][]float32, weights []float64) []float32 {
-	total := 0.0
-	var first []float32
-	for si, st := range states {
-		if st == nil {
-			continue
-		}
-		if first == nil {
-			first = st
-		}
-		total += weights[si]
-	}
-	if first == nil || total == 0 {
-		return nil
-	}
-	out := make([]float32, len(first))
-	tensor.Parallel(len(first), func(lo, hi int) {
-		acc := make([]float64, hi-lo)
-		for si, st := range states {
-			if st == nil {
-				continue
-			}
-			w := weights[si] / total
-			for i, v := range st[lo:hi] {
-				acc[i] += w * float64(v)
-			}
-		}
-		for i, v := range acc {
-			out[lo+i] = float32(v)
-		}
-	})
-	return out
+	return algo.WeightedAverage(states, weights)
 }
 
 // WeightedAverage exposes the deterministic parallel reduction for the
 // benchmark harness: bitwise identical to the serial reference at any
 // GOMAXPROCS.
 func WeightedAverage(states [][]float32, weights []float64) []float32 {
-	return weightedAverage(states, weights)
-}
-
-// releaseUploads returns pooled per-client vectors to the payload pool
-// after the server reduction consumed them.
-func releaseUploads(uploads [][]float32) {
-	for _, u := range uploads {
-		comm.PutF32(u)
-	}
-}
-
-// addProx returns a LocalOpts hook adding FedProx's proximal gradient
-// term μ(w − w_global) against the flattened global trainable weights.
-func addProx(mu float64, globalFlat []float32) func(params []*nn.Param) {
-	return func(params []*nn.Param) {
-		off := 0
-		m := float32(mu)
-		for _, p := range params {
-			for j := range p.G.Data {
-				p.G.Data[j] += m * (p.W.Data[j] - globalFlat[off+j])
-			}
-			off += p.W.Len()
-		}
-	}
-}
-
-// addControl returns a hook applying SCAFFOLD-style gradient correction
-// g += c − cᵢ over the flattened trainable parameters.
-func addControl(c, ci []float32) func(params []*nn.Param) {
-	return func(params []*nn.Param) {
-		off := 0
-		for _, p := range params {
-			for j := range p.G.Data {
-				p.G.Data[j] += c[off+j] - ci[off+j]
-			}
-			off += p.W.Len()
-		}
-	}
+	return algo.WeightedAverage(states, weights)
 }
 
 // FedAvg is the McMahan et al. baseline: clients train the full model
 // locally; the server averages uploaded models weighted by local data
 // size.
-type FedAvg struct{}
+type FedAvg struct {
+	sim *Sim
+}
 
 // Name implements Algorithm.
-func (FedAvg) Name() string { return "fedavg" }
+func (*FedAvg) Name() string { return "fedavg" }
 
 // Setup implements Algorithm.
-func (FedAvg) Setup(env *Env) {}
-
-// EvalModel implements Algorithm.
-func (FedAvg) EvalModel(env *Env, c *Client) *models.SplitModel { return env.Global }
+func (f *FedAvg) Setup(env *Env) {
+	cfg := env.AlgoConfig()
+	trainers := make([]algo.Trainer, len(env.Clients))
+	for i, c := range env.Clients {
+		trainers[i] = algo.NewFedAvgTrainer(c, cfg)
+	}
+	f.sim = NewSim(env, algo.NewFedAvgAggregator(env.Global, cfg), trainers)
+}
 
 // Round implements Algorithm.
-func (FedAvg) Round(env *Env, round int, selected []int) {
-	n := env.Global.StateLen(models.ScopeAll)
-	state := env.Global.StateInto(models.ScopeAll, comm.GetF32(n))
-	payload := env.EncodeDenseInto(comm.GetBuf(env.DensePayloadLen(n)), state)
-	uploads := make([][]float32, len(selected))
-	ParallelClients(selected, func(pos int) {
-		ci := selected[pos]
-		c := env.Clients[ci]
-		env.Meter.AddDown(len(payload))
-		if env.ClientFailed(round, ci) {
-			return // crashed after download: upload lost
-		}
-		dl := decodeDenseInto(comm.GetF32(n), payload)
-		c.Model.SetState(models.ScopeAll, dl)
-		comm.PutF32(dl)
-		rng := rand.New(rand.NewSource(env.ClientSeed(round, ci)))
-		LocalSGD(c, LocalOpts{
-			Params: c.Model.Params(), Epochs: env.Cfg.LocalEpochs, BatchSize: env.Cfg.BatchSize,
-			LR: env.LRAt(round), Momentum: env.Cfg.Momentum, WeightDecay: env.Cfg.WeightDecay,
-			GradClip: env.Cfg.GradClip,
-		}, rng)
-		local := c.Model.StateInto(models.ScopeAll, comm.GetF32(n))
-		up := env.EncodeDenseInto(comm.GetBuf(env.DensePayloadLen(n)), local)
-		comm.PutF32(local)
-		env.Meter.AddUp(len(up))
-		uploads[pos] = decodeDenseInto(comm.GetF32(n), up)
-		comm.PutBuf(up)
-	})
-	ws, _ := env.TrainSizes(selected)
-	if avg := weightedAverage(uploads, ws); avg != nil {
-		env.Global.SetState(models.ScopeAll, avg)
-	}
-	releaseUploads(uploads)
-	comm.PutBuf(payload)
-	comm.PutF32(state)
-}
+func (f *FedAvg) Round(env *Env, round int, selected []int) { f.sim.Round(round, selected) }
+
+// EvalModel implements Algorithm.
+func (*FedAvg) EvalModel(env *Env, c *Client) *models.SplitModel { return env.Global }
 
 // FedProx (Li et al.) augments FedAvg's local objective with a proximal
 // term restraining drift from the global model; per-round payload equals
 // FedAvg's.
-type FedProx struct{}
+type FedProx struct {
+	sim *Sim
+}
 
 // Name implements Algorithm.
-func (FedProx) Name() string { return "fedprox" }
+func (*FedProx) Name() string { return "fedprox" }
 
 // Setup implements Algorithm.
-func (FedProx) Setup(env *Env) {}
-
-// EvalModel implements Algorithm.
-func (FedProx) EvalModel(env *Env, c *Client) *models.SplitModel { return env.Global }
+func (f *FedProx) Setup(env *Env) {
+	cfg := env.AlgoConfig()
+	trainers := make([]algo.Trainer, len(env.Clients))
+	for i, c := range env.Clients {
+		trainers[i] = algo.NewFedProxTrainer(c, cfg)
+	}
+	f.sim = NewSim(env, algo.NewFedAvgAggregator(env.Global, cfg), trainers)
+}
 
 // Round implements Algorithm.
-func (FedProx) Round(env *Env, round int, selected []int) {
-	mu := env.Cfg.ProxMu
-	if mu == 0 {
-		mu = 0.01
-	}
-	globalFlat := nn.FlattenParams(env.Global.Params())
-	n := env.Global.StateLen(models.ScopeAll)
-	state := env.Global.StateInto(models.ScopeAll, comm.GetF32(n))
-	payload := env.EncodeDenseInto(comm.GetBuf(env.DensePayloadLen(n)), state)
-	uploads := make([][]float32, len(selected))
-	ParallelClients(selected, func(pos int) {
-		ci := selected[pos]
-		c := env.Clients[ci]
-		env.Meter.AddDown(len(payload))
-		if env.ClientFailed(round, ci) {
-			return
-		}
-		dl := decodeDenseInto(comm.GetF32(n), payload)
-		c.Model.SetState(models.ScopeAll, dl)
-		comm.PutF32(dl)
-		rng := rand.New(rand.NewSource(env.ClientSeed(round, ci)))
-		LocalSGD(c, LocalOpts{
-			Params: c.Model.Params(), Epochs: env.Cfg.LocalEpochs, BatchSize: env.Cfg.BatchSize,
-			LR: env.LRAt(round), Momentum: env.Cfg.Momentum, WeightDecay: env.Cfg.WeightDecay,
-			GradClip: env.Cfg.GradClip,
-			Hook:     addProx(mu, globalFlat),
-		}, rng)
-		local := c.Model.StateInto(models.ScopeAll, comm.GetF32(n))
-		up := env.EncodeDenseInto(comm.GetBuf(env.DensePayloadLen(n)), local)
-		comm.PutF32(local)
-		env.Meter.AddUp(len(up))
-		uploads[pos] = decodeDenseInto(comm.GetF32(n), up)
-		comm.PutBuf(up)
-	})
-	ws, _ := env.TrainSizes(selected)
-	if avg := weightedAverage(uploads, ws); avg != nil {
-		env.Global.SetState(models.ScopeAll, avg)
-	}
-	releaseUploads(uploads)
-	comm.PutBuf(payload)
-	comm.PutF32(state)
-}
+func (f *FedProx) Round(env *Env, round int, selected []int) { f.sim.Round(round, selected) }
+
+// EvalModel implements Algorithm.
+func (*FedProx) EvalModel(env *Env, c *Client) *models.SplitModel { return env.Global }
 
 // SCAFFOLD (Karimireddy et al.) corrects client drift with control
 // variates: the server holds c, each client cᵢ; local gradients receive
@@ -272,7 +90,8 @@ func (FedProx) Round(env *Env, round int, selected []int) {
 // the per-round payload is ≈2× FedAvg's — the trade-off the SPATL paper
 // highlights.
 type SCAFFOLD struct {
-	c []float32 // server control variate over trainable params
+	sim *Sim
+	agg *algo.SCAFFOLDAggregator
 }
 
 // Name implements Algorithm.
@@ -280,133 +99,33 @@ func (*SCAFFOLD) Name() string { return "scaffold" }
 
 // Setup implements Algorithm.
 func (s *SCAFFOLD) Setup(env *Env) {
-	n := nn.ParamCount(env.Global.Params())
-	s.c = make([]float32, n)
-	for _, c := range env.Clients {
-		c.Control = make([]float32, n)
+	cfg := env.AlgoConfig()
+	s.agg = algo.NewSCAFFOLDAggregator(env.Global, cfg)
+	trainers := make([]algo.Trainer, len(env.Clients))
+	for i, c := range env.Clients {
+		trainers[i] = algo.NewSCAFFOLDTrainer(c, cfg)
 	}
+	s.sim = NewSim(env, s.agg, trainers)
 }
+
+// Round implements Algorithm.
+func (s *SCAFFOLD) Round(env *Env, round int, selected []int) { s.sim.Round(round, selected) }
 
 // EvalModel implements Algorithm.
 func (*SCAFFOLD) EvalModel(env *Env, c *Client) *models.SplitModel { return env.Global }
 
-// Round implements Algorithm.
-func (s *SCAFFOLD) Round(env *Env, round int, selected []int) {
-	nState := env.Global.StateLen(models.ScopeAll)
-	globalState := env.Global.StateInto(models.ScopeAll, comm.GetF32(nState))
-	globalFlat := nn.FlattenParams(env.Global.Params())
-	statePayload := env.EncodeDenseInto(comm.GetBuf(env.DensePayloadLen(nState)), globalState)
-	ctrlPayload := env.EncodeDenseInto(comm.GetBuf(env.DensePayloadLen(len(s.c))), s.c)
-
-	deltaW := make([][]float32, len(selected))
-	deltaC := make([][]float32, len(selected))
-	ParallelClients(selected, func(pos int) {
-		ci := selected[pos]
-		c := env.Clients[ci]
-		env.Meter.AddDown(len(statePayload) + len(ctrlPayload))
-		if env.ClientFailed(round, ci) {
-			return
-		}
-		dl := decodeDenseInto(comm.GetF32(nState), statePayload)
-		c.Model.SetState(models.ScopeAll, dl)
-		comm.PutF32(dl)
-		serverC := decodeDenseInto(comm.GetF32(len(s.c)), ctrlPayload)
-		rng := rand.New(rand.NewSource(env.ClientSeed(round, ci)))
-		steps, _ := LocalSGD(c, LocalOpts{
-			Params: c.Model.Params(), Epochs: env.Cfg.LocalEpochs, BatchSize: env.Cfg.BatchSize,
-			LR: env.LRAt(round), Momentum: env.Cfg.Momentum, WeightDecay: env.Cfg.WeightDecay,
-			GradClip: env.Cfg.GradClip,
-			Hook:     addControl(serverC, c.Control),
-		}, rng)
-
-		localFlat := nn.FlattenParams(c.Model.Params())
-		localState := c.Model.StateInto(models.ScopeAll, comm.GetF32(nState))
-		// Option-II control update: cᵢ⁺ = cᵢ − c + (x_g − x_i)/(K·η_eff).
-		// With classical momentum each unit of gradient moves the weights
-		// by ≈ η/(1−µ) over time, so the effective step size is scaled
-		// accordingly; without the correction the control variates
-		// overestimate gradients by 1/(1−µ) and training explodes.
-		inv := 1.0 / (float64(steps) * EffectiveLR(env.LRAt(round), env.Cfg.Momentum))
-		newCi := make([]float32, len(localFlat))
-		dC := comm.GetF32(len(localFlat))
-		for j := range localFlat {
-			newCi[j] = c.Control[j] - serverC[j] + float32(float64(globalFlat[j]-localFlat[j])*inv)
-			dC[j] = newCi[j] - c.Control[j]
-		}
-		c.Control = newCi
-		comm.PutF32(serverC)
-
-		dW := comm.GetF32(len(localState))
-		for j := range localState {
-			dW[j] = localState[j] - globalState[j]
-		}
-		comm.PutF32(localState)
-		upW := env.EncodeDenseInto(comm.GetBuf(env.DensePayloadLen(len(dW))), dW)
-		upC := env.EncodeDenseInto(comm.GetBuf(env.DensePayloadLen(len(dC))), dC)
-		env.Meter.AddUp(len(upW) + len(upC))
-		deltaW[pos] = decodeDenseInto(dW, upW) // reuse: decode over the source vector
-		deltaC[pos] = decodeDenseInto(dC, upC)
-		comm.PutBuf(upW)
-		comm.PutBuf(upC)
-	})
-
-	// Server: x += (1/|S|)·ΣΔw ; c += (1/N)·ΣΔc, where S is the set of
-	// clients whose uploads actually arrived. Both reductions chunk the
-	// parameter dimension and sum clients in fixed order per index, so
-	// they stay bitwise identical to the serial loops at any GOMAXPROCS.
-	survivors := 0
-	for _, dw := range deltaW {
-		if dw != nil {
-			survivors++
-		}
-	}
-	if survivors == 0 {
-		comm.PutBuf(statePayload)
-		comm.PutBuf(ctrlPayload)
-		comm.PutF32(globalState)
-		return
-	}
-	invS := 1.0 / float64(survivors)
-	newState := comm.GetF32(nState)
-	tensor.Parallel(nState, func(lo, hi int) {
-		copy(newState[lo:hi], globalState[lo:hi])
-		for _, dw := range deltaW {
-			if dw == nil {
-				continue
-			}
-			for j := lo; j < hi; j++ {
-				newState[j] += float32(invS * float64(dw[j]))
-			}
-		}
-	})
-	env.Global.SetState(models.ScopeAll, newState)
-	comm.PutF32(newState)
-	invN := 1.0 / float64(env.Cfg.NumClients)
-	tensor.Parallel(len(s.c), func(lo, hi int) {
-		for _, dc := range deltaC {
-			if dc == nil {
-				continue
-			}
-			for j := lo; j < hi; j++ {
-				s.c[j] += float32(invN * float64(dc[j]))
-			}
-		}
-	})
-	releaseUploads(deltaW)
-	releaseUploads(deltaC)
-	comm.PutBuf(statePayload)
-	comm.PutBuf(ctrlPayload)
-	comm.PutF32(globalState)
-}
+// ControlVariate exposes the server control variate (read-only use).
+func (s *SCAFFOLD) ControlVariate() []float32 { return s.agg.ControlVariate() }
 
 // FedNova (Wang et al.) normalizes each client's cumulative update by
 // its local step count before aggregation, removing objective
-// inconsistency under heterogeneous local work. This implementation
+// inconsistency under heterogeneous local work. The implementation
 // includes the momentum variant: clients also ship their momentum
 // buffers, which the server averages and redistributes — giving the ≈2×
 // per-round uplink the SPATL paper reports for FedNova.
 type FedNova struct {
-	velocity []float32 // server-averaged momentum over trainable params
+	sim *Sim
+	agg *algo.FedNovaAggregator
 }
 
 // Name implements Algorithm.
@@ -414,115 +133,17 @@ func (*FedNova) Name() string { return "fednova" }
 
 // Setup implements Algorithm.
 func (f *FedNova) Setup(env *Env) {
-	f.velocity = make([]float32, nn.ParamCount(env.Global.Params()))
+	cfg := env.AlgoConfig()
+	f.agg = algo.NewFedNovaAggregator(env.Global, cfg)
+	trainers := make([]algo.Trainer, len(env.Clients))
+	for i, c := range env.Clients {
+		trainers[i] = algo.NewFedNovaTrainer(c, cfg)
+	}
+	f.sim = NewSim(env, f.agg, trainers)
 }
+
+// Round implements Algorithm.
+func (f *FedNova) Round(env *Env, round int, selected []int) { f.sim.Round(round, selected) }
 
 // EvalModel implements Algorithm.
 func (*FedNova) EvalModel(env *Env, c *Client) *models.SplitModel { return env.Global }
-
-// Round implements Algorithm.
-func (f *FedNova) Round(env *Env, round int, selected []int) {
-	nState := env.Global.StateLen(models.ScopeAll)
-	globalState := env.Global.StateInto(models.ScopeAll, comm.GetF32(nState))
-	statePayload := env.EncodeDenseInto(comm.GetBuf(env.DensePayloadLen(nState)), globalState)
-	velPayload := env.EncodeDenseInto(comm.GetBuf(env.DensePayloadLen(len(f.velocity))), f.velocity)
-
-	ds := make([][]float32, len(selected)) // normalized update d_i over full state
-	vs := make([][]float32, len(selected)) // final momentum buffers
-	taus := make([]float64, len(selected))
-	ParallelClients(selected, func(pos int) {
-		ci := selected[pos]
-		c := env.Clients[ci]
-		env.Meter.AddDown(len(statePayload) + len(velPayload))
-		if env.ClientFailed(round, ci) {
-			return
-		}
-		dl := decodeDenseInto(comm.GetF32(nState), statePayload)
-		c.Model.SetState(models.ScopeAll, dl)
-		comm.PutF32(dl)
-		rng := rand.New(rand.NewSource(env.ClientSeed(round, ci)))
-		steps, vel := LocalSGD(c, LocalOpts{
-			Params: c.Model.Params(), Epochs: env.Cfg.LocalEpochs, BatchSize: env.Cfg.BatchSize,
-			LR: env.LRAt(round), Momentum: env.Cfg.Momentum, WeightDecay: env.Cfg.WeightDecay,
-			GradClip:     env.Cfg.GradClip,
-			InitVelocity: decodeDense(velPayload),
-		}, rng)
-		taus[pos] = float64(steps)
-		localState := c.Model.StateInto(models.ScopeAll, comm.GetF32(nState))
-		d := comm.GetF32(nState)
-		inv := 1.0 / float64(steps)
-		for j := range d {
-			d[j] = float32(float64(globalState[j]-localState[j]) * inv)
-		}
-		comm.PutF32(localState)
-		upD := env.EncodeDenseInto(comm.GetBuf(env.DensePayloadLen(len(d))), d)
-		if vel == nil {
-			vel = make([]float32, nn.ParamCount(c.Model.Params()))
-		}
-		upV := env.EncodeDenseInto(comm.GetBuf(env.DensePayloadLen(len(vel))), vel)
-		env.Meter.AddUp(len(upD) + len(upV))
-		ds[pos] = decodeDenseInto(d, upD)
-		vs[pos] = decodeDenseInto(comm.GetF32(len(vel)), upV)
-		comm.PutBuf(upD)
-		comm.PutBuf(upV)
-	})
-
-	// Restrict the weighting to clients whose uploads arrived.
-	ws, _ := env.TrainSizes(selected)
-	total := 0.0
-	for i := range ds {
-		if ds[i] != nil {
-			total += ws[i]
-		}
-	}
-	if total == 0 {
-		comm.PutBuf(statePayload)
-		comm.PutBuf(velPayload)
-		comm.PutF32(globalState)
-		return
-	}
-	// τ_eff = Σ pᵢ·τᵢ ; x_g ← x_g − τ_eff · Σ pᵢ·dᵢ. The reductions chunk
-	// the parameter dimension, clients in fixed order per index, bitwise
-	// identical to the serial loops at any GOMAXPROCS.
-	var tauEff float64
-	for i := range ds {
-		if ds[i] != nil {
-			tauEff += (ws[i] / total) * taus[i]
-		}
-	}
-	newState := comm.GetF32(nState)
-	tensor.Parallel(nState, func(lo, hi int) {
-		copy(newState[lo:hi], globalState[lo:hi])
-		for i, d := range ds {
-			if d == nil {
-				continue
-			}
-			p := ws[i] / total
-			for j := lo; j < hi; j++ {
-				newState[j] -= float32(tauEff * p * float64(d[j]))
-			}
-		}
-	})
-	env.Global.SetState(models.ScopeAll, newState)
-	comm.PutF32(newState)
-	// Server momentum = Σ pᵢ·vᵢ.
-	tensor.Parallel(len(f.velocity), func(lo, hi int) {
-		for j := lo; j < hi; j++ {
-			f.velocity[j] = 0
-		}
-		for i, v := range vs {
-			if v == nil {
-				continue
-			}
-			p := ws[i] / total
-			for j := lo; j < hi; j++ {
-				f.velocity[j] += float32(p * float64(v[j]))
-			}
-		}
-	})
-	releaseUploads(ds)
-	releaseUploads(vs)
-	comm.PutBuf(statePayload)
-	comm.PutBuf(velPayload)
-	comm.PutF32(globalState)
-}

@@ -67,7 +67,7 @@ func TestTinyClientDoesNotPanic(t *testing.T) {
 		{Train: ds.Subset(rangeInts(5, 35)), Val: ds.Subset(rangeInts(35, 40))},
 	}
 	env := NewEnv(spec, cfg, cd)
-	res := Run(env, FedAvg{}, RunOpts{Rounds: 2})
+	res := Run(env, &FedAvg{}, RunOpts{Rounds: 2})
 	if len(res.Records) != 2 {
 		t.Fatal("run did not complete")
 	}
@@ -88,15 +88,16 @@ func TestSCAFFOLDControlVariatesSumProperty(t *testing.T) {
 	s := &SCAFFOLD{}
 	s.Setup(env)
 	s.Round(env, 0, []int{0, 1, 2})
-	n := len(s.c)
+	sc := s.ControlVariate()
+	n := len(sc)
 	for j := 0; j < n; j += n/7 + 1 {
 		var mean float64
 		for _, c := range env.Clients {
 			mean += float64(c.Control[j])
 		}
 		mean /= 3
-		if math.Abs(mean-float64(s.c[j])) > 1e-4*(1+math.Abs(mean)) {
-			t.Fatalf("server c[%d] = %v, client mean = %v", j, s.c[j], mean)
+		if math.Abs(mean-float64(sc[j])) > 1e-4*(1+math.Abs(mean)) {
+			t.Fatalf("server c[%d] = %v, client mean = %v", j, sc[j], mean)
 		}
 	}
 }

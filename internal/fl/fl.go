@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"spatl/internal/algo"
 	"spatl/internal/comm"
 	"spatl/internal/data"
 	"spatl/internal/models"
@@ -69,22 +70,9 @@ func (c Config) WithDefaults() Config {
 	return c
 }
 
-// Client is one edge device: private train/validation splits and a
-// persistent local model (SPATL keeps the predictor here across rounds;
-// baselines overwrite the whole model each round).
-type Client struct {
-	ID    int
-	Train *data.Dataset
-	Val   *data.Dataset
-	Model *models.SplitModel
-
-	// Control is the SCAFFOLD-style client control variate c_i over the
-	// algorithm's trainable-parameter scope; nil until the algorithm
-	// initializes it.
-	Control []float32
-	// Velocity is the client's uploaded momentum state (FedNova).
-	Velocity []float32
-}
+// Client is one edge device; it aliases the transport-agnostic
+// algo.Client so simulation code and algorithm cores share the type.
+type Client = algo.Client
 
 // Env is the shared simulation environment: the server's global model,
 // all clients, the communication meter and the experiment RNG.
@@ -204,9 +192,30 @@ func (e *Env) LRAt(round int) float64 {
 }
 
 // ClientSeed derives a deterministic per-(round, client) seed for local
-// training so runs are reproducible regardless of scheduling order.
+// training so runs are reproducible regardless of scheduling order. It
+// delegates to algo.ClientSeed — the same derivation every transport
+// uses.
 func (e *Env) ClientSeed(round, clientID int) int64 {
-	return e.Cfg.Seed*1_000_003 + int64(round)*10_007 + int64(clientID)*101 + 17
+	return algo.ClientSeed(e.Cfg.Seed, round, clientID)
+}
+
+// AlgoConfig projects the simulation config onto the hyperparameters an
+// algorithm core needs (algo.Config drops the transport-owned knobs:
+// sampling ratio and drop injection).
+func (e *Env) AlgoConfig() algo.Config {
+	return algo.Config{
+		NumClients:    e.Cfg.NumClients,
+		LocalEpochs:   e.Cfg.LocalEpochs,
+		BatchSize:     e.Cfg.BatchSize,
+		LR:            e.Cfg.LR,
+		LRSchedule:    e.Cfg.LRSchedule,
+		Momentum:      e.Cfg.Momentum,
+		WeightDecay:   e.Cfg.WeightDecay,
+		ProxMu:        e.Cfg.ProxMu,
+		GradClip:      e.Cfg.GradClip,
+		HalfPrecision: e.Cfg.HalfPrecision,
+		Seed:          e.Cfg.Seed,
+	}
 }
 
 // ClientFailed reports whether failure injection drops this client's

@@ -87,7 +87,7 @@ func TestNewEnvClientsStartFromGlobal(t *testing.T) {
 
 func TestFedAvgLearnsAboveChance(t *testing.T) {
 	env := testEnv(t, 4, quickCfg(4))
-	res := Run(env, FedAvg{}, RunOpts{Rounds: 6})
+	res := Run(env, &FedAvg{}, RunOpts{Rounds: 6})
 	if res.FinalAcc() < 0.45 {
 		t.Fatalf("FedAvg accuracy %.3f after 6 rounds; want > 0.45 (chance 0.25)", res.FinalAcc())
 	}
@@ -95,7 +95,7 @@ func TestFedAvgLearnsAboveChance(t *testing.T) {
 
 func TestFedProxLearnsAboveChance(t *testing.T) {
 	env := testEnv(t, 4, quickCfg(5))
-	res := Run(env, FedProx{}, RunOpts{Rounds: 6})
+	res := Run(env, &FedProx{}, RunOpts{Rounds: 6})
 	if res.FinalAcc() < 0.45 {
 		t.Fatalf("FedProx accuracy %.3f", res.FinalAcc())
 	}
@@ -129,10 +129,10 @@ func TestCommunicationCostRatios(t *testing.T) {
 		res := Run(env, algo, RunOpts{Rounds: 2})
 		return res.Records[len(res.Records)-1].CumUp
 	}
-	fa := upOf(FedAvg{}, 8)
+	fa := upOf(&FedAvg{}, 8)
 	sc := upOf(&SCAFFOLD{}, 8)
 	fn := upOf(&FedNova{}, 8)
-	fp := upOf(FedProx{}, 8)
+	fp := upOf(&FedProx{}, 8)
 	if ratio := float64(sc) / float64(fa); ratio < 1.8 || ratio > 2.2 {
 		t.Fatalf("SCAFFOLD/FedAvg uplink ratio %.2f, want ≈2", ratio)
 	}
@@ -145,8 +145,8 @@ func TestCommunicationCostRatios(t *testing.T) {
 }
 
 func TestRunDeterministic(t *testing.T) {
-	r1 := Run(testEnv(t, 3, quickCfg(9)), FedAvg{}, RunOpts{Rounds: 2})
-	r2 := Run(testEnv(t, 3, quickCfg(9)), FedAvg{}, RunOpts{Rounds: 2})
+	r1 := Run(testEnv(t, 3, quickCfg(9)), &FedAvg{}, RunOpts{Rounds: 2})
+	r2 := Run(testEnv(t, 3, quickCfg(9)), &FedAvg{}, RunOpts{Rounds: 2})
 	if len(r1.Records) != len(r2.Records) {
 		t.Fatal("record counts differ")
 	}
@@ -167,7 +167,7 @@ func TestRunDeterministic(t *testing.T) {
 
 func TestRunEarlyStopsAtTarget(t *testing.T) {
 	env := testEnv(t, 4, quickCfg(10))
-	res := Run(env, FedAvg{}, RunOpts{Rounds: 50, TargetAcc: 0.30})
+	res := Run(env, &FedAvg{}, RunOpts{Rounds: 50, TargetAcc: 0.30})
 	if len(res.Records) >= 50 {
 		t.Fatal("run should stop early at an easy target")
 	}

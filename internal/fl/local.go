@@ -3,134 +3,34 @@ package fl
 import (
 	"math/rand"
 
+	"spatl/internal/algo"
 	"spatl/internal/data"
+	"spatl/internal/eval"
 	"spatl/internal/models"
-	"spatl/internal/nn"
 	"spatl/internal/tensor"
 )
 
-// LocalOpts configures one client's local update phase.
-type LocalOpts struct {
-	// Params is the parameter set to train (whole model for baselines,
-	// encoder+predictor or predictor-only for SPATL variants).
-	Params      []*nn.Param
-	Epochs      int
-	BatchSize   int
-	LR          float64
-	Momentum    float64
-	WeightDecay float64
-	GradClip    float64
-	// Hook, when non-nil, runs after each backward pass and before the
-	// optimizer step; FedProx adds its proximal term here and
-	// SCAFFOLD/SPATL apply control-variate gradient correction.
-	Hook func(params []*nn.Param)
-	// InitVelocity warm-starts the momentum buffers (FedNova).
-	InitVelocity []float32
-	// FreezeEncoder runs the encoder in evaluation mode and trains only
-	// the predictor — SPATL's cold-start transfer path (eq. 4). The
-	// encoder's weights and BatchNorm statistics are untouched.
-	FreezeEncoder bool
-}
+// LocalOpts configures one client's local update phase; it aliases the
+// transport-agnostic algo.LocalOpts.
+type LocalOpts = algo.LocalOpts
 
 // LocalSGD runs minibatch SGD on the client's model and returns the
-// number of optimizer steps taken and the final momentum buffers.
+// number of optimizer steps taken and the final momentum buffers. It
+// delegates to algo.LocalSGD — the same local update every transport
+// runs.
 func LocalSGD(c *Client, opts LocalOpts, rng *rand.Rand) (steps int, velocity []float32) {
-	opt := nn.NewSGD(opts.Params, opts.LR, opts.Momentum, opts.WeightDecay)
-	if opts.InitVelocity != nil && opts.Momentum != 0 {
-		opt.SetVelocity(opts.InitVelocity)
-	}
-	allParams := c.Model.Params()
-	for epoch := 0; epoch < opts.Epochs; epoch++ {
-		for _, idx := range c.Train.Batches(rng, opts.BatchSize) {
-			x, y := c.Train.Batch(idx)
-			nn.ZeroGrad(allParams)
-			var out *tensor.Tensor
-			if opts.FreezeEncoder {
-				h := c.Model.Encoder.Forward(x, false)
-				out = c.Model.Predictor.Forward(h, true)
-			} else {
-				out = c.Model.Forward(x, true)
-			}
-			_, grad := nn.SoftmaxCrossEntropy(out, y)
-			if opts.FreezeEncoder {
-				c.Model.Predictor.Backward(grad)
-			} else {
-				c.Model.Backward(grad)
-			}
-			if opts.Hook != nil {
-				opts.Hook(opts.Params)
-			}
-			if opts.GradClip > 0 {
-				nn.ClipGradNorm(opts.Params, opts.GradClip)
-			}
-			opt.Step()
-			steps++
-		}
-	}
-	return steps, opt.Velocity()
+	return algo.LocalSGD(c, opts, rng)
 }
 
 // EvalAccuracy computes top-1 accuracy of m on ds in evaluation mode,
 // batching for throughput.
 func EvalAccuracy(m *models.SplitModel, ds *data.Dataset, batchSize int) float64 {
-	if ds.Len() == 0 {
-		return 0
-	}
-	if batchSize <= 0 {
-		batchSize = 64
-	}
-	correct := 0
-	for lo := 0; lo < ds.Len(); lo += batchSize {
-		hi := lo + batchSize
-		if hi > ds.Len() {
-			hi = ds.Len()
-		}
-		idx := make([]int, hi-lo)
-		for i := range idx {
-			idx[i] = lo + i
-		}
-		x, y := ds.Batch(idx)
-		out := m.Forward(x, false)
-		for i := 0; i < len(y); i++ {
-			row := out.Data[i*out.Dim(1) : (i+1)*out.Dim(1)]
-			best, bi := row[0], 0
-			for j, v := range row[1:] {
-				if v > best {
-					best, bi = v, j+1
-				}
-			}
-			if bi == y[i] {
-				correct++
-			}
-		}
-	}
-	return float64(correct) / float64(ds.Len())
+	return eval.Accuracy(m, ds, batchSize)
 }
 
 // EvalLoss computes mean cross-entropy of m on ds in evaluation mode.
 func EvalLoss(m *models.SplitModel, ds *data.Dataset, batchSize int) float64 {
-	if ds.Len() == 0 {
-		return 0
-	}
-	if batchSize <= 0 {
-		batchSize = 64
-	}
-	var total float64
-	for lo := 0; lo < ds.Len(); lo += batchSize {
-		hi := lo + batchSize
-		if hi > ds.Len() {
-			hi = ds.Len()
-		}
-		idx := make([]int, hi-lo)
-		for i := range idx {
-			idx[i] = lo + i
-		}
-		x, y := ds.Batch(idx)
-		out := m.Forward(x, false)
-		loss, _ := nn.SoftmaxCrossEntropy(out, y)
-		total += loss * float64(len(y))
-	}
-	return total / float64(ds.Len())
+	return eval.Loss(m, ds, batchSize)
 }
 
 // ParallelClients runs fn for each selected client index concurrently on

@@ -1,0 +1,48 @@
+package fl
+
+import (
+	"spatl/internal/algo"
+)
+
+// Sim is the in-process transport: it drives a transport-agnostic
+// algorithm core (algo.Aggregator + one algo.Trainer per client) through
+// one communication round, adding what a simulated network contributes —
+// comm.Meter byte accounting, deterministic failure injection
+// (Config.DropRate) and parallel client execution.
+//
+// Uploads are collected sequentially in selection order after the
+// parallel training phase, so aggregation stays deterministic regardless
+// of scheduling.
+type Sim struct {
+	Env      *Env
+	Agg      algo.Aggregator
+	Trainers []algo.Trainer // indexed by client ID
+}
+
+// Round runs one communication round over the selected clients.
+func (s *Sim) Round(round int, selected []int) {
+	env := s.Env
+	payload := s.Agg.Broadcast(round)
+	ups := make([][]byte, len(selected))
+	ParallelClients(selected, func(pos int) {
+		ci := selected[pos]
+		env.Meter.AddDown(len(payload))
+		if env.ClientFailed(round, ci) {
+			return // crashed after download: upload lost
+		}
+		ups[pos] = s.Trainers[ci].LocalUpdate(round, payload)
+	})
+	for pos, ci := range selected {
+		if ups[pos] == nil {
+			continue
+		}
+		env.Meter.AddUp(len(ups[pos]))
+		s.Agg.Collect(round, uint32(ci), env.Clients[ci].Train.Len(), ups[pos])
+	}
+	s.Agg.FinishRound(round)
+}
+
+// NewSim wires an aggregator and per-client trainers into a Sim.
+func NewSim(env *Env, agg algo.Aggregator, trainers []algo.Trainer) *Sim {
+	return &Sim{Env: env, Agg: agg, Trainers: trainers}
+}

@@ -1,0 +1,151 @@
+package flnet
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"spatl/internal/algo"
+	"spatl/internal/core"
+	"spatl/internal/data"
+	"spatl/internal/fl"
+	"spatl/internal/models"
+	"spatl/internal/rl"
+)
+
+// TestCrossTransportEquivalence is the contract of the unified algorithm
+// layer: for every algorithm, a federation simulated in-process
+// (internal/fl) and one run over loopback TCP (this package) must
+// produce bitwise-identical global models and meter identical uplink
+// payload bytes — same cores, same per-(round, client) seeds, different
+// transport.
+func TestCrossTransportEquivalence(t *testing.T) {
+	const (
+		clients = 3
+		rounds  = 2
+		classes = 4
+		seed    = 33
+	)
+	agentCfg := rl.AgentConfig{Dim: 8, HeadHidden: 8, Seed: 6}
+	spatlOpts := algo.SPATLOptions{AgentCfg: agentCfg}
+
+	mlp := models.Spec{Arch: "mlp", Classes: classes, InC: 3, H: 8, W: 8, Width: 0.5}
+	resnet := models.Spec{Arch: "resnet20", Classes: classes, InC: 3, H: 8, W: 8, Width: 0.25}
+
+	cases := []struct {
+		name string
+		spec models.Spec
+		alg  fl.Algorithm // simulation side
+		// agg builds the TCP-side aggregator; tr the TCP-side trainers.
+		agg func(global *models.SplitModel, cfg algo.Config) Aggregator
+		tr  func(c *algo.Client, cfg algo.Config) Trainer
+	}{
+		{
+			name: "fedavg", spec: mlp, alg: &fl.FedAvg{},
+			agg: func(g *models.SplitModel, cfg algo.Config) Aggregator { return algo.NewFedAvgAggregator(g, cfg) },
+			tr:  func(c *algo.Client, cfg algo.Config) Trainer { return algo.NewFedAvgTrainer(c, cfg) },
+		},
+		{
+			name: "fedprox", spec: mlp, alg: &fl.FedProx{},
+			agg: func(g *models.SplitModel, cfg algo.Config) Aggregator { return algo.NewFedAvgAggregator(g, cfg) },
+			tr:  func(c *algo.Client, cfg algo.Config) Trainer { return algo.NewFedProxTrainer(c, cfg) },
+		},
+		{
+			name: "scaffold", spec: mlp, alg: &fl.SCAFFOLD{},
+			agg: func(g *models.SplitModel, cfg algo.Config) Aggregator { return algo.NewSCAFFOLDAggregator(g, cfg) },
+			tr:  func(c *algo.Client, cfg algo.Config) Trainer { return algo.NewSCAFFOLDTrainer(c, cfg) },
+		},
+		{
+			name: "fednova", spec: mlp, alg: &fl.FedNova{},
+			agg: func(g *models.SplitModel, cfg algo.Config) Aggregator { return algo.NewFedNovaAggregator(g, cfg) },
+			tr:  func(c *algo.Client, cfg algo.Config) Trainer { return algo.NewFedNovaTrainer(c, cfg) },
+		},
+		{
+			name: "spatl", spec: resnet, alg: core.New(core.Options{AgentCfg: agentCfg}),
+			agg: func(g *models.SplitModel, cfg algo.Config) Aggregator {
+				return algo.NewSPATLAggregator(g, spatlOpts, cfg)
+			},
+			tr: func(c *algo.Client, cfg algo.Config) Trainer {
+				return algo.NewSPATLTrainer(c, spatlOpts, cfg)
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ds := data.SynthCIFAR(data.SynthCIFARConfig{Classes: classes, H: 8, W: 8, Noise: 0.25}, clients*60, 1, 2)
+			parts := data.DirichletPartition(ds.Y, classes, clients, 0.5, 10, rand.New(rand.NewSource(3)))
+			cd := make([]fl.ClientData, clients)
+			for i := range cd {
+				cd[i].Train, cd[i].Val = ds.Subset(parts[i]).Split(0.8)
+			}
+
+			// In-process simulation, full participation.
+			env := fl.NewEnv(tc.spec, fl.Config{
+				NumClients: clients, SampleRatio: 1, LocalEpochs: 1,
+				BatchSize: 16, LR: 0.02, Momentum: 0.9, Seed: seed,
+			}, cd)
+			cfg := env.AlgoConfig()
+			all := make([]int, clients)
+			for i := range all {
+				all[i] = i
+			}
+			tc.alg.Setup(env)
+			for r := 0; r < rounds; r++ {
+				tc.alg.Round(env, r, all)
+			}
+
+			// The identical federation over TCP: same global init, same
+			// client init (mirrors fl.NewEnv), same hyperparameters.
+			srv, err := NewServer(ServerConfig{
+				Addr: "127.0.0.1:0", Clients: clients, Rounds: rounds, Seed: seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			global := models.Build(tc.spec, seed)
+			globalInit := global.State(models.ScopeAll)
+			serverErr := make(chan error, 1)
+			go func() { serverErr <- srv.Run(tc.agg(global, cfg)) }()
+
+			var wg sync.WaitGroup
+			errs := make([]error, clients)
+			for i := 0; i < clients; i++ {
+				m := models.Build(tc.spec, seed+int64(1000+i))
+				m.SetState(models.ScopeAll, globalInit)
+				trainer := tc.tr(&algo.Client{ID: i, Train: cd[i].Train, Val: cd[i].Val, Model: m}, cfg)
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					errs[i] = RunClient(srv.Addr(), uint32(i), cd[i].Train.Len(), trainer)
+				}(i)
+			}
+			wg.Wait()
+			if err := <-serverErr; err != nil {
+				t.Fatalf("server: %v", err)
+			}
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("client %d: %v", i, err)
+				}
+			}
+
+			simState := env.Global.State(models.ScopeAll)
+			tcpState := global.State(models.ScopeAll)
+			if len(simState) != len(tcpState) {
+				t.Fatalf("state length %d vs %d", len(simState), len(tcpState))
+			}
+			for j := range simState {
+				if math.Float32bits(simState[j]) != math.Float32bits(tcpState[j]) {
+					t.Fatalf("global state[%d] differs bitwise: %x (sim) vs %x (tcp)",
+						j, math.Float32bits(simState[j]), math.Float32bits(tcpState[j]))
+				}
+			}
+			if up := env.Meter.Up(); up != srv.UpPayloadBytes {
+				t.Fatalf("uplink payload bytes differ: %d (sim) vs %d (tcp)", up, srv.UpPayloadBytes)
+			}
+		})
+	}
+}

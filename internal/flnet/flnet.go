@@ -1,9 +1,13 @@
 // Package flnet runs federated learning over real TCP connections: a
 // central aggregation server and one process (or goroutine) per client,
 // exchanging the same wire payloads the in-process simulator meters
-// (internal/comm). The in-process engine (internal/fl) is the tool for
-// experiments; flnet demonstrates that the algorithms deploy unchanged
-// across a network — the scalability claim of the paper's HPC framing.
+// (internal/comm). The algorithms themselves live in internal/algo —
+// the identical Aggregator/Trainer cores the simulator (internal/fl)
+// drives in-process — so a federation produces bitwise-identical models
+// whichever transport carries it (see the cross-transport equivalence
+// test). flnet adds what a real network demands: framing, read/write
+// deadlines, and straggler tolerance — a round aggregates whatever
+// arrived before the timeout instead of aborting the federation.
 //
 // The protocol is deliberately small: length-prefixed frames carrying a
 // message type, a round number, and an opaque payload whose encoding is
@@ -12,9 +16,15 @@ package flnet
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"sort"
+	"time"
+
+	"spatl/internal/algo"
+	"spatl/internal/comm"
 )
 
 // Message types.
@@ -33,23 +43,44 @@ const (
 // maxFrame bounds a frame to guard against corrupt length prefixes.
 const maxFrame = 1 << 30
 
+// frameHeaderLen is the wire overhead per frame: uint32 length prefix
+// plus type, client and round fields.
+const frameHeaderLen = 4 + 1 + 4 + 4
+
 // Frame is one protocol message.
 type Frame struct {
 	Type    uint8
 	Client  uint32
 	Round   uint32
 	Payload []byte
+
+	// body is the pooled backing buffer Payload slices into (nil for
+	// frames not produced by ReadFrame).
+	body []byte
+}
+
+// Release returns the frame's pooled backing buffer. Call it once the
+// payload has been consumed; the Payload slice is invalid afterwards.
+func (f *Frame) Release() {
+	if f.body != nil {
+		comm.PutBuf(f.body)
+		f.body = nil
+		f.Payload = nil
+	}
 }
 
 // WriteFrame writes f to w: uint32 total length, type, client, round,
-// payload.
+// payload. The header goes through a pooled scratch buffer, so steady
+// rounds allocate nothing.
 func WriteFrame(w io.Writer, f Frame) error {
-	header := make([]byte, 4+1+4+4)
+	header := comm.GetBuf(frameHeaderLen)
 	binary.LittleEndian.PutUint32(header[0:4], uint32(1+4+4+len(f.Payload)))
 	header[4] = f.Type
 	binary.LittleEndian.PutUint32(header[5:9], f.Client)
 	binary.LittleEndian.PutUint32(header[9:13], f.Round)
-	if _, err := w.Write(header); err != nil {
+	_, err := w.Write(header)
+	comm.PutBuf(header)
+	if err != nil {
 		return err
 	}
 	if len(f.Payload) > 0 {
@@ -60,7 +91,8 @@ func WriteFrame(w io.Writer, f Frame) error {
 	return nil
 }
 
-// ReadFrame reads one frame from r.
+// ReadFrame reads one frame from r into a pooled body buffer; call
+// Release on the returned frame once its payload is consumed.
 func ReadFrame(r io.Reader) (Frame, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
@@ -70,8 +102,9 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	if n < 9 || n > maxFrame {
 		return Frame{}, fmt.Errorf("flnet: implausible frame length %d", n)
 	}
-	body := make([]byte, n)
+	body := comm.GetBuf(int(n))
 	if _, err := io.ReadFull(r, body); err != nil {
+		comm.PutBuf(body)
 		return Frame{}, err
 	}
 	return Frame{
@@ -79,30 +112,17 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		Client:  binary.LittleEndian.Uint32(body[1:5]),
 		Round:   binary.LittleEndian.Uint32(body[5:9]),
 		Payload: body[9:],
+		body:    body,
 	}, nil
 }
 
-// Aggregator is the server-side algorithm hook. Implementations own the
-// payload encoding; flnet only transports bytes.
-type Aggregator interface {
-	// Broadcast produces the payload sent to every sampled client at the
-	// start of round.
-	Broadcast(round int) []byte
-	// Collect consumes one sampled client's upload. Called sequentially.
-	Collect(round int, client uint32, trainSize int, payload []byte)
-	// FinishRound runs after all sampled clients reported.
-	FinishRound(round int)
-	// Final produces the payload broadcast with MsgDone.
-	Final() []byte
-}
+// Aggregator is the transport-agnostic server-side algorithm core; see
+// internal/algo.
+type Aggregator = algo.Aggregator
 
-// Trainer is the client-side algorithm hook.
-type Trainer interface {
-	// LocalUpdate consumes a round broadcast and returns the upload.
-	LocalUpdate(round int, payload []byte) []byte
-	// Finish consumes the final model payload.
-	Finish(payload []byte)
-}
+// Trainer is the transport-agnostic client-side algorithm core; see
+// internal/algo.
+type Trainer = algo.Trainer
 
 // ServerConfig configures a federation server.
 type ServerConfig struct {
@@ -116,6 +136,34 @@ type ServerConfig struct {
 	PerRound int
 	// Seed drives client sampling.
 	Seed int64
+
+	// HelloTimeout bounds how long an accepted connection may take to
+	// present its hello frame. Zero waits forever.
+	HelloTimeout time.Duration
+	// StragglerTimeout bounds how long the server waits for a selected
+	// client's round upload. A client that misses the deadline is marked
+	// dead and its contribution dropped — the round aggregates from the
+	// clients that reported instead of failing the federation. Zero
+	// waits forever.
+	StragglerTimeout time.Duration
+	// WriteTimeout bounds each broadcast write to a client. Zero waits
+	// forever.
+	WriteTimeout time.Duration
+}
+
+// ClientStats is the server's per-client health record.
+type ClientStats struct {
+	ID        uint32
+	TrainSize int
+	// Alive reports whether the connection was still usable when the
+	// federation ended.
+	Alive bool
+	// Drops counts rounds where the client was selected but its
+	// contribution was not aggregated (dead, timed out, or errored).
+	Drops int
+	// Errors counts protocol or I/O failures observed on the connection
+	// (a straggler timeout alone is a drop, not an error).
+	Errors int
 }
 
 // Server orchestrates rounds over TCP.
@@ -123,9 +171,15 @@ type Server struct {
 	cfg ServerConfig
 	ln  net.Listener
 
-	// Stats, populated by Run.
-	UpBytes   int64
-	DownBytes int64
+	clients []*clientConn
+
+	// Stats, populated by Run. UpBytes/DownBytes count full frames
+	// (headers included); the *PayloadBytes variants count algorithm
+	// payloads only, matching the in-process simulator's comm.Meter.
+	UpBytes          int64
+	DownBytes        int64
+	UpPayloadBytes   int64
+	DownPayloadBytes int64
 }
 
 // NewServer starts listening (so clients can connect before Run).
@@ -146,52 +200,105 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 // Addr returns the listening address (use after NewServer with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
+// ClientStats returns the per-client health records. Call after Run.
+func (s *Server) ClientStats() []ClientStats {
+	out := make([]ClientStats, len(s.clients))
+	for i, c := range s.clients {
+		out[i] = ClientStats{
+			ID: c.id, TrainSize: c.trainSize, Alive: c.alive,
+			Drops: c.drops, Errors: c.errs,
+		}
+	}
+	return out
+}
+
 // clientConn is the server's view of one registered client.
 type clientConn struct {
 	id        uint32
 	trainSize int
 	conn      net.Conn
+	alive     bool
+	drops     int
+	errs      int
+}
+
+// markDead closes the connection and excludes the client from future
+// traffic; its sampling slot stays occupied and counts drops.
+func (c *clientConn) markDead() {
+	if c.alive {
+		c.alive = false
+		c.conn.Close()
+	}
 }
 
 // Run accepts registrations, executes the round loop and broadcasts the
-// final model. It returns after all clients have been served.
+// final model. A malformed hello still fails fast — the federation has
+// not started — but once rounds begin, client failures and stragglers
+// are tolerated: their contributions are dropped (see ClientStats) and
+// each round aggregates whatever arrived. Run errors only when every
+// client is dead.
 func (s *Server) Run(agg Aggregator) error {
 	defer s.ln.Close()
-	clients := make([]*clientConn, 0, s.cfg.Clients)
-	for len(clients) < s.cfg.Clients {
+	s.clients = make([]*clientConn, 0, s.cfg.Clients)
+	for len(s.clients) < s.cfg.Clients {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			return fmt.Errorf("flnet: accept: %w", err)
 		}
+		if s.cfg.HelloTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.HelloTimeout))
+		}
 		f, err := ReadFrame(conn)
 		if err != nil || f.Type != MsgHello || len(f.Payload) < 4 {
 			conn.Close()
+			f.Release()
 			return fmt.Errorf("flnet: bad hello from %s: %v", conn.RemoteAddr(), err)
 		}
-		clients = append(clients, &clientConn{
+		conn.SetReadDeadline(time.Time{})
+		s.UpBytes += int64(frameHeaderLen + len(f.Payload))
+		s.clients = append(s.clients, &clientConn{
 			id:        f.Client,
 			trainSize: int(binary.LittleEndian.Uint32(f.Payload)),
 			conn:      conn,
+			alive:     true,
 		})
+		f.Release()
 	}
 	defer func() {
-		for _, c := range clients {
+		for _, c := range s.clients {
 			c.conn.Close()
 		}
 	}()
+	// Clients register in connection order, which is not reproducible;
+	// aggregate in client-ID order so collect order — and therefore the
+	// floating-point reduction — matches the in-process simulator bitwise.
+	sort.Slice(s.clients, func(i, j int) bool { return s.clients[i].id < s.clients[j].id })
 
 	rng := newRng(s.cfg.Seed)
 	for round := 0; round < s.cfg.Rounds; round++ {
 		payload := agg.Broadcast(round)
-		selected := samplePerm(rng, len(clients), s.cfg.PerRound)
-		// Broadcast to the sampled clients.
-		for _, ci := range selected {
-			c := clients[ci]
+		selected := samplePerm(rng, len(s.clients), s.cfg.PerRound)
+		// Broadcast to the sampled clients that are still alive.
+		awaiting := make([]bool, len(selected))
+		for pos, ci := range selected {
+			c := s.clients[ci]
+			if !c.alive {
+				c.drops++
+				continue
+			}
+			if s.cfg.WriteTimeout > 0 {
+				c.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			}
 			f := Frame{Type: MsgRoundStart, Client: c.id, Round: uint32(round), Payload: payload}
 			if err := WriteFrame(c.conn, f); err != nil {
-				return fmt.Errorf("flnet: broadcast to client %d: %w", c.id, err)
+				c.errs++
+				c.drops++
+				c.markDead()
+				continue
 			}
-			s.DownBytes += int64(len(payload))
+			s.DownBytes += int64(frameHeaderLen + len(payload))
+			s.DownPayloadBytes += int64(len(payload))
+			awaiting[pos] = true
 		}
 		// Collect uploads concurrently, aggregate sequentially in
 		// selection order for determinism.
@@ -201,55 +308,123 @@ func (s *Server) Run(agg Aggregator) error {
 			err   error
 		}
 		results := make(chan result, len(selected))
+		inflight := 0
 		for pos, ci := range selected {
-			go func(pos, ci int) {
-				f, err := ReadFrame(clients[ci].conn)
+			if !awaiting[pos] {
+				continue
+			}
+			inflight++
+			c := s.clients[ci]
+			if s.cfg.StragglerTimeout > 0 {
+				c.conn.SetReadDeadline(time.Now().Add(s.cfg.StragglerTimeout))
+			}
+			go func(pos int, c *clientConn) {
+				f, err := ReadFrame(c.conn)
 				results <- result{idx: pos, frame: f, err: err}
-			}(pos, ci)
+			}(pos, c)
 		}
-		frames := make([]Frame, len(selected))
-		for range selected {
+		frames := make([]*Frame, len(selected))
+		for ; inflight > 0; inflight-- {
 			r := <-results
-			if r.err != nil {
-				return fmt.Errorf("flnet: collect round %d: %w", round, r.err)
+			c := s.clients[selected[r.idx]]
+			switch {
+			case r.err != nil:
+				var ne net.Error
+				if !(errors.As(r.err, &ne) && ne.Timeout()) {
+					c.errs++ // real I/O failure, not just a straggler
+				}
+				c.drops++
+				c.markDead()
+			case r.frame.Type != MsgUpdate || int(r.frame.Round) != round:
+				c.errs++
+				c.drops++
+				c.markDead()
+				r.frame.Release()
+			default:
+				f := r.frame
+				frames[r.idx] = &f
 			}
-			if r.frame.Type != MsgUpdate || int(r.frame.Round) != round {
-				return fmt.Errorf("flnet: unexpected frame type=%d round=%d", r.frame.Type, r.frame.Round)
-			}
-			frames[r.idx] = r.frame
 		}
 		for pos, ci := range selected {
-			c := clients[ci]
-			s.UpBytes += int64(len(frames[pos].Payload))
+			if frames[pos] == nil {
+				continue
+			}
+			c := s.clients[ci]
+			c.conn.SetReadDeadline(time.Time{})
+			s.UpBytes += int64(frameHeaderLen + len(frames[pos].Payload))
+			s.UpPayloadBytes += int64(len(frames[pos].Payload))
 			agg.Collect(round, c.id, c.trainSize, frames[pos].Payload)
+			frames[pos].Release()
 		}
 		agg.FinishRound(round)
+
+		anyAlive := false
+		for _, c := range s.clients {
+			if c.alive {
+				anyAlive = true
+				break
+			}
+		}
+		if !anyAlive {
+			return fmt.Errorf("flnet: all %d clients dead after round %d", len(s.clients), round)
+		}
 	}
 
 	final := agg.Final()
-	for _, c := range clients {
+	for _, c := range s.clients {
+		if !c.alive {
+			continue
+		}
+		if s.cfg.WriteTimeout > 0 {
+			c.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
 		f := Frame{Type: MsgDone, Client: c.id, Payload: final}
 		if err := WriteFrame(c.conn, f); err != nil {
-			return fmt.Errorf("flnet: final broadcast to %d: %w", c.id, err)
+			c.errs++
+			c.markDead()
+			continue
 		}
-		s.DownBytes += int64(len(final))
+		s.DownBytes += int64(frameHeaderLen + len(final))
+		s.DownPayloadBytes += int64(len(final))
 	}
 	return nil
 }
 
+// ClientOptions tunes RunClientOpts.
+type ClientOptions struct {
+	// DialTimeout bounds the TCP connect (default 30s).
+	DialTimeout time.Duration
+	// HelloTimeout bounds writing the registration frame (default 30s).
+	HelloTimeout time.Duration
+}
+
 // RunClient connects to a federation server, participates in every round
-// it is sampled for, and returns after receiving the final model.
+// it is sampled for, and returns after receiving the final model. It
+// uses the default 30-second dial and hello timeouts.
 func RunClient(addr string, clientID uint32, trainSize int, tr Trainer) error {
-	conn, err := net.Dial("tcp", addr)
+	return RunClientOpts(addr, clientID, trainSize, tr, ClientOptions{})
+}
+
+// RunClientOpts is RunClient with explicit connection timeouts.
+func RunClientOpts(addr string, clientID uint32, trainSize int, tr Trainer, opts ClientOptions) error {
+	if opts.DialTimeout == 0 {
+		opts.DialTimeout = 30 * time.Second
+	}
+	if opts.HelloTimeout == 0 {
+		opts.HelloTimeout = 30 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
-	hello := make([]byte, 4)
-	binary.LittleEndian.PutUint32(hello, uint32(trainSize))
-	if err := WriteFrame(conn, Frame{Type: MsgHello, Client: clientID, Payload: hello}); err != nil {
+	var hello [4]byte
+	binary.LittleEndian.PutUint32(hello[:], uint32(trainSize))
+	conn.SetWriteDeadline(time.Now().Add(opts.HelloTimeout))
+	if err := WriteFrame(conn, Frame{Type: MsgHello, Client: clientID, Payload: hello[:]}); err != nil {
 		return err
 	}
+	conn.SetWriteDeadline(time.Time{})
 	for {
 		f, err := ReadFrame(conn)
 		if err != nil {
@@ -258,13 +433,16 @@ func RunClient(addr string, clientID uint32, trainSize int, tr Trainer) error {
 		switch f.Type {
 		case MsgRoundStart:
 			up := tr.LocalUpdate(int(f.Round), f.Payload)
+			f.Release()
 			if err := WriteFrame(conn, Frame{Type: MsgUpdate, Client: clientID, Round: f.Round, Payload: up}); err != nil {
 				return err
 			}
 		case MsgDone:
 			tr.Finish(f.Payload)
+			f.Release()
 			return nil
 		default:
+			f.Release()
 			return fmt.Errorf("flnet: client %d: unexpected frame type %d", clientID, f.Type)
 		}
 	}

@@ -1,47 +1,23 @@
 package flnet
 
 import (
-	"bytes"
 	"math/rand"
 	"sync"
 	"testing"
 
+	"spatl/internal/algo"
 	"spatl/internal/data"
 	"spatl/internal/fl"
 	"spatl/internal/models"
 	"spatl/internal/rl"
 )
 
-func TestJoinSplitPayloads(t *testing.T) {
-	parts := [][]byte{[]byte("abc"), {}, []byte("xy")}
-	joined := JoinPayloads(parts...)
-	got, err := SplitPayloads(joined)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(got) != 3 {
-		t.Fatalf("parts = %d", len(got))
-	}
-	for i := range parts {
-		if !bytes.Equal(got[i], parts[i]) {
-			t.Fatalf("part %d mismatch", i)
-		}
-	}
-}
-
-func TestSplitPayloadsRejectsGarbage(t *testing.T) {
-	if _, err := SplitPayloads([]byte{1, 2}); err == nil {
-		t.Fatal("expected error for truncated header")
-	}
-	if _, err := SplitPayloads([]byte{0xFF, 0, 0, 0, 1}); err == nil {
-		t.Fatal("expected error for oversized part")
-	}
-}
-
 // TestSPATLOverTCP runs the full SPATL algorithm — encoder-only sharing,
 // gradient control, salient sparse uploads — across real loopback TCP
 // connections, and verifies (a) learning above chance, (b) that the
-// sparse uploads are smaller than a dense encoder would be.
+// sparse uploads are smaller than a dense encoder would be. The
+// algorithm is the shared internal/algo core, the same one the
+// simulation drives.
 func TestSPATLOverTCP(t *testing.T) {
 	const (
 		clients = 3
@@ -57,19 +33,24 @@ func TestSPATLOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	global := models.Build(spec, 5)
-	agg := NewSPATLAggregator(global, clients)
+	opts := algo.SPATLOptions{AgentCfg: rl.AgentConfig{Dim: 8, HeadHidden: 8, Seed: 6}}
+	cfg := algo.Config{
+		NumClients: clients, LocalEpochs: 1, BatchSize: 16,
+		LR: 0.02, Momentum: 0.9, Seed: 20,
+	}
+	agg := algo.NewSPATLAggregator(global, opts, cfg)
 
 	serverErr := make(chan error, 1)
 	go func() { serverErr <- srv.Run(agg) }()
 
 	var wg sync.WaitGroup
-	trainers := make([]*SPATLTrainer, clients)
+	trainers := make([]*algo.SPATLTrainer, clients)
 	errs := make([]error, clients)
 	for i := 0; i < clients; i++ {
 		tr, va := ds.Subset(parts[i]).Split(0.8)
-		trainers[i] = NewSPATLTrainer(spec, tr, va, i, fl.LocalOpts{
-			Epochs: 1, BatchSize: 16, LR: 0.02, Momentum: 0.9,
-		}, rl.AgentConfig{Dim: 8, HeadHidden: 8, Seed: 6}, int64(20+i))
+		trainers[i] = algo.NewSPATLTrainer(&algo.Client{
+			ID: i, Train: tr, Val: va, Model: models.Build(spec, int64(20+i)),
+		}, opts, cfg)
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -96,8 +77,9 @@ func TestSPATLOverTCP(t *testing.T) {
 		t.Fatalf("SPATL-over-TCP accuracy %.3f, want > 0.35 (chance 0.25)", avg)
 	}
 
-	// Sparsity: measured uplink must undercut the dense 2× (state +
-	// control) equivalent a SCAFFOLD-style exchange would ship.
+	// Sparsity: measured uplink (frame headers included) must undercut the
+	// dense 2× (state + control) equivalent a SCAFFOLD-style exchange
+	// would ship.
 	denseTwoX := int64(rounds * clients * 2 * 4 * global.StateLen(models.ScopeEncoder))
 	if srv.UpBytes >= denseTwoX {
 		t.Fatalf("uplink %d not below dense 2x equivalent %d", srv.UpBytes, denseTwoX)

@@ -5,7 +5,7 @@ import (
 	"math/rand"
 
 	"spatl/internal/data"
-	"spatl/internal/fl"
+	"spatl/internal/eval"
 	"spatl/internal/models"
 	"spatl/internal/nn"
 )
@@ -108,7 +108,7 @@ func SFP(m *models.SplitModel, train *data.Dataset, ratio float64, epochs int, l
 // until the analytic FLOPs budget is met.
 func DSAMasks(m *models.SplitModel, val *data.Dataset, flopsBudget float64) []Mask {
 	units := m.PrunableUnits()
-	base := fl.EvalAccuracy(m, val, 64)
+	base := eval.Accuracy(m, val, 64)
 	sens := make([]float64, len(units))
 	for i := range units {
 		probe := make([]float64, len(units))
@@ -118,7 +118,7 @@ func DSAMasks(m *models.SplitModel, val *data.Dataset, flopsBudget float64) []Ma
 		probe[i] = 0.5
 		sel := Select(m, probe)
 		var acc float64
-		WithMasked(m, sel, func() { acc = fl.EvalAccuracy(m, val, 64) })
+		WithMasked(m, sel, func() { acc = eval.Accuracy(m, val, 64) })
 		sens[i] = math.Max(0, base-acc)
 	}
 	// Normalize sensitivities to [0,1]; allocate keep = lo + (1-lo)·s.

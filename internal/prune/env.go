@@ -2,7 +2,7 @@ package prune
 
 import (
 	"spatl/internal/data"
-	"spatl/internal/fl"
+	"spatl/internal/eval"
 	"spatl/internal/graph"
 	"spatl/internal/models"
 )
@@ -44,7 +44,7 @@ func (e *Env) Step(action []float64) float64 {
 	pr, tot := MaskedFLOPs(e.Model, sel.Masks)
 	e.LastFLOPsRatio = float64(pr) / float64(tot)
 	WithMasked(e.Model, sel, func() {
-		e.LastAcc = fl.EvalAccuracy(e.Model, e.Val, 64)
+		e.LastAcc = eval.Accuracy(e.Model, e.Val, 64)
 	})
 	r := e.LastAcc
 	if e.LastFLOPsRatio > e.FLOPsBudget {

@@ -6,7 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"spatl/internal/fl"
+	"spatl/internal/eval"
 	"spatl/internal/models"
 	"spatl/internal/nn"
 	"spatl/internal/tensor"
@@ -162,7 +162,7 @@ func TestExtractedModelIsTrainable(t *testing.T) {
 	if lastLoss >= firstLoss {
 		t.Fatalf("extracted model did not train: first %.4f last %.4f", firstLoss, lastLoss)
 	}
-	if acc := fl.EvalAccuracy(ext, val, 32); acc < 0.15 {
+	if acc := eval.Accuracy(ext, val, 32); acc < 0.15 {
 		t.Fatalf("extracted model accuracy %.3f unreasonably low", acc)
 	}
 }

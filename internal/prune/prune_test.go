@@ -8,7 +8,7 @@ import (
 
 	"spatl/internal/comm"
 	"spatl/internal/data"
-	"spatl/internal/fl"
+	"spatl/internal/eval"
 	"spatl/internal/models"
 	"spatl/internal/nn"
 	"spatl/internal/tensor"
@@ -343,7 +343,7 @@ func TestEnvAccuracyEvaluatedUnderMask(t *testing.T) {
 	_, val := trainAndVal(t)
 	env := NewEnv(m, val, 1.0) // no budget pressure
 	k := len(m.PrunableUnits())
-	full := fl.EvalAccuracy(m, val, 64)
+	full := eval.Accuracy(m, val, 64)
 	env.Step(uniformRatios(k, 1))
 	if math.Abs(env.LastAcc-full) > 1e-9 {
 		t.Fatalf("ratio-1 masked accuracy %v != full accuracy %v", env.LastAcc, full)
