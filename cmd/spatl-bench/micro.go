@@ -77,6 +77,37 @@ func microSparse(seed int64) *comm.Sparse {
 	return s
 }
 
+// withProcs pins GOMAXPROCS for the duration of one benchmark body, so the
+// round workloads can be measured both single-core (comparable across
+// baselines and machines) and at full machine width.
+func withProcs(procs int, fn func(b *testing.B)) func(b *testing.B) {
+	return func(b *testing.B) {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		fn(b)
+	}
+}
+
+func flRoundBench(b *testing.B) {
+	env := experiments.BuildCIFAREnv(experiments.Tiny, "resnet20", experiments.ClientSet{Clients: 4, Ratio: 1}, 1)
+	algo := &fl.FedAvg{}
+	algo.Setup(env)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		algo.Round(env, i, env.SampleClients())
+	}
+}
+
+func spatlRoundBench(b *testing.B) {
+	env := experiments.BuildCIFAREnv(experiments.Tiny, "resnet20", experiments.ClientSet{Clients: 4, Ratio: 1}, 1)
+	algo := experiments.NewAlgorithm("spatl", experiments.Tiny, 1)
+	algo.Setup(env)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		algo.Round(env, i, env.SampleClients())
+	}
+}
+
 // microBenchmarks lists the tracked hot-path workloads, mirroring the
 // definitions in bench_test.go.
 var microBenchmarks = []struct {
@@ -117,6 +148,94 @@ var microBenchmarks = []struct {
 		for i := 0; i < b.N; i++ {
 			nn.ZeroGrad(conv.Params())
 			conv.Backward(dout)
+		}
+	}},
+	{"ConvForwardBatched", func(b *testing.B) {
+		// Wide-OutC geometry: the batch-fused lowering runs the packed
+		// panel-cache GEMM over multi-image im2col groups.
+		rng := nn.Rng(4)
+		conv := nn.NewConv2D("conv", 16, 32, 3, 1, 1, false, rng)
+		x := tensor.New(32, 16, 16, 16)
+		x.Randn(rng, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			conv.Forward(x, false)
+		}
+	}},
+	{"ConvForwardNarrow", func(b *testing.B) {
+		// Narrow-OutC geometry (OutC < 16): the lowering swaps operand
+		// roles so the wide patch buffer stays in the vectorized B slot.
+		rng := nn.Rng(5)
+		conv := nn.NewConv2D("conv", 16, 8, 3, 1, 1, false, rng)
+		x := tensor.New(32, 16, 16, 16)
+		x.Randn(rng, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			conv.Forward(x, false)
+		}
+	}},
+	{"ConvBackwardBatched", func(b *testing.B) {
+		rng := nn.Rng(6)
+		conv := nn.NewConv2D("conv", 16, 32, 3, 1, 1, false, rng)
+		x := tensor.New(32, 16, 16, 16)
+		x.Randn(rng, 1)
+		out := conv.Forward(x, true)
+		dout := tensor.New(out.Shape()...)
+		dout.Randn(rng, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			nn.ZeroGrad(conv.Params())
+			conv.Backward(dout)
+		}
+	}},
+	{"VecAdd", func(b *testing.B) {
+		dst := microValues(40)
+		src := microValues(41)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tensor.VecAdd(dst, src)
+		}
+	}},
+	{"RefVecAdd", func(b *testing.B) {
+		dst := microValues(40)
+		src := microValues(41)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tensor.RefVecAdd(dst, src)
+		}
+	}},
+	{"VecAxpy", func(b *testing.B) {
+		y := microValues(42)
+		x := microValues(43)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tensor.VecAxpy(y, x, 0.001)
+		}
+	}},
+	{"VecReLU", func(b *testing.B) {
+		x := microValues(44)
+		out := make([]float32, microVec)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tensor.VecReLU(out, x)
+		}
+	}},
+	{"VecSGDMomStep", func(b *testing.B) {
+		w := microValues(45)
+		v := make([]float32, microVec)
+		g := microValues(46)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tensor.VecSGDMomStep(w, v, g, 0.01, 1e-4, 0.9)
+		}
+	}},
+	{"RefVecSGDMomStep", func(b *testing.B) {
+		w := microValues(45)
+		v := make([]float32, microVec)
+		g := microValues(46)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tensor.RefVecSGDMomStep(w, v, g, 0.01, 1e-4, 0.9)
 		}
 	}},
 	{"EncodeDense", func(b *testing.B) {
@@ -223,24 +342,10 @@ var microBenchmarks = []struct {
 			}
 		}
 	}},
-	{"FLRound", func(b *testing.B) {
-		env := experiments.BuildCIFAREnv(experiments.Tiny, "resnet20", experiments.ClientSet{Clients: 4, Ratio: 1}, 1)
-		algo := &fl.FedAvg{}
-		algo.Setup(env)
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			algo.Round(env, i, env.SampleClients())
-		}
-	}},
-	{"SPATLRound", func(b *testing.B) {
-		env := experiments.BuildCIFAREnv(experiments.Tiny, "resnet20", experiments.ClientSet{Clients: 4, Ratio: 1}, 1)
-		algo := experiments.NewAlgorithm("spatl", experiments.Tiny, 1)
-		algo.Setup(env)
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			algo.Round(env, i, env.SampleClients())
-		}
-	}},
+	{"FLRound", withProcs(1, flRoundBench)},
+	{"FLRoundMP", withProcs(runtime.NumCPU(), flRoundBench)},
+	{"SPATLRound", withProcs(1, spatlRoundBench)},
+	{"SPATLRoundMP", withProcs(runtime.NumCPU(), spatlRoundBench)},
 	{"FlnetRound", func(b *testing.B) {
 		// One full FedAvg round over loopback TCP — the same algo core as
 		// FLRound plus framing, sockets and the fault-tolerant round loop.

@@ -18,7 +18,8 @@ type FedAvgAggregator struct {
 	cfg     Config
 	states  [][]float32 // decoded uploads, buffered in collect order
 	weights []float64
-	bcast   []byte // reusable broadcast body
+	bcast   []byte    // reusable broadcast body
+	avgBuf  []float32 // reusable aggregate, recycled across rounds
 	dropped atomic.Int64
 }
 
@@ -59,7 +60,8 @@ func (a *FedAvgAggregator) Collect(round int, client uint32, trainSize int, payl
 // FinishRound implements Aggregator: the deterministic parallel weighted
 // average, bitwise identical to the serial reference at any GOMAXPROCS.
 func (a *FedAvgAggregator) FinishRound(round int) {
-	if avg := WeightedAverage(a.states, a.weights); avg != nil {
+	if avg := WeightedAverageInto(a.avgBuf, a.states, a.weights); avg != nil {
+		a.avgBuf = avg
 		a.Global.SetState(models.ScopeAll, avg)
 	}
 	for _, st := range a.states {

@@ -60,6 +60,15 @@ func WeightedAverageSerial(states [][]float32, weights []float64) []float32 {
 // the result is bitwise identical to WeightedAverageSerial at any
 // GOMAXPROCS.
 func WeightedAverage(states [][]float32, weights []float64) []float32 {
+	return WeightedAverageInto(nil, states, weights)
+}
+
+// WeightedAverageInto is WeightedAverage writing into dst when it has
+// sufficient capacity (allocating only when it does not), so a caller
+// that keeps the returned slice across rounds aggregates without any
+// steady-state allocation. The float64 accumulators come from the pooled
+// scratch either way.
+func WeightedAverageInto(dst []float32, states [][]float32, weights []float64) []float32 {
 	total := 0.0
 	var first []float32
 	for si, st := range states {
@@ -74,21 +83,26 @@ func WeightedAverage(states [][]float32, weights []float64) []float32 {
 	if first == nil || total == 0 {
 		return nil
 	}
-	out := make([]float32, len(first))
+	if cap(dst) < len(first) {
+		dst = make([]float32, len(first))
+	}
+	out := dst[:len(first)]
 	tensor.Parallel(len(first), func(lo, hi int) {
-		acc := make([]float64, hi-lo)
+		// Pooled accumulator: explicitly zeroed because pool buffers hold
+		// stale values and every index's chain must start from 0.0 to
+		// match the serial reference.
+		acc := tensor.GetScratchF64(hi - lo)
+		for i := range acc {
+			acc[i] = 0
+		}
 		for si, st := range states {
 			if st == nil {
 				continue
 			}
-			w := weights[si] / total
-			for i, v := range st[lo:hi] {
-				acc[i] += w * float64(v)
-			}
+			tensor.VecAccumScaled(acc, st[lo:hi], weights[si]/total)
 		}
-		for i, v := range acc {
-			out[lo+i] = float32(v)
-		}
+		tensor.VecF64ToF32(out[lo:hi], acc)
+		tensor.PutScratchF64(acc)
 	})
 	return out
 }
@@ -120,10 +134,9 @@ func addProx(mu float64, globalFlat []float32) func(params []*nn.Param) {
 		off := 0
 		m := float32(mu)
 		for _, p := range params {
-			for j := range p.G.Data {
-				p.G.Data[j] += m * (p.W.Data[j] - globalFlat[off+j])
-			}
-			off += p.W.Len()
+			n := p.W.Len()
+			tensor.VecAxpyDiff(p.G.Data, p.W.Data, globalFlat[off:off+n], m)
+			off += n
 		}
 	}
 }
@@ -135,10 +148,9 @@ func addControl(c, ci []float32, ctrlP []*nn.Param) func(params []*nn.Param) {
 	return func(params []*nn.Param) {
 		off := 0
 		for _, p := range ctrlP {
-			for j := range p.G.Data {
-				p.G.Data[j] += c[off+j] - ci[off+j]
-			}
-			off += p.W.Len()
+			n := p.W.Len()
+			tensor.VecAddDiff(p.G.Data, c[off:off+n], ci[off:off+n])
+			off += n
 		}
 	}
 }

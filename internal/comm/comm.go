@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+
+	"spatl/internal/tensor"
 )
 
 // magic bytes distinguish payload kinds on the wire.
@@ -285,11 +287,7 @@ func ScatterAdd(dst []float32, count []int32, s *Sparse) {
 	if count == nil {
 		for _, r := range s.Ranges {
 			n := int(r.Len)
-			d := dst[r.Start : int(r.Start)+n]
-			v := s.Values[off : off+n]
-			for i := range d {
-				d[i] += v[i]
-			}
+			scatterSpan(dst[r.Start:int(r.Start)+n], s.Values[off:off+n])
 			off += n
 		}
 		return
@@ -299,11 +297,29 @@ func ScatterAdd(dst []float32, count []int32, s *Sparse) {
 		d := dst[r.Start : int(r.Start)+n]
 		c := count[r.Start : int(r.Start)+n]
 		v := s.Values[off : off+n]
+		// One fused pass: salient runs are typically a few dozen indices,
+		// where a second sweep for the counts costs more than it saves.
 		for i := range d {
 			d[i] += v[i]
 			c[i]++
 		}
 		off += n
+	}
+}
+
+// scatterSpanMin is the run length below which a sparse span is added with
+// a plain loop: the vector kernel's call overhead outweighs its throughput
+// on the short runs salient-parameter payloads are made of. Elementwise
+// adds have no accumulation order, so the cutoff never changes a result.
+const scatterSpanMin = 64
+
+func scatterSpan(d, v []float32) {
+	if len(d) >= scatterSpanMin {
+		tensor.VecAdd(d, v)
+		return
+	}
+	for i, x := range v {
+		d[i] += x
 	}
 }
 
@@ -327,14 +343,12 @@ func ScatterAddRange(dst []float32, count []int32, s *Sparse, lo, hi int) {
 			if ce > hi {
 				ce = hi
 			}
-			d := dst[cs:ce]
-			v := s.Values[off+(cs-rs) : off+(ce-rs)]
 			if count == nil {
-				for i := range d {
-					d[i] += v[i]
-				}
+				scatterSpan(dst[cs:ce], s.Values[off+(cs-rs):off+(ce-rs)])
 			} else {
+				d := dst[cs:ce]
 				c := count[cs:ce]
+				v := s.Values[off+(cs-rs) : off+(ce-rs)]
 				for i := range d {
 					d[i] += v[i]
 					c[i]++
@@ -365,8 +379,13 @@ func ScatterAddScaledRange(dst []float32, s *Sparse, scale float32, lo, hi int) 
 			}
 			d := dst[cs:ce]
 			v := s.Values[off+(cs-rs) : off+(ce-rs)]
-			for i := range d {
-				d[i] += scale * v[i]
+			if len(d) >= scatterSpanMin {
+				tensor.VecAxpy(d, v, scale)
+			} else {
+				// Same separate multiply-then-add chain as VecAxpy.
+				for i, x := range v {
+					d[i] += scale * x
+				}
 			}
 		}
 		off += int(r.Len)

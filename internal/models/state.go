@@ -136,6 +136,7 @@ func (m *SplitModel) SetState(scope Scope, flat []float32) {
 	for _, p := range m.scopeParams(scope) {
 		n := p.W.Len()
 		copy(p.W.Data, flat[off:off+n])
+		p.W.MarkMutated()
 		off += n
 	}
 	for _, bn := range m.scopeBNs(scope) {

@@ -5,7 +5,7 @@ import "spatl/internal/tensor"
 // ReLU applies max(0,x) elementwise.
 type ReLU struct {
 	name    string
-	mask    []bool
+	x       *tensor.Tensor // input cached in train mode for Backward
 	n       int64
 	out, dx *tensor.Tensor // reused activation/gradient buffers
 }
@@ -13,26 +13,16 @@ type ReLU struct {
 // NewReLU constructs a ReLU activation.
 func NewReLU(name string) *ReLU { return &ReLU{name: name} }
 
-// Forward implements Layer.
+// Forward implements Layer. Instead of materializing a bool mask, the
+// input tensor is retained and Backward re-derives the gate from it with
+// the SIMD kernel; the input buffer is stable until the producing layer's
+// next Forward, which is after our Backward.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	out := tensor.Reuse(r.out, x.Shape()...)
 	r.out = out
+	tensor.VecReLU(out.Data, x.Data)
 	if train {
-		if cap(r.mask) < x.Len() {
-			r.mask = make([]bool, x.Len())
-		}
-		r.mask = r.mask[:x.Len()]
-	}
-	for i, v := range x.Data {
-		pos := v > 0
-		if pos {
-			out.Data[i] = v
-		} else {
-			out.Data[i] = 0
-		}
-		if train {
-			r.mask[i] = pos
-		}
+		r.x = x
 	}
 	r.n = int64(x.Len() / x.Dim(0))
 	return out
@@ -40,15 +30,12 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (r *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if r.x == nil {
+		panic("nn: ReLU.Backward before training-mode Forward")
+	}
 	dx := tensor.Reuse(r.dx, dout.Shape()...)
 	r.dx = dx
-	for i, v := range dout.Data {
-		if r.mask[i] {
-			dx.Data[i] = v
-		} else {
-			dx.Data[i] = 0
-		}
-	}
+	tensor.VecReLUBwd(dx.Data, dout.Data, r.x.Data)
 	return dx
 }
 

@@ -98,13 +98,15 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 				bn.mean[c] = mean
 				bn.invStd[c] = inv
 				g, b := float64(bn.gamma.W.Data[c]), float64(bn.beta.W.Data[c])
+				// Normalize+affine per channel plane through the SIMD
+				// kernel (float64 math per element, same operation order
+				// as the scalar loop it replaced). The mean/variance
+				// reductions above stay scalar: they are single
+				// accumulation chains that must not be reassociated.
 				for i := 0; i < n; i++ {
 					base := (i*bn.C + c) * plane
-					for j := 0; j < plane; j++ {
-						xh := (float64(x.Data[base+j]) - mean) * inv
-						bn.xhat[base+j] = float32(xh)
-						out.Data[base+j] = float32(g*xh + b)
-					}
+					tensor.VecBNTrain(out.Data[base:base+plane], bn.xhat[base:base+plane],
+						x.Data[base:base+plane], mean, inv, g, b)
 				}
 				bn.RunMean[c] = float32((1-bn.Momentum)*float64(bn.RunMean[c]) + bn.Momentum*mean)
 				bn.RunVar[c] = float32((1-bn.Momentum)*float64(bn.RunVar[c]) + bn.Momentum*variance)
@@ -120,9 +122,7 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			g, b := float64(bn.gamma.W.Data[c]), float64(bn.beta.W.Data[c])
 			for i := 0; i < n; i++ {
 				base := (i*bn.C + c) * plane
-				for j := 0; j < plane; j++ {
-					out.Data[base+j] = float32(g*(float64(x.Data[base+j])-mean)*inv + b)
-				}
+				tensor.VecBNEval(out.Data[base:base+plane], x.Data[base:base+plane], mean, inv, g, b)
 			}
 		}
 	})
@@ -158,11 +158,8 @@ func (bn *BatchNorm2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 			scale := float64(bn.gamma.W.Data[c]) * bn.invStd[c] / cnt
 			for i := 0; i < n; i++ {
 				base := (i*bn.C + c) * plane
-				for j := 0; j < plane; j++ {
-					g := float64(dout.Data[base+j])
-					xh := float64(bn.xhat[base+j])
-					dx.Data[base+j] = float32(scale * (cnt*g - dbeta - xh*dgamma))
-				}
+				tensor.VecBNBwd(dx.Data[base:base+plane], dout.Data[base:base+plane],
+					bn.xhat[base:base+plane], scale, cnt, dbeta, dgamma)
 			}
 		}
 	})

@@ -21,6 +21,13 @@ type Conv2D struct {
 	haveDims                  bool
 	x                         *tensor.Tensor // cached input for backward
 	out, dx                   *tensor.Tensor // reused activation/gradient buffers
+
+	// Weight panel caches, keyed on the weight tensor's mutation counter:
+	// wpack holds the PackTransB image of W for the batch-fused forward
+	// GEMM, wtrans holds Wᵀ for the batch-fused backward dx GEMM. Both
+	// survive across batches until an optimizer step (or any other weight
+	// write) bumps the counter.
+	wpack, wtrans packCache
 }
 
 // NewConv2D constructs a convolution layer with He-normal initialized
@@ -56,36 +63,140 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	outStride := c.OutC * d.OutH * d.OutW
 	colRows := c.InC * c.K * c.K
 	cols := d.OutH * d.OutW
-	// Dense weights feed the register-tiled dot kernel via the patch-major
-	// lowering (both operands row-contiguous, no packing). Pruned/masked
-	// weights instead use the row-major lowering with the zero-skipping
-	// kernel, which elides whole B-row passes per zero weight.
-	sparse := tensor.IsSparse(c.weight.W.Data)
-	tensor.Parallel(n, func(lo, hi int) {
-		col := tensor.GetScratch(colRows * cols)
-		for i := lo; i < hi; i++ {
-			oi := out.Data[i*outStride : (i+1)*outStride]
-			if sparse {
-				tensor.Im2Col(col, x.Data[i*inStride:(i+1)*inStride], d)
-				tensor.MatMulSlice(oi, c.weight.W.Data, col, c.OutC, colRows, cols)
-			} else {
-				tensor.Im2ColPatch(col, x.Data[i*inStride:(i+1)*inStride], d)
-				tensor.MatMulTransBSlice(oi, c.weight.W.Data, col, c.OutC, colRows, cols)
-			}
-			if c.useBias {
-				for oc := 0; oc < c.OutC; oc++ {
-					b := c.bias.W.Data[oc]
-					row := oi[oc*cols : (oc+1)*cols]
-					for j := range row {
-						row[j] += b
-					}
+	// Pruned/masked weights use the row-major lowering with the
+	// zero-skipping kernel, which elides whole B-row passes per zero
+	// weight. The lowering is batch-fused like the dense path: images sit
+	// side by side in one wide (colRows, G·cols) matrix (Im2ColLD), so
+	// each surviving weight's axpy runs over the whole group instead of
+	// one image's columns — the vector kernel amortizes far better on the
+	// deep layers whose per-image column count is tiny.
+	if tensor.IsSparse(c.weight.W.Data) {
+		tensor.Parallel(n, func(lo, hi int) {
+			for glo := lo; glo < hi; glo += fusedGroup(hi-glo, colRows*cols) {
+				gn := fusedGroup(hi-glo, colRows*cols)
+				wide := gn * cols
+				colB := tensor.GetScratch(colRows * wide)
+				for i := glo; i < glo+gn; i++ {
+					tensor.Im2ColLD(colB[(i-glo)*cols:], x.Data[i*inStride:(i+1)*inStride], d, wide)
 				}
+				cB := tensor.GetScratch(c.OutC * wide)
+				tensor.MatMulSparseSlice(cB, c.weight.W.Data, colB, c.OutC, colRows, wide)
+				for i := glo; i < glo+gn; i++ {
+					oi := out.Data[i*outStride : (i+1)*outStride]
+					for oc := 0; oc < c.OutC; oc++ {
+						copy(oi[oc*cols:(oc+1)*cols], cB[oc*wide+(i-glo)*cols:][:cols])
+					}
+					c.addBias(oi, cols)
+				}
+				tensor.PutScratch(cB)
+				tensor.PutScratch(colB)
 			}
+		})
+		c.x = x
+		return out
+	}
+	// Dense weights take the batch-fused lowering: images are lowered
+	// patch-major into one wide (G·cols, colRows) buffer and one GEMM per
+	// group produces the whole group's activations. Either operand of the
+	// product may play Bᵀ — every output element is dot(patch, filter) in
+	// ascending-k order under both role assignments, so the choice is
+	// bitwise-invisible — and we pick whichever keeps the vector panel
+	// kernel engaged:
+	//
+	//   wide filter banks (OutC ≥ panel width): t = cols·Wᵀ with W as the
+	//   packed operand, so the O(OutC·colRows) pack survives the whole
+	//   batch (and across batches, via the version-keyed cache) instead of
+	//   being repaid per image.
+	//
+	//   narrow filter banks (small OutC, e.g. early blocks of
+	//   width-scaled ResNets): W has too few rows to fill a B panel and
+	//   the swapped product would fall to the scalar kernel; instead run
+	//   cB = W·colBᵀ with the wide patch buffer as B, which always has
+	//   enough rows for the tile. The result is channel-major, so each
+	//   image's rows copy straight out with no transpose.
+	if tensor.PackedTransBWants(c.OutC, colRows) {
+		wp := c.wpack.get(c.weight.W, c.OutC*colRows, func(dst []float32) {
+			tensor.PackTransB(dst, c.weight.W.Data, c.OutC, colRows)
+		})
+		tensor.Parallel(n, func(lo, hi int) {
+			for glo := lo; glo < hi; glo += fusedGroup(hi-glo, colRows*cols) {
+				gn := fusedGroup(hi-glo, colRows*cols)
+				colB := tensor.GetScratch(gn * cols * colRows)
+				for i := glo; i < glo+gn; i++ {
+					tensor.Im2ColPatch(colB[(i-glo)*cols*colRows:], x.Data[i*inStride:(i+1)*inStride], d)
+				}
+				t := tensor.GetScratch(gn * cols * c.OutC)
+				tensor.MatMulTransBPackedSlice(t, colB, wp, gn*cols, colRows, c.OutC, false)
+				// t is patch-major (G·cols, OutC); transpose each image's block
+				// back to the (OutC, cols) activation layout, then add bias.
+				for i := glo; i < glo+gn; i++ {
+					oi := out.Data[i*outStride : (i+1)*outStride]
+					tensor.TransposeSlice(oi, t[(i-glo)*cols*c.OutC:][:cols*c.OutC], cols, c.OutC)
+					c.addBias(oi, cols)
+				}
+				tensor.PutScratch(t)
+				tensor.PutScratch(colB)
+			}
+		})
+		c.x = x
+		return out
+	}
+	tensor.Parallel(n, func(lo, hi int) {
+		for glo := lo; glo < hi; glo += fusedGroup(hi-glo, colRows*cols) {
+			gn := fusedGroup(hi-glo, colRows*cols)
+			wide := gn * cols
+			colB := tensor.GetScratch(wide * colRows)
+			for i := glo; i < glo+gn; i++ {
+				tensor.Im2ColPatch(colB[(i-glo)*cols*colRows:], x.Data[i*inStride:(i+1)*inStride], d)
+			}
+			cB := tensor.GetScratch(c.OutC * wide)
+			tensor.MatMulTransBSlice(cB, c.weight.W.Data, colB, c.OutC, colRows, wide)
+			// cB is channel-major (OutC, G·cols): image i's channel oc row is
+			// the contiguous slice at cB[oc·wide + (i-glo)·cols].
+			for i := glo; i < glo+gn; i++ {
+				oi := out.Data[i*outStride : (i+1)*outStride]
+				for oc := 0; oc < c.OutC; oc++ {
+					copy(oi[oc*cols:(oc+1)*cols], cB[oc*wide+(i-glo)*cols:][:cols])
+				}
+				c.addBias(oi, cols)
+			}
+			tensor.PutScratch(cB)
+			tensor.PutScratch(colB)
 		}
-		tensor.PutScratch(col)
 	})
 	c.x = x
 	return out
+}
+
+// addBias adds the per-channel bias to one image's (OutC, cols) activation
+// block; a no-op for bias-free layers.
+func (c *Conv2D) addBias(oi []float32, cols int) {
+	if !c.useBias {
+		return
+	}
+	for oc := 0; oc < c.OutC; oc++ {
+		tensor.VecBiasAdd(oi[oc*cols:(oc+1)*cols], c.bias.W.Data[oc])
+	}
+}
+
+// fusedFloatsCap bounds the widest scratch buffer a fused image group may
+// allocate (in float32 elements, ~16 MiB), so huge batches of large
+// feature maps are processed in a few chunked GEMMs instead of one
+// enormous allocation. Grouping only changes where GEMM call boundaries
+// fall, never any per-element accumulation chain.
+const fusedFloatsCap = 4 << 20
+
+// fusedGroup returns how many of the remaining n images to fuse into one
+// lowered GEMM, given the per-image lowered size in floats.
+func fusedGroup(n, perImage int) int {
+	g := fusedFloatsCap / perImage
+	if g < 1 {
+		g = 1
+	}
+	if g > n {
+		g = n
+	}
+	return g
 }
 
 // Backward implements Layer.
@@ -103,6 +214,24 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 
 	dx := tensor.Reuse(c.dx, n, c.InC, h, w)
 	c.dx = dx
+
+	// dx = col2im(Wᵀ · g) is batch-fused like the forward pass: per image
+	// group, the output gradients are transposed patch-major into one wide
+	// (G·cols, OutC) matrix, a single GEMM forms the lowered input
+	// gradient dcolB = Wᵀ · gᵀ for the whole group, and Col2ImLD scatters
+	// each image's slice straight out of the wide buffer. The cached Wᵀ
+	// replaces the per-image transpose MatMulTransASlice used to build.
+	// dW stays per-image (dot-then-add per image, shards merged in fixed
+	// order) so its accumulation grouping — and hence rounding — is
+	// untouched. Sparse (pruned) weights skip the transpose cache and run
+	// the zero-skipping Wᵀ·g over the same wide group buffer instead.
+	sparseW := tensor.IsSparse(c.weight.W.Data)
+	var wt []float32
+	if !sparseW {
+		wt = c.wtrans.get(c.weight.W, colRows*c.OutC, func(dst []float32) {
+			tensor.TransposeSlice(dst, c.weight.W.Data, c.OutC, colRows)
+		})
+	}
 
 	// Shard the batch; each shard accumulates its own dW (and db) in
 	// scratch buffers, then shards are summed in fixed order so results
@@ -128,35 +257,63 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 				sh.db = make([]float64, c.OutC)
 			}
 			col := tensor.GetScratch(colRows * cols)
-			dcol := tensor.GetScratch(colRows * cols)
-			for i := lo; i < hi; i++ {
-				tensor.Im2Col(col, x.Data[i*inStride:(i+1)*inStride], d)
-				gi := dout.Data[i*outStride : (i+1)*outStride]
-				// dW += gi · colᵀ, accumulated straight into the shard
-				// buffer (each dot product is still formed in ascending-k
-				// order before the single add, matching the old
-				// materialize-then-add rounding).
-				tensor.MatMulTransBAccSlice(sh.dw, gi, col, c.OutC, cols, colRows)
-				// dcol = Wᵀ · gi ; dx_i = col2im(dcol). Col2Im accumulates,
-				// so the reused image slice is zeroed first.
-				tensor.MatMulTransASlice(dcol, c.weight.W.Data, gi, colRows, c.OutC, cols)
-				dxi := dx.Data[i*inStride : (i+1)*inStride]
-				for j := range dxi {
-					dxi[j] = 0
-				}
-				tensor.Col2Im(dxi, dcol, d)
-				if c.useBias {
-					for oc := 0; oc < c.OutC; oc++ {
-						var s float64
-						row := gi[oc*cols : (oc+1)*cols]
-						for _, v := range row {
-							s += float64(v)
+			for glo := lo; glo < hi; glo += fusedGroup(hi-glo, colRows*cols) {
+				gn := fusedGroup(hi-glo, colRows*cols)
+				wide := gn * cols
+				dcolB := tensor.GetScratch(colRows * wide)
+				if sparseW {
+					// Sparse weights: lay the group's output gradients side
+					// by side channel-major (no transpose needed) and run
+					// the zero-skipping Wᵀ·g once over the whole group, so
+					// each surviving weight's axpy spans G·cols columns.
+					giB := tensor.GetScratch(c.OutC * wide)
+					for i := glo; i < glo+gn; i++ {
+						gi := dout.Data[i*outStride : (i+1)*outStride]
+						for oc := 0; oc < c.OutC; oc++ {
+							copy(giB[oc*wide+(i-glo)*cols:][:cols], gi[oc*cols:(oc+1)*cols])
 						}
-						sh.db[oc] += s
+					}
+					tensor.MatMulTransASparseSlice(dcolB, c.weight.W.Data, giB, colRows, c.OutC, wide)
+					tensor.PutScratch(giB)
+				} else {
+					giT := tensor.GetScratch(wide * c.OutC)
+					for i := glo; i < glo+gn; i++ {
+						tensor.TransposeSlice(giT[(i-glo)*cols*c.OutC:][:cols*c.OutC],
+							dout.Data[i*outStride:(i+1)*outStride], c.OutC, cols)
+					}
+					// dcolB[r][i·cols+j] = dot(Wᵀ row r, gᵀ patch row) — the
+					// same ascending-OutC chain as the per-image Wᵀ·g.
+					tensor.MatMulTransBSlice(dcolB, wt, giT, colRows, c.OutC, wide)
+					tensor.PutScratch(giT)
+				}
+				for i := glo; i < glo+gn; i++ {
+					tensor.Im2Col(col, x.Data[i*inStride:(i+1)*inStride], d)
+					gi := dout.Data[i*outStride : (i+1)*outStride]
+					// dW += gi · colᵀ, accumulated straight into the shard
+					// buffer (each dot product is still formed in ascending-k
+					// order before the single add, matching the old
+					// materialize-then-add rounding).
+					tensor.MatMulTransBAccSlice(sh.dw, gi, col, c.OutC, cols, colRows)
+					// Col2ImLD accumulates, so the reused image slice is
+					// zeroed first.
+					dxi := dx.Data[i*inStride : (i+1)*inStride]
+					for j := range dxi {
+						dxi[j] = 0
+					}
+					tensor.Col2ImLD(dxi, dcolB[(i-glo)*cols:], d, wide)
+					if c.useBias {
+						for oc := 0; oc < c.OutC; oc++ {
+							var s float64
+							row := gi[oc*cols : (oc+1)*cols]
+							for _, v := range row {
+								s += float64(v)
+							}
+							sh.db[oc] += s
+						}
 					}
 				}
+				tensor.PutScratch(dcolB)
 			}
-			tensor.PutScratch(dcol)
 			tensor.PutScratch(col)
 			shards[s] = sh
 		}

@@ -1,0 +1,148 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spatl/internal/tensor"
+)
+
+// perImageConvForward is the pre-fusion dense forward formulation: one
+// patch-major lowering and one W·colᵀ product per image. The batch-fused
+// path must reproduce it bit for bit (the fused GEMM computes the same
+// ascending-k dot chains with multiply operands swapped).
+func perImageConvForward(c *Conv2D, x *tensor.Tensor) *tensor.Tensor {
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	d := tensor.NewConvDims(c.InC, h, w, c.OutC, c.K, c.Stride, c.Pad)
+	colRows := c.InC * c.K * c.K
+	cols := d.OutH * d.OutW
+	out := tensor.New(n, c.OutC, d.OutH, d.OutW)
+	col := make([]float32, cols*colRows)
+	inStride := c.InC * h * w
+	outStride := c.OutC * cols
+	for i := 0; i < n; i++ {
+		tensor.Im2ColPatch(col, x.Data[i*inStride:(i+1)*inStride], d)
+		oi := out.Data[i*outStride : (i+1)*outStride]
+		tensor.MatMulTransBSlice(oi, c.weight.W.Data, col, c.OutC, colRows, cols)
+		if c.useBias {
+			for oc := 0; oc < c.OutC; oc++ {
+				b := c.bias.W.Data[oc]
+				row := oi[oc*cols : (oc+1)*cols]
+				for j := range row {
+					row[j] += b
+				}
+			}
+		}
+	}
+	return out
+}
+
+// perImageConvBackward is the pre-fusion dense backward formulation:
+// per-image dW/db accumulation into per-shard buffers merged in fixed
+// order, and per-image Wᵀ·g + col2im for dx. Shard boundaries replicate
+// Conv2D.Backward's, so the comparison is bitwise.
+func perImageConvBackward(c *Conv2D, x, dout *tensor.Tensor) (dx *tensor.Tensor, dw []float32, db []float32) {
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	d := tensor.NewConvDims(c.InC, h, w, c.OutC, c.K, c.Stride, c.Pad)
+	colRows := c.InC * c.K * c.K
+	cols := d.OutH * d.OutW
+	inStride := c.InC * h * w
+	outStride := c.OutC * cols
+	dx = tensor.New(n, c.InC, h, w)
+	dw = make([]float32, c.OutC*colRows)
+	db = make([]float32, c.OutC)
+	nw := parallelShards(n)
+	chunk := (n + nw - 1) / nw
+	col := make([]float32, colRows*cols)
+	dcol := make([]float32, colRows*cols)
+	for s := 0; s < nw; s++ {
+		lo, hi := s*chunk, (s+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		sdw := make([]float32, c.OutC*colRows)
+		sdb := make([]float64, c.OutC)
+		for i := lo; i < hi; i++ {
+			tensor.Im2Col(col, x.Data[i*inStride:(i+1)*inStride], d)
+			gi := dout.Data[i*outStride : (i+1)*outStride]
+			tensor.MatMulTransBAccSlice(sdw, gi, col, c.OutC, cols, colRows)
+			tensor.MatMulTransASlice(dcol, c.weight.W.Data, gi, colRows, c.OutC, cols)
+			tensor.Col2Im(dx.Data[i*inStride:(i+1)*inStride], dcol, d)
+			if c.useBias {
+				for oc := 0; oc < c.OutC; oc++ {
+					var sum float64
+					for _, v := range gi[oc*cols : (oc+1)*cols] {
+						sum += float64(v)
+					}
+					sdb[oc] += sum
+				}
+			}
+		}
+		for i, v := range sdw {
+			dw[i] += v
+		}
+		for oc, v := range sdb {
+			db[oc] += float32(v)
+		}
+	}
+	return dx, dw, db
+}
+
+// TestConv2DBatchFusedBitwise runs the batch-fused Forward/Backward over
+// geometries with remainder GEMM rows and columns and checks every
+// output, input gradient and parameter gradient bit against the
+// per-image formulation it replaced.
+func TestConv2DBatchFusedBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, tc := range []struct {
+		name                          string
+		n, inC, outC, h, w, k, st, pd int
+		bias                          bool
+	}{
+		{"3x3pad1", 5, 3, 8, 9, 7, 3, 1, 1, true},
+		{"stride2oddOutC", 4, 2, 17, 8, 8, 3, 2, 1, false},
+		{"5x5", 3, 1, 16, 11, 5, 5, 1, 2, true},
+		{"singleImage", 1, 4, 6, 6, 6, 3, 1, 1, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewConv2D("c", tc.inC, tc.outC, tc.k, tc.st, tc.pd, tc.bias, rng)
+			x := tensor.New(tc.n, tc.inC, tc.h, tc.w)
+			x.Randn(rng, 1)
+			wantOut := perImageConvForward(c, x)
+			gotOut := c.Forward(x, true)
+			compareBits(t, "forward", gotOut.Data, wantOut.Data)
+
+			dout := tensor.New(gotOut.Shape()...)
+			dout.Randn(rng, 1)
+			wantDx, wantDw, wantDb := perImageConvBackward(c, x, dout)
+			ZeroGrad(c.Params())
+			gotDx := c.Backward(dout)
+			compareBits(t, "dx", gotDx.Data, wantDx.Data)
+			compareBits(t, "dW", c.weight.G.Data, wantDw)
+			if tc.bias {
+				compareBits(t, "db", c.bias.G.Data, wantDb)
+			}
+
+			// Mutating the weights must invalidate the packed panels: a
+			// second Forward has to match a fresh reference of the new
+			// weights, not replay the cached ones.
+			c.weight.W.Set(c.weight.W.At(0, 0)+1, 0, 0)
+			compareBits(t, "forward after weight mutation",
+				c.Forward(x, true).Data, perImageConvForward(c, x).Data)
+		})
+	}
+}
+
+func compareBits(t *testing.T, what string, got, want []float32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("%s[%d]: fused %08x (%v), per-image %08x (%v)",
+				what, i, math.Float32bits(got[i]), got[i], math.Float32bits(want[i]), want[i])
+		}
+	}
+}

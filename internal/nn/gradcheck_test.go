@@ -59,10 +59,13 @@ func checkLayerGradients(t *testing.T, l Layer, x *tensor.Tensor, labels []int, 
 			i := rng.Intn(p.W.Len())
 			orig := p.W.Data[i]
 			p.W.Data[i] = orig + eps
+			p.Bump() // direct Data write: invalidate packed-weight caches
 			lp := lossOf(l, x, labels)
 			p.W.Data[i] = orig - eps
+			p.Bump()
 			lm := lossOf(l, x, labels)
 			p.W.Data[i] = orig
+			p.Bump()
 			num := (lp - lm) / (2 * eps)
 			ana := float64(p.G.Data[i])
 			if math.Abs(num-ana) > tol*(1+math.Abs(num)) {
@@ -96,6 +99,30 @@ func TestConv2DStrideGradients(t *testing.T) {
 	x := tensor.New(2, 2, 6, 6)
 	x.Randn(rng, 1)
 	checkLayerGradients(t, seq, x, []int{2, 0}, 3e-2)
+}
+
+// TestConv2DOddShapeBatchGradients exercises the batch-fused lowering at
+// batch > 1 with non-square odd spatial dims and an output-channel count
+// that is not a multiple of the GEMM tile (remainder rows, remainder
+// panel columns, and multiple images per fused group all at once).
+func TestConv2DOddShapeBatchGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	conv := NewConv2D("conv", 3, 5, 3, 1, 1, true, rng)
+	seq := NewSequential("net", conv, NewFlatten("flat"), NewLinear("fc", 5*7*5, 4, rng))
+	x := tensor.New(3, 3, 7, 5)
+	x.Randn(rng, 1)
+	checkLayerGradients(t, seq, x, []int{0, 3, 2}, 3e-2)
+}
+
+// TestConv2DOddStrideBatchGradients does the same for a strided geometry
+// where OutH/OutW round down unevenly.
+func TestConv2DOddStrideBatchGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	conv := NewConv2D("conv", 2, 7, 3, 2, 0, false, rng)
+	seq := NewSequential("net", conv, NewFlatten("flat"), NewLinear("fc", 7*3*2, 3, rng))
+	x := tensor.New(4, 2, 7, 6)
+	x.Randn(rng, 1)
+	checkLayerGradients(t, seq, x, []int{1, 2, 0, 1}, 3e-2)
 }
 
 func TestBatchNormGradients(t *testing.T) {

@@ -16,6 +16,10 @@ type Linear struct {
 	bias    *Param
 	x       *tensor.Tensor
 	out, dx *tensor.Tensor // reused activation/gradient buffers
+
+	// Version-keyed packed panels of W (forward x·Wᵀ) and Wᵀ (backward
+	// dx = dout·W), rebuilt only when the weights change.
+	wpack, wtpack packCache
 }
 
 // NewLinear constructs a fully connected layer with He-normal weights and
@@ -35,13 +39,13 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	out := tensor.Reuse(l.out, x.Dim(0), l.Out)
 	l.out = out
-	tensor.MatMulTransBInto(out, x, l.weight.W)
+	wp := l.wpack.get(l.weight.W, l.Out*l.In, func(dst []float32) {
+		tensor.PackTransB(dst, l.weight.W.Data, l.Out, l.In)
+	})
 	n := x.Dim(0)
+	tensor.MatMulTransBPackedParallel(out.Data, x.Data, wp, n, l.In, l.Out)
 	for i := 0; i < n; i++ {
-		row := out.Data[i*l.Out : (i+1)*l.Out]
-		for j := range row {
-			row[j] += l.bias.W.Data[j]
-		}
+		tensor.VecAdd(out.Data[i*l.Out:(i+1)*l.Out], l.bias.W.Data)
 	}
 	l.x = x
 	return out
@@ -55,21 +59,27 @@ func (l *Linear) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	// dW += doutᵀ·x ; db += column sums of dout ; dx = dout·W
 	dw := tensor.GetScratch(l.Out * l.In)
 	tensor.MatMulTransAInto(tensor.FromSlice(dw, l.Out, l.In), dout, l.x)
-	g := l.weight.G.Data
-	for i, v := range dw {
-		g[i] += v
-	}
+	tensor.VecAdd(l.weight.G.Data, dw)
 	tensor.PutScratch(dw)
 	n := dout.Dim(0)
 	for i := 0; i < n; i++ {
-		row := dout.Data[i*l.Out : (i+1)*l.Out]
-		for j, v := range row {
-			l.bias.G.Data[j] += v
-		}
+		tensor.VecAdd(l.bias.G.Data, dout.Data[i*l.Out:(i+1)*l.Out])
 	}
 	dx := tensor.Reuse(l.dx, dout.Dim(0), l.In)
 	l.dx = dx
-	tensor.MatMulInto(dx, dout, l.weight.W)
+	if tensor.IsSparse(dout.Data) {
+		// Mirror MatMulInto's sparse-aware dispatch for mostly-zero
+		// gradients; the zero-skipping kernel reads raw W rows.
+		tensor.MatMulInto(dx, dout, l.weight.W)
+		return dx
+	}
+	wt := l.wtpack.get(l.weight.W, l.In*l.Out, func(dst []float32) {
+		tmp := tensor.GetScratch(l.In * l.Out)
+		tensor.TransposeSlice(tmp, l.weight.W.Data, l.Out, l.In)
+		tensor.PackTransB(dst, tmp, l.In, l.Out)
+		tensor.PutScratch(tmp)
+	})
+	tensor.MatMulTransBPackedParallel(dx.Data, dout.Data, wt, n, l.Out, l.In)
 	return dx
 }
 

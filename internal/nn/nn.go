@@ -162,6 +162,7 @@ func UnflattenParams(params []*Param, flat []float32) {
 			panic("nn: UnflattenParams vector too short")
 		}
 		copy(p.W.Data, flat[off:off+n])
+		p.W.MarkMutated()
 		off += n
 	}
 	if off != len(flat) {

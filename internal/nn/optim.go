@@ -39,24 +39,21 @@ func NewSGD(params []*Param, lr, momentum, weightDecay float64) *SGD {
 	return s
 }
 
-// Step implements Optimizer.
+// Step implements Optimizer. The update runs through the SIMD step
+// kernels (same per-element operation chains as the scalar loops they
+// replaced) and bumps each weight tensor's mutation counter so packed
+// panel caches refill from the new weights.
 func (s *SGD) Step() {
 	lr := float32(s.lr)
 	wd := float32(s.WeightDecay)
 	mu := float32(s.Momentum)
 	for i, p := range s.params {
 		if s.velocity == nil {
-			for j, g := range p.G.Data {
-				p.W.Data[j] -= lr * (g + wd*p.W.Data[j])
-			}
-			continue
+			tensor.VecSGDStep(p.W.Data, p.G.Data, lr, wd)
+		} else {
+			tensor.VecSGDMomStep(p.W.Data, s.velocity[i].Data, p.G.Data, lr, wd, mu)
 		}
-		v := s.velocity[i]
-		for j, g := range p.G.Data {
-			gj := g + wd*p.W.Data[j]
-			v.Data[j] = mu*v.Data[j] + gj
-			p.W.Data[j] -= lr * v.Data[j]
-		}
+		p.W.MarkMutated()
 	}
 }
 
@@ -144,6 +141,7 @@ func (a *Adam) Step() {
 			vhat := vj / bc2
 			p.W.Data[j] -= float32(a.lr * mhat / (math.Sqrt(vhat) + a.Eps))
 		}
+		p.W.MarkMutated()
 	}
 }
 

@@ -75,13 +75,7 @@ func (b *BasicBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	out := tensor.Reuse(b.out, main.Shape()...)
 	b.out = out
-	for i, v := range main.Data {
-		if v > 0 {
-			out.Data[i] = v
-		} else {
-			out.Data[i] = 0
-		}
-	}
+	tensor.VecReLU(out.Data, main.Data)
 	return out
 }
 
@@ -93,13 +87,7 @@ func (b *BasicBlock) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	// Final ReLU.
 	dsum := tensor.Reuse(b.dsum, dout.Shape()...)
 	b.dsum = dsum
-	for i, v := range dout.Data {
-		if b.sum.Data[i] > 0 {
-			dsum.Data[i] = v
-		} else {
-			dsum.Data[i] = 0
-		}
-	}
+	tensor.VecReLUBwd(dsum.Data, dout.Data, b.sum.Data)
 	// Main path.
 	d := b.bn2.Backward(dsum)
 	d = b.conv2.Backward(d)

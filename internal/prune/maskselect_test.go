@@ -1,0 +1,80 @@
+package prune
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// sortMaskFromScores is the retained reference selection: a stable sort
+// on descending score (ties resolved by original index), keeping the
+// first ceil(ratio·n) channels — exactly the implementation quickselect
+// replaced.
+func sortMaskFromScores(scores []float64, ratio float64) Mask {
+	n := len(scores)
+	keep := int(math.Ceil(ratio * float64(n)))
+	if keep < 1 {
+		keep = 1
+	}
+	if keep > n {
+		keep = n
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+	m := Mask{Keep: make([]bool, n)}
+	for _, i := range order[:keep] {
+		m.Keep[i] = true
+	}
+	m.Kept = keep
+	return m
+}
+
+// TestMaskFromScoresMatchesStableSort drives the quickselect selection
+// against the stable-sort reference across sizes, keep ratios, and
+// score distributions heavy with duplicates (L1 scores of pruned-away
+// channels collapse to identical values), asserting the selected channel
+// set is identical in every case.
+func TestMaskFromScoresMatchesStableSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	ratios := []float64{0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0}
+	for _, n := range []int{1, 2, 3, 5, 8, 16, 17, 64, 100, 257} {
+		for trial := 0; trial < 8; trial++ {
+			scores := make([]float64, n)
+			switch trial % 4 {
+			case 0: // distinct
+				for i := range scores {
+					scores[i] = rng.NormFloat64()
+				}
+			case 1: // heavy duplicates
+				for i := range scores {
+					scores[i] = float64(rng.Intn(3))
+				}
+			case 2: // all equal
+				for i := range scores {
+					scores[i] = 7
+				}
+			case 3: // sorted ascending (adversarial for naive pivots)
+				for i := range scores {
+					scores[i] = float64(i)
+				}
+			}
+			for _, ratio := range ratios {
+				got := MaskFromScores(scores, ratio)
+				want := sortMaskFromScores(scores, ratio)
+				if got.Kept != want.Kept {
+					t.Fatalf("n=%d trial=%d ratio=%v: kept %d, want %d", n, trial, ratio, got.Kept, want.Kept)
+				}
+				for i := range want.Keep {
+					if got.Keep[i] != want.Keep[i] {
+						t.Fatalf("n=%d trial=%d ratio=%v: Keep[%d]=%v, want %v",
+							n, trial, ratio, i, got.Keep[i], want.Keep[i])
+					}
+				}
+			}
+		}
+	}
+}

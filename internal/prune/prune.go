@@ -12,7 +12,6 @@ package prune
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"spatl/internal/comm"
 	"spatl/internal/models"
@@ -74,13 +73,83 @@ func MaskFromScores(scores []float64, ratio float64) Mask {
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+	topKSelect(order, scores, keep)
 	m := Mask{Keep: make([]bool, n)}
 	for _, i := range order[:keep] {
 		m.Keep[i] = true
 	}
 	m.Kept = keep
 	return m
+}
+
+// scoreLess reports whether channel a precedes channel b in the saliency
+// order: higher score first, lower index breaking ties. Because every
+// channel index is distinct the order is total, so the top-k set is
+// unique — selection cannot depend on sort internals, and the quickselect
+// below reproduces exactly what the stable descending sort it replaced
+// selected.
+func scoreLess(scores []float64, a, b int) bool {
+	if scores[a] != scores[b] {
+		return scores[a] > scores[b]
+	}
+	return a < b
+}
+
+// topKSelect partially partitions order (a permutation of channel
+// indices) so its first k elements are the k channels ranked highest by
+// scoreLess. Median-of-three Hoare quickselect with an insertion-sort
+// cutoff: expected O(n) versus the O(n log n) full sort, with entirely
+// deterministic pivot choices.
+func topKSelect(order []int, scores []float64, k int) {
+	lo, hi := 0, len(order)
+	for {
+		if k <= lo || k >= hi || hi-lo <= 1 {
+			return
+		}
+		if hi-lo <= 16 {
+			for i := lo + 1; i < hi; i++ {
+				for j := i; j > lo && scoreLess(scores, order[j], order[j-1]); j-- {
+					order[j], order[j-1] = order[j-1], order[j]
+				}
+			}
+			return
+		}
+		mid := lo + (hi-lo)/2
+		if scoreLess(scores, order[mid], order[lo]) {
+			order[lo], order[mid] = order[mid], order[lo]
+		}
+		if scoreLess(scores, order[hi-1], order[lo]) {
+			order[lo], order[hi-1] = order[hi-1], order[lo]
+		}
+		if scoreLess(scores, order[hi-1], order[mid]) {
+			order[mid], order[hi-1] = order[hi-1], order[mid]
+		}
+		pivot := order[mid]
+		i, j := lo, hi-1
+		for i <= j {
+			for scoreLess(scores, order[i], pivot) {
+				i++
+			}
+			for scoreLess(scores, pivot, order[j]) {
+				j--
+			}
+			if i <= j {
+				order[i], order[j] = order[j], order[i]
+				i++
+				j--
+			}
+		}
+		// order[lo:j+1] precede order[i:hi]; anything strictly between is
+		// already in its final position.
+		switch {
+		case k <= j:
+			hi = j + 1
+		case k >= i:
+			lo = i
+		default:
+			return
+		}
+	}
 }
 
 // Selection is a complete salient-parameter selection over a model's
@@ -232,6 +301,15 @@ func ZeroPruned(m *models.SplitModel, sel *Selection) {
 				beta[ch] = 0
 			}
 		}
+		// Direct Data writes above: invalidate packed-weight caches.
+		u.Conv.Weight().Bump()
+		if ps := u.Conv.Params(); len(ps) > 1 {
+			ps[1].Bump()
+		}
+		if u.BN != nil {
+			u.BN.Params()[0].Bump()
+			u.BN.Params()[1].Bump()
+		}
 	}
 }
 
@@ -241,28 +319,29 @@ func ZeroPruned(m *models.SplitModel, sel *Selection) {
 // eq. 7) without committing.
 func WithMasked(m *models.SplitModel, sel *Selection, fn func()) {
 	type saved struct {
-		data []float32
+		p    *nn.Param
 		copy []float32
 	}
 	var saves []saved
-	stash := func(d []float32) {
-		cp := make([]float32, len(d))
-		copy(cp, d)
-		saves = append(saves, saved{data: d, copy: cp})
+	stash := func(p *nn.Param) {
+		cp := make([]float32, len(p.W.Data))
+		copy(cp, p.W.Data)
+		saves = append(saves, saved{p: p, copy: cp})
 	}
 	for _, u := range sel.Units {
-		stash(u.Conv.Weight().W.Data)
+		stash(u.Conv.Weight())
 		if ps := u.Conv.Params(); len(ps) > 1 {
-			stash(ps[1].W.Data)
+			stash(ps[1])
 		}
 		if u.BN != nil {
-			stash(u.BN.Params()[0].W.Data)
-			stash(u.BN.Params()[1].W.Data)
+			stash(u.BN.Params()[0])
+			stash(u.BN.Params()[1])
 		}
 	}
 	defer func() {
 		for _, s := range saves {
-			copy(s.data, s.copy)
+			copy(s.p.W.Data, s.copy)
+			s.p.Bump()
 		}
 	}()
 	ZeroPruned(m, sel)

@@ -112,10 +112,13 @@ func TestAgentGradientsNumeric(t *testing.T) {
 			j := rng.Intn(p.W.Len())
 			orig := p.W.Data[j]
 			p.W.Data[j] = orig + eps
+			p.Bump() // direct Data write: invalidate packed-weight caches
 			lp := lossOf()
 			p.W.Data[j] = orig - eps
+			p.Bump()
 			lm := lossOf()
 			p.W.Data[j] = orig
+			p.Bump()
 			num := (lp - lm) / (2 * eps)
 			ana := float64(p.G.Data[j])
 			if math.Abs(num-ana) > 5e-2*(1+math.Abs(num)) {

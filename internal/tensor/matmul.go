@@ -207,6 +207,20 @@ func matmulRowsBlocked(c, a, b []float32, lo, hi, k, n int) {
 	}
 }
 
+// MatMulSparseSlice computes C = A·B with the zero-skipping row kernel,
+// unconditionally — for callers that have already probed the operand once
+// (e.g. a conv layer deciding its lowering strategy per minibatch) and
+// would otherwise pay the sparsity sample on every GEMM call.
+func MatMulSparseSlice(c, a, b []float32, m, k, n int) {
+	matmulRowsSparse(c, a, b, 0, m, k, n)
+}
+
+// MatMulTransASparseSlice computes C = Aᵀ·B (A is (k,m), B (k,n)) with the
+// zero-skipping column kernel, unconditionally; see MatMulSparseSlice.
+func MatMulTransASparseSlice(c, a, b []float32, m, k, n int) {
+	matmulTransAColsSparse(c, a, b, 0, m, m, k, n)
+}
+
 // matmulRowsSparse is the zero-skipping row kernel retained for sparse
 // left operands (SPATL salient-parameter masks zero whole filters): it
 // pays a branch per A element to skip entire B-row passes.
@@ -221,11 +235,10 @@ func matmulRowsSparse(c, a, b []float32, lo, hi, k, n int) {
 			if av == 0 {
 				continue
 			}
-			bp := b[p*n : p*n+n]
-			ci := ci[:len(bp)]
-			for j, bv := range bp {
-				ci[j] += av * bv
-			}
+			// VecAxpy keeps the separate multiply-then-add of the scalar
+			// loop; each output element still accumulates surviving B rows
+			// in ascending-p order.
+			VecAxpy(ci, b[p*n:p*n+n], av)
 		}
 	}
 }
@@ -549,11 +562,9 @@ func matmulTransAColsSparse(c, a, b []float32, lo, hi, m, k, n int) {
 			if av == 0 {
 				continue
 			}
-			bp := b[p*n : p*n+n]
-			ci := ci[:len(bp)]
-			for j, bv := range bp {
-				ci[j] += av * bv
-			}
+			// Same separate multiply-then-add chain as the scalar loop,
+			// ascending-p accumulation per output element.
+			VecAxpy(ci, b[p*n:p*n+n], av)
 		}
 	}
 }

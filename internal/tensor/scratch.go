@@ -72,3 +72,50 @@ func PutScratch(s []float32) {
 	*h = s[:cp]
 	scratchPools[c].Put(h)
 }
+
+// Float64 scratch: the same size-classed pools for the double-precision
+// accumulators of the server reductions (WeightedAverage). Contents are
+// unspecified — reductions that start from zero must clear the buffer,
+// which also keeps them bitwise identical to a freshly allocated one
+// (no stale -0 or NaN can leak into an accumulation chain).
+
+var scratchPoolsF64 [32]sync.Pool
+
+var headerPoolF64 = sync.Pool{New: func() any { return new([]float64) }}
+
+// GetScratchF64 returns a float64 buffer of length n with unspecified
+// contents. Pair every call with PutScratchF64.
+func GetScratchF64(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	c := bits.Len(uint(n - 1))
+	if c < scratchMinBits {
+		c = scratchMinBits
+	}
+	if c >= len(scratchPoolsF64) {
+		return make([]float64, n)
+	}
+	if h, _ := scratchPoolsF64[c].Get().(*[]float64); h != nil {
+		s := (*h)[:n]
+		*h = nil
+		headerPoolF64.Put(h)
+		return s
+	}
+	return make([]float64, n, 1<<c)
+}
+
+// PutScratchF64 returns a buffer obtained from GetScratchF64 to the pool.
+func PutScratchF64(s []float64) {
+	cp := cap(s)
+	if cp < 1<<scratchMinBits {
+		return
+	}
+	c := bits.Len(uint(cp)) - 1
+	if c >= len(scratchPoolsF64) {
+		return
+	}
+	h := headerPoolF64.Get().(*[]float64)
+	*h = s[:cp]
+	scratchPoolsF64[c].Put(h)
+}

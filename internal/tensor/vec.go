@@ -1,0 +1,287 @@
+package tensor
+
+// Vec kernels: the SIMD elementwise layer under the training hot path.
+// Every kernel is elementwise — no cross-element reduction — so the AVX2
+// paths apply the identical IEEE operation sequence per element as the
+// scalar loops (multiply/add/subtract in source order, no FMA
+// contraction, no reassociation) and the two paths are bitwise
+// interchangeable. Reductions (sums, norms, means) deliberately stay
+// scalar in their callers: vectorizing them would change summation
+// order and break the repository-wide determinism contract.
+//
+// Dispatch mirrors the matmul tile: a startup CPUID probe (useAVX2)
+// selects the assembly body for the 8-wide (float32) / 4-wide
+// (float64-compute) head of each slice; remainders and short slices run
+// the scalar loop. Scalar ground truths are retained in ref.go
+// (RefVec*) and the equivalence tests demand exact equality, including
+// NaN, signed-zero and denormal inputs.
+
+// vecMinLen is the slice length below which the call overhead of the
+// assembly kernel is not worth paying; short slices run scalar.
+const vecMinLen = 16
+
+// VecAxpy computes y += a*x elementwise (BLAS axpy).
+func VecAxpy(y, x []float32, a float32) {
+	x = x[:len(y)]
+	if useAVX2 && len(y) >= vecMinLen {
+		n := len(y) &^ 7
+		vecAxpyAsm(&y[0], &x[0], n, a)
+		y, x = y[n:], x[n:]
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// VecScale computes x *= a elementwise.
+func VecScale(x []float32, a float32) {
+	if useAVX2 && len(x) >= vecMinLen {
+		n := len(x) &^ 7
+		vecScaleAsm(&x[0], n, a)
+		x = x[n:]
+	}
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// VecAdd computes dst += src elementwise.
+func VecAdd(dst, src []float32) {
+	src = src[:len(dst)]
+	if useAVX2 && len(dst) >= vecMinLen {
+		n := len(dst) &^ 7
+		vecAddAsm(&dst[0], &src[0], n)
+		dst, src = dst[n:], src[n:]
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// VecSub computes dst -= src elementwise.
+func VecSub(dst, src []float32) {
+	src = src[:len(dst)]
+	if useAVX2 && len(dst) >= vecMinLen {
+		n := len(dst) &^ 7
+		vecSubAsm(&dst[0], &src[0], n)
+		dst, src = dst[n:], src[n:]
+	}
+	for i, v := range src {
+		dst[i] -= v
+	}
+}
+
+// VecBiasAdd computes dst += b (scalar broadcast) elementwise — the bias
+// row update of linear and convolution layers.
+func VecBiasAdd(dst []float32, b float32) {
+	if useAVX2 && len(dst) >= vecMinLen {
+		n := len(dst) &^ 7
+		vecBiasAddAsm(&dst[0], n, b)
+		dst = dst[n:]
+	}
+	for i := range dst {
+		dst[i] += b
+	}
+}
+
+// VecCopyBias computes dst = src + b (scalar broadcast) elementwise —
+// the fused copy-out of the batched convolution GEMM with the bias
+// folded into the single store.
+func VecCopyBias(dst, src []float32, b float32) {
+	src = src[:len(dst)]
+	if useAVX2 && len(dst) >= vecMinLen {
+		n := len(dst) &^ 7
+		vecCopyBiasAsm(&dst[0], &src[0], n, b)
+		dst, src = dst[n:], src[n:]
+	}
+	for i, v := range src {
+		dst[i] = v + b
+	}
+}
+
+// VecReLU computes out[i] = x[i] if x[i] > 0 else 0. The vector body
+// uses a quiet greater-than compare and a bitwise AND, reproducing the
+// scalar branch exactly: positive lanes keep their bit pattern, all
+// others (negatives, both zeros, NaN) become +0.
+func VecReLU(out, x []float32) {
+	x = x[:len(out)]
+	if useAVX2 && len(out) >= vecMinLen {
+		n := len(out) &^ 7
+		vecReLUAsm(&out[0], &x[0], n)
+		out, x = out[n:], x[n:]
+	}
+	for i, v := range x {
+		if v > 0 {
+			out[i] = v
+		} else {
+			out[i] = 0
+		}
+	}
+}
+
+// VecReLUBwd computes dx[i] = dout[i] if x[i] > 0 else 0 — the ReLU
+// gradient gate, masked by the forward input.
+func VecReLUBwd(dx, dout, x []float32) {
+	dout = dout[:len(dx)]
+	x = x[:len(dx)]
+	if useAVX2 && len(dx) >= vecMinLen {
+		n := len(dx) &^ 7
+		vecReLUBwdAsm(&dx[0], &dout[0], &x[0], n)
+		dx, dout, x = dx[n:], dout[n:], x[n:]
+	}
+	for i, v := range dout {
+		if x[i] > 0 {
+			dx[i] = v
+		} else {
+			dx[i] = 0
+		}
+	}
+}
+
+// VecSGDStep applies one plain SGD update: w -= lr*(g + wd*w).
+func VecSGDStep(w, g []float32, lr, wd float32) {
+	g = g[:len(w)]
+	if useAVX2 && len(w) >= vecMinLen {
+		n := len(w) &^ 7
+		vecSGDAsm(&w[0], &g[0], n, lr, wd)
+		w, g = w[n:], g[n:]
+	}
+	for i, gv := range g {
+		w[i] -= lr * (gv + wd*w[i])
+	}
+}
+
+// VecSGDMomStep applies one classical-momentum SGD update:
+//
+//	gj = g + wd*w ; v = mu*v + gj ; w -= lr*v
+//
+// fusing the three elementwise passes of the scalar optimizer loop into
+// one, with identical per-element operation order.
+func VecSGDMomStep(w, v, g []float32, lr, wd, mu float32) {
+	v = v[:len(w)]
+	g = g[:len(w)]
+	if useAVX2 && len(w) >= vecMinLen {
+		n := len(w) &^ 7
+		vecSGDMomAsm(&w[0], &v[0], &g[0], n, lr, wd, mu)
+		w, v, g = w[n:], v[n:], g[n:]
+	}
+	for i, gv := range g {
+		gj := gv + wd*w[i]
+		v[i] = mu*v[i] + gj
+		w[i] -= lr * v[i]
+	}
+}
+
+// VecAddDiff computes dst += a - b elementwise — the SCAFFOLD/SPATL
+// control-variate gradient correction g += c − cᵢ.
+func VecAddDiff(dst, a, b []float32) {
+	a = a[:len(dst)]
+	b = b[:len(dst)]
+	if useAVX2 && len(dst) >= vecMinLen {
+		n := len(dst) &^ 7
+		vecAddDiffAsm(&dst[0], &a[0], &b[0], n)
+		dst, a, b = dst[n:], a[n:], b[n:]
+	}
+	for i := range dst {
+		dst[i] += a[i] - b[i]
+	}
+}
+
+// VecAxpyDiff computes dst += m*(a - b) elementwise — FedProx's proximal
+// gradient term μ(w − w_global).
+func VecAxpyDiff(dst, a, b []float32, m float32) {
+	a = a[:len(dst)]
+	b = b[:len(dst)]
+	if useAVX2 && len(dst) >= vecMinLen {
+		n := len(dst) &^ 7
+		vecAxpyDiffAsm(&dst[0], &a[0], &b[0], n, m)
+		dst, a, b = dst[n:], a[n:], b[n:]
+	}
+	for i := range dst {
+		dst[i] += m * (a[i] - b[i])
+	}
+}
+
+// VecAccumScaled computes acc[i] += w*float64(v[i]) — the inner loop of
+// the float64 server reduction (WeightedAverage). The float32→float64
+// widening is exact and the multiply/add are IEEE double ops, so the
+// 4-wide body matches the scalar loop bit for bit; client-order
+// determinism is preserved because the kernel touches one client at a
+// time.
+func VecAccumScaled(acc []float64, v []float32, w float64) {
+	v = v[:len(acc)]
+	if useAVX2 && len(acc) >= 8 {
+		n := len(acc) &^ 3
+		vecAccumScaledAsm(&acc[0], &v[0], n, w)
+		acc, v = acc[n:], v[n:]
+	}
+	for i, x := range v {
+		acc[i] += w * float64(x)
+	}
+}
+
+// VecF64ToF32 narrows src into dst with round-to-nearest-even, the same
+// conversion Go's float32(x) performs.
+func VecF64ToF32(dst []float32, src []float64) {
+	src = src[:len(dst)]
+	if useAVX2 && len(dst) >= 8 {
+		n := len(dst) &^ 3
+		vecF64ToF32Asm(&dst[0], &src[0], n)
+		dst, src = dst[n:], src[n:]
+	}
+	for i, x := range src {
+		dst[i] = float32(x)
+	}
+}
+
+// VecBNTrain applies the training-mode BatchNorm normalize+affine to one
+// contiguous channel strip, in float64 exactly as the scalar loop:
+//
+//	xh = (float64(x) - mean) * inv ; xhat = float32(xh)
+//	out = float32(g*xh + b)
+func VecBNTrain(out, xhat, x []float32, mean, inv, g, b float64) {
+	xhat = xhat[:len(out)]
+	x = x[:len(out)]
+	if useAVX2 && len(out) >= 8 {
+		n := len(out) &^ 3
+		vecBNTrainAsm(&out[0], &xhat[0], &x[0], n, mean, inv, g, b)
+		out, xhat, x = out[n:], xhat[n:], x[n:]
+	}
+	for i, v := range x {
+		xh := (float64(v) - mean) * inv
+		xhat[i] = float32(xh)
+		out[i] = float32(g*xh + b)
+	}
+}
+
+// VecBNEval applies the eval-mode BatchNorm transform to one contiguous
+// channel strip: out = float32(g*(float64(x)-mean)*inv + b), with the
+// multiplications in the scalar expression's left-to-right order.
+func VecBNEval(out, x []float32, mean, inv, g, b float64) {
+	x = x[:len(out)]
+	if useAVX2 && len(out) >= 8 {
+		n := len(out) &^ 3
+		vecBNEvalAsm(&out[0], &x[0], n, mean, inv, g, b)
+		out, x = out[n:], x[n:]
+	}
+	for i, v := range x {
+		out[i] = float32(g*(float64(v)-mean)*inv + b)
+	}
+}
+
+// VecBNBwd applies the BatchNorm input-gradient formula to one
+// contiguous channel strip:
+//
+//	dx = float32(scale * (cnt*float64(dout) - dbeta - float64(xhat)*dgamma))
+func VecBNBwd(dx, dout, xhat []float32, scale, cnt, dbeta, dgamma float64) {
+	dout = dout[:len(dx)]
+	xhat = xhat[:len(dx)]
+	if useAVX2 && len(dx) >= 8 {
+		n := len(dx) &^ 3
+		vecBNBwdAsm(&dx[0], &dout[0], &xhat[0], n, scale, cnt, dbeta, dgamma)
+		dx, dout, xhat = dx[n:], dout[n:], xhat[n:]
+	}
+	for i, g := range dout {
+		dx[i] = float32(scale * (cnt*float64(g) - dbeta - float64(xhat[i])*dgamma))
+	}
+}

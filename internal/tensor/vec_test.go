@@ -1,0 +1,247 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// vecTestLens covers short slices (pure scalar), exact multiples of the
+// vector widths, and awkward tails around them.
+var vecTestLens = []int{1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 24, 31, 32, 33, 63, 64, 65, 100, 255, 256, 257, 1000, 1023}
+
+// fillSpecial fills s with random normals and sprinkles in the IEEE
+// corner cases the kernels must handle bit-exactly: NaN, ±0, ±Inf,
+// denormals, and values large enough to overflow under multiplication.
+func fillSpecial(rng *rand.Rand, s []float32) {
+	specials := []float32{
+		float32(math.NaN()),
+		float32(math.Copysign(0, -1)),
+		0,
+		float32(math.Inf(1)),
+		float32(math.Inf(-1)),
+		math.Float32frombits(1),          // smallest denormal
+		math.Float32frombits(0x007fffff), // largest denormal
+		math.MaxFloat32,
+		-math.MaxFloat32,
+		math.SmallestNonzeroFloat32,
+	}
+	for i := range s {
+		s[i] = float32(rng.NormFloat64())
+	}
+	for i := 0; i < len(s); i += 5 {
+		s[i] = specials[rng.Intn(len(specials))]
+	}
+}
+
+func fillSpecial64(rng *rand.Rand, s []float64) {
+	specials := []float64{math.NaN(), math.Copysign(0, -1), 0, math.Inf(1), math.Inf(-1), 5e-324, math.MaxFloat64, 1e300, -1e-310}
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	for i := 0; i < len(s); i += 5 {
+		s[i] = specials[rng.Intn(len(specials))]
+	}
+}
+
+func cloneF32(s []float32) []float32 { return append([]float32(nil), s...) }
+func cloneF64(s []float64) []float64 { return append([]float64(nil), s...) }
+
+// eqBitsF32 demands exact bit equality, except that any NaN matches any
+// NaN: when both operands of a commutative add are NaN, x86 propagates
+// the payload of whichever source the compiler scheduled first, so NaN
+// payloads are not specified even between two scalar Go builds. NaN-ness
+// itself is IEEE-determined and is still asserted.
+func eqBitsF32(t *testing.T, kernel string, n int, got, want []float32) {
+	t.Helper()
+	for i := range want {
+		g, w := got[i], want[i]
+		if math.Float32bits(g) != math.Float32bits(w) && !(g != g && w != w) {
+			t.Fatalf("%s n=%d: [%d] vec %x ref %x", kernel, n, i, math.Float32bits(g), math.Float32bits(w))
+		}
+	}
+}
+
+func eqBitsF64(t *testing.T, kernel string, n int, got, want []float64) {
+	t.Helper()
+	for i := range want {
+		g, w := got[i], want[i]
+		if math.Float64bits(g) != math.Float64bits(w) && !(g != g && w != w) {
+			t.Fatalf("%s n=%d: [%d] vec %x ref %x", kernel, n, i, math.Float64bits(g), math.Float64bits(w))
+		}
+	}
+}
+
+// TestVecKernelsMatchRef drives every vec kernel against its Ref* scalar
+// ground truth over awkward lengths and IEEE corner-case inputs, and
+// demands bitwise-identical results. On machines without AVX2 the vec
+// path is the scalar loop and the test degenerates to a self-check.
+func TestVecKernelsMatchRef(t *testing.T) {
+	if !useAVX2 {
+		t.Log("AVX2 unavailable; vec kernels alias scalar loops")
+	}
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range vecTestLens {
+		x := make([]float32, n)
+		y := make([]float32, n)
+		z := make([]float32, n)
+		fillSpecial(rng, x)
+		fillSpecial(rng, y)
+		fillSpecial(rng, z)
+		a := float32(rng.NormFloat64())
+
+		{ // VecAxpy
+			got, want := cloneF32(y), cloneF32(y)
+			VecAxpy(got, x, a)
+			RefVecAxpy(want, x, a)
+			eqBitsF32(t, "VecAxpy", n, got, want)
+		}
+		{ // VecScale
+			got, want := cloneF32(x), cloneF32(x)
+			VecScale(got, a)
+			RefVecScale(want, a)
+			eqBitsF32(t, "VecScale", n, got, want)
+		}
+		{ // VecAdd
+			got, want := cloneF32(y), cloneF32(y)
+			VecAdd(got, x)
+			RefVecAdd(want, x)
+			eqBitsF32(t, "VecAdd", n, got, want)
+		}
+		{ // VecSub
+			got, want := cloneF32(y), cloneF32(y)
+			VecSub(got, x)
+			RefVecSub(want, x)
+			eqBitsF32(t, "VecSub", n, got, want)
+		}
+		{ // VecBiasAdd
+			got, want := cloneF32(y), cloneF32(y)
+			VecBiasAdd(got, a)
+			RefVecBiasAdd(want, a)
+			eqBitsF32(t, "VecBiasAdd", n, got, want)
+		}
+		{ // VecCopyBias
+			got, want := make([]float32, n), make([]float32, n)
+			VecCopyBias(got, x, a)
+			RefVecCopyBias(want, x, a)
+			eqBitsF32(t, "VecCopyBias", n, got, want)
+		}
+		{ // VecReLU
+			got, want := make([]float32, n), make([]float32, n)
+			VecReLU(got, x)
+			RefVecReLU(want, x)
+			eqBitsF32(t, "VecReLU", n, got, want)
+		}
+		{ // VecReLUBwd
+			got, want := make([]float32, n), make([]float32, n)
+			VecReLUBwd(got, y, x)
+			RefVecReLUBwd(want, y, x)
+			eqBitsF32(t, "VecReLUBwd", n, got, want)
+		}
+		{ // VecSGDStep
+			gotW, wantW := cloneF32(y), cloneF32(y)
+			VecSGDStep(gotW, x, 0.1, 5e-4)
+			RefVecSGDStep(wantW, x, 0.1, 5e-4)
+			eqBitsF32(t, "VecSGDStep", n, gotW, wantW)
+		}
+		{ // VecSGDMomStep
+			gotW, wantW := cloneF32(y), cloneF32(y)
+			gotV, wantV := cloneF32(z), cloneF32(z)
+			VecSGDMomStep(gotW, gotV, x, 0.1, 5e-4, 0.9)
+			RefVecSGDMomStep(wantW, wantV, x, 0.1, 5e-4, 0.9)
+			eqBitsF32(t, "VecSGDMomStep.w", n, gotW, wantW)
+			eqBitsF32(t, "VecSGDMomStep.v", n, gotV, wantV)
+		}
+		{ // VecAddDiff
+			got, want := cloneF32(z), cloneF32(z)
+			VecAddDiff(got, x, y)
+			RefVecAddDiff(want, x, y)
+			eqBitsF32(t, "VecAddDiff", n, got, want)
+		}
+		{ // VecAxpyDiff
+			got, want := cloneF32(z), cloneF32(z)
+			VecAxpyDiff(got, x, y, a)
+			RefVecAxpyDiff(want, x, y, a)
+			eqBitsF32(t, "VecAxpyDiff", n, got, want)
+		}
+		{ // VecAccumScaled
+			acc := make([]float64, n)
+			fillSpecial64(rng, acc)
+			got, want := cloneF64(acc), cloneF64(acc)
+			w := rng.NormFloat64()
+			VecAccumScaled(got, x, w)
+			RefVecAccumScaled(want, x, w)
+			eqBitsF64(t, "VecAccumScaled", n, got, want)
+		}
+		{ // VecF64ToF32
+			src := make([]float64, n)
+			fillSpecial64(rng, src)
+			got, want := make([]float32, n), make([]float32, n)
+			VecF64ToF32(got, src)
+			RefVecF64ToF32(want, src)
+			eqBitsF32(t, "VecF64ToF32", n, got, want)
+		}
+		{ // VecBNTrain
+			mean, inv := rng.NormFloat64(), math.Abs(rng.NormFloat64())+0.1
+			g, b := rng.NormFloat64(), rng.NormFloat64()
+			gotO, wantO := make([]float32, n), make([]float32, n)
+			gotH, wantH := make([]float32, n), make([]float32, n)
+			VecBNTrain(gotO, gotH, x, mean, inv, g, b)
+			RefVecBNTrain(wantO, wantH, x, mean, inv, g, b)
+			eqBitsF32(t, "VecBNTrain.out", n, gotO, wantO)
+			eqBitsF32(t, "VecBNTrain.xhat", n, gotH, wantH)
+		}
+		{ // VecBNEval
+			mean, inv := rng.NormFloat64(), math.Abs(rng.NormFloat64())+0.1
+			g, b := rng.NormFloat64(), rng.NormFloat64()
+			got, want := make([]float32, n), make([]float32, n)
+			VecBNEval(got, x, mean, inv, g, b)
+			RefVecBNEval(want, x, mean, inv, g, b)
+			eqBitsF32(t, "VecBNEval", n, got, want)
+		}
+		{ // VecBNBwd
+			scale, cnt := rng.NormFloat64(), float64(n)
+			dbeta, dgamma := rng.NormFloat64(), rng.NormFloat64()
+			got, want := make([]float32, n), make([]float32, n)
+			VecBNBwd(got, y, x, scale, cnt, dbeta, dgamma)
+			RefVecBNBwd(want, y, x, scale, cnt, dbeta, dgamma)
+			eqBitsF32(t, "VecBNBwd", n, got, want)
+		}
+	}
+}
+
+// TestVecKernelsRaceHammer runs the vec kernels concurrently over
+// disjoint windows of shared backing arrays, the way layer code and the
+// worker pool use them. Run with -race; correctness of the partitioned
+// results is also checked against a serial pass.
+func TestVecKernelsRaceHammer(t *testing.T) {
+	const total, parts = 4096, 8
+	rng := rand.New(rand.NewSource(22))
+	x := make([]float32, total)
+	base := make([]float32, total)
+	fillSpecial(rng, x)
+	fillSpecial(rng, base)
+
+	want := cloneF32(base)
+	RefVecAxpy(want, x, 0.5)
+	RefVecReLU(want, want)
+	RefVecSGDStep(want, x, 0.01, 1e-4)
+
+	for iter := 0; iter < 50; iter++ {
+		got := cloneF32(base)
+		var wg sync.WaitGroup
+		for p := 0; p < parts; p++ {
+			lo, hi := p*total/parts, (p+1)*total/parts
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				VecAxpy(got[lo:hi], x[lo:hi], 0.5)
+				VecReLU(got[lo:hi], got[lo:hi])
+				VecSGDStep(got[lo:hi], x[lo:hi], 0.01, 1e-4)
+			}(lo, hi)
+		}
+		wg.Wait()
+		eqBitsF32(t, "RaceHammer", total, got, want)
+	}
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# verify.sh — the repo's two verification tiers in one command.
+#
+#   ./scripts/verify.sh          tier-1 only (what CI gates on)
+#   ./scripts/verify.sh --hot    tier-1 plus the hot-path battery:
+#                                vet and the -race hammer over the
+#                                packages with hand-written kernels and
+#                                lock-free aggregation paths
+#
+# Tier-1 must pass on every commit. The hot-path battery is mandatory
+# for changes touching internal/tensor (SIMD kernels, packed GEMM,
+# scratch pools), internal/nn (fused lowering, panel caches),
+# internal/algo (parallel deterministic reduction) or internal/flnet
+# (TCP transport rounds).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build =="
+go build ./...
+echo "== tier-1: tests =="
+go test ./...
+
+if [[ "${1:-}" == "--hot" ]]; then
+    echo "== hot path: vet =="
+    go vet ./...
+    echo "== hot path: race hammer =="
+    go test -race ./internal/tensor ./internal/nn ./internal/algo ./internal/flnet
+fi
+
+echo "verify: OK"
