@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"spatl/internal/experiments"
+	"spatl/internal/telemetry"
 )
 
 func main() {
@@ -34,8 +35,21 @@ func main() {
 		micro     = flag.Bool("micro", false, "run hot-path micro-benchmarks and emit JSON")
 		microJSON = flag.String("json", "", "with -micro: write the JSON report to this file (default stdout)")
 		baseline  = flag.String("baseline", "", "with -micro: prior -micro JSON to compute speedups against")
+		journal   = flag.String("journal", "", "append the JSONL round journal of every experiment run to this file")
 	)
 	flag.Parse()
+
+	if *journal != "" {
+		jf, err := os.OpenFile(*journal, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spatl-bench:", err)
+			os.Exit(1)
+		}
+		defer jf.Close()
+		tel := telemetry.New(jf)
+		defer tel.Journal.Flush()
+		experiments.SetTelemetry(tel)
+	}
 
 	if *micro {
 		if err := runMicro(*microJSON, *baseline); err != nil {

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sync"
@@ -16,6 +17,7 @@ import (
 	"spatl/internal/flnet"
 	"spatl/internal/models"
 	"spatl/internal/nn"
+	"spatl/internal/telemetry"
 	"spatl/internal/tensor"
 )
 
@@ -90,6 +92,21 @@ func withProcs(procs int, fn func(b *testing.B)) func(b *testing.B) {
 
 func flRoundBench(b *testing.B) {
 	env := experiments.BuildCIFAREnv(experiments.Tiny, "resnet20", experiments.ClientSet{Clients: 4, Ratio: 1}, 1)
+	algo := &fl.FedAvg{}
+	algo.Setup(env)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		algo.Round(env, i, env.SampleClients())
+	}
+}
+
+// flRoundTelemetryBench is flRoundBench with full telemetry on —
+// registry, tracer and a journal draining to io.Discard — so the
+// telemetry-on/off delta is visible in the same report (the <1% round
+// overhead contract; see also TestTelemetryOverheadBudget in fl).
+func flRoundTelemetryBench(b *testing.B) {
+	env := experiments.BuildCIFAREnv(experiments.Tiny, "resnet20", experiments.ClientSet{Clients: 4, Ratio: 1}, 1)
+	env.EnableTelemetry(telemetry.New(io.Discard))
 	algo := &fl.FedAvg{}
 	algo.Setup(env)
 	b.ResetTimer()
@@ -342,8 +359,32 @@ var microBenchmarks = []struct {
 			}
 		}
 	}},
+	{"TelemetryCounter", func(b *testing.B) {
+		c := telemetry.NewRegistry().Counter("bench")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Add(1)
+		}
+	}},
+	{"TelemetrySpan", func(b *testing.B) {
+		tr := telemetry.NewTracer(telemetry.NewRegistry())
+		tr.Start(1, "bench").End()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.Start(1, "bench").End()
+		}
+	}},
+	{"TelemetryJournal", func(b *testing.B) {
+		j := telemetry.NewJournal(io.Discard)
+		j.SetZeroTime(true)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			j.Emit(telemetry.ClientUpload(i, 3, 4096, 100))
+		}
+	}},
 	{"FLRound", withProcs(1, flRoundBench)},
 	{"FLRoundMP", withProcs(runtime.NumCPU(), flRoundBench)},
+	{"FLRoundTelemetry", withProcs(1, flRoundTelemetryBench)},
 	{"SPATLRound", withProcs(1, spatlRoundBench)},
 	{"SPATLRoundMP", withProcs(runtime.NumCPU(), spatlRoundBench)},
 	{"FlnetRound", func(b *testing.B) {

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
 	"time"
 
@@ -30,6 +31,7 @@ import (
 	"spatl/internal/flnet"
 	"spatl/internal/models"
 	"spatl/internal/rl"
+	"spatl/internal/telemetry"
 )
 
 func main() {
@@ -50,8 +52,40 @@ func main() {
 		stragglerTimeout = flag.Duration("straggler-timeout", 0, "server: max wait for a round upload before dropping the client (0 = wait forever)")
 		writeTimeout     = flag.Duration("write-timeout", 30*time.Second, "server: per-broadcast write deadline")
 		dialTimeout      = flag.Duration("dial-timeout", 30*time.Second, "client: TCP connect deadline")
+
+		telemetryAddr = flag.String("telemetry-addr", "", "serve /metrics (registry JSON), /healthz and /debug/pprof on this address (e.g. :9090)")
+		journalPath   = flag.String("journal", "", "append the JSONL round journal to this file")
 	)
 	flag.Parse()
+
+	// Telemetry is optional: with neither flag set, tel stays nil and the
+	// whole stack runs with the hooks compiled to a nil-check.
+	var tel *telemetry.Set
+	if *telemetryAddr != "" || *journalPath != "" {
+		var journal *os.File
+		if *journalPath != "" {
+			var err error
+			journal, err = os.OpenFile(*journalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fatal(err)
+			}
+			defer journal.Close()
+		}
+		if journal != nil {
+			tel = telemetry.New(journal)
+			defer tel.Journal.Flush()
+		} else {
+			tel = telemetry.New(nil)
+		}
+		if *telemetryAddr != "" {
+			go func() {
+				if err := http.ListenAndServe(*telemetryAddr, telemetry.NewMux(tel.Reg)); err != nil {
+					fmt.Fprintln(os.Stderr, "spatl-node: telemetry server:", err)
+				}
+			}()
+			fmt.Printf("telemetry on http://%s/metrics (pprof at /debug/pprof/)\n", *telemetryAddr)
+		}
+	}
 
 	spec := models.Spec{Arch: "resnet20", Classes: 6, InC: 3, H: 16, W: 16, Width: 0.25}
 	// The shared hyperparameters; Seed must match across every node so
@@ -69,6 +103,7 @@ func main() {
 			HelloTimeout:     *helloTimeout,
 			StragglerTimeout: *stragglerTimeout,
 			WriteTimeout:     *writeTimeout,
+			Tel:              tel,
 		})
 		if err != nil {
 			fatal(err)
@@ -122,7 +157,7 @@ func main() {
 		fmt.Printf("spatl-node client %d/%d (%s): %d train / %d val samples, dialing %s...\n",
 			*id, *of, *algoF, train.Len(), val.Len(), *addr)
 		err := flnet.RunClientOpts(*addr, uint32(*id), train.Len(), tr,
-			flnet.ClientOptions{DialTimeout: *dialTimeout})
+			flnet.ClientOptions{DialTimeout: *dialTimeout, Tel: tel})
 		if err != nil {
 			fatal(err)
 		}

@@ -2,17 +2,18 @@ package algo
 
 import (
 	"math/rand"
-	"sync/atomic"
 
 	"spatl/internal/comm"
 	"spatl/internal/models"
 	"spatl/internal/nn"
+	"spatl/internal/telemetry"
 )
 
 // FedAvgAggregator is the server side of FedAvg (McMahan et al.):
 // data-size-weighted model averaging over dense checkpoint payloads.
 // FedProx shares it — the proximal term is purely client-side.
 type FedAvgAggregator struct {
+	Telemetered
 	Global *models.SplitModel
 
 	cfg     Config
@@ -20,7 +21,7 @@ type FedAvgAggregator struct {
 	weights []float64
 	bcast   []byte    // reusable broadcast body
 	avgBuf  []float32 // reusable aggregate, recycled across rounds
-	dropped atomic.Int64
+	dropped telemetry.Counter
 }
 
 // NewFedAvgAggregator wires the aggregator around the global model.
@@ -31,14 +32,25 @@ func NewFedAvgAggregator(global *models.SplitModel, cfg Config) *FedAvgAggregato
 // Dropped reports how many malformed uploads have been discarded since
 // construction; surfaced so operators can tell a skewed aggregate from a
 // healthy one.
-func (a *FedAvgAggregator) Dropped() int64 { return a.dropped.Load() }
+func (a *FedAvgAggregator) Dropped() int64 { return a.dropped.Value() }
+
+// SetTelemetry implements Wirer, additionally exposing the drop counter
+// through the registry — the same counter Dropped reads.
+func (a *FedAvgAggregator) SetTelemetry(s *telemetry.Set) {
+	a.Telemetered.SetTelemetry(s)
+	if s != nil && s.Reg != nil {
+		s.Reg.Attach("algo.uploads_dropped", &a.dropped)
+	}
+}
 
 // Broadcast implements Aggregator.
 func (a *FedAvgAggregator) Broadcast(round int) []byte {
+	defer a.span(round, "agg.broadcast").End()
 	n := a.Global.StateLen(models.ScopeAll)
 	state := a.Global.StateInto(models.ScopeAll, comm.GetF32(n))
 	a.bcast = a.cfg.encodeDenseInto(a.bcast, state)
 	comm.PutF32(state)
+	a.size("payload.down", len(a.bcast))
 	return a.bcast
 }
 
@@ -46,6 +58,8 @@ func (a *FedAvgAggregator) Broadcast(round int) []byte {
 // it; the reduction happens in FinishRound so it can replay collect
 // order deterministically.
 func (a *FedAvgAggregator) Collect(round int, client uint32, trainSize int, payload []byte) {
+	defer a.span(round, "agg.collect").End()
+	a.size("payload.up", len(payload))
 	n := a.Global.StateLen(models.ScopeAll)
 	state, err := comm.DecodeDenseAnyInto(comm.GetF32(n), payload)
 	if err != nil || len(state) != n {
@@ -60,6 +74,7 @@ func (a *FedAvgAggregator) Collect(round int, client uint32, trainSize int, payl
 // FinishRound implements Aggregator: the deterministic parallel weighted
 // average, bitwise identical to the serial reference at any GOMAXPROCS.
 func (a *FedAvgAggregator) FinishRound(round int) {
+	defer a.span(round, "agg.reduce").End()
 	if avg := WeightedAverageInto(a.avgBuf, a.states, a.weights); avg != nil {
 		a.avgBuf = avg
 		a.Global.SetState(models.ScopeAll, avg)
@@ -81,6 +96,7 @@ func (a *FedAvgAggregator) Final() []byte {
 // shard, upload the trained weights. The upload is a single dense
 // payload, so FedProx's per-round traffic equals FedAvg's exactly.
 type FedAvgTrainer struct {
+	Telemetered
 	Client *Client
 
 	// FinalModel is populated by Finish.
@@ -109,6 +125,8 @@ func NewFedProxTrainer(c *Client, cfg Config) *FedAvgTrainer {
 
 // LocalUpdate implements Trainer.
 func (t *FedAvgTrainer) LocalUpdate(round int, payload []byte) []byte {
+	sp := t.span(round, "client.update")
+	defer sp.End()
 	m := t.Client.Model
 	n := m.StateLen(models.ScopeAll)
 	state, err := comm.DecodeDenseAnyInto(comm.GetF32(n), payload)
@@ -123,7 +141,9 @@ func (t *FedAvgTrainer) LocalUpdate(round int, payload []byte) []byte {
 		opts.Hook = addProx(t.cfg.ProxMu, nn.FlattenParams(m.Params()))
 	}
 	rng := rand.New(rand.NewSource(ClientSeed(t.cfg.Seed, round, t.Client.ID)))
+	train := sp.Child("client.train")
 	LocalSGD(t.Client, opts, rng)
+	train.End()
 	local := m.StateInto(models.ScopeAll, comm.GetF32(n))
 	t.upBuf = t.cfg.encodeDenseInto(t.upBuf, local)
 	comm.PutF32(local)

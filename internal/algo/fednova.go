@@ -3,11 +3,11 @@ package algo
 import (
 	"encoding/binary"
 	"math/rand"
-	"sync/atomic"
 
 	"spatl/internal/comm"
 	"spatl/internal/models"
 	"spatl/internal/nn"
+	"spatl/internal/telemetry"
 	"spatl/internal/tensor"
 )
 
@@ -17,13 +17,14 @@ import (
 // their momentum buffers, the server averages and redistributes them
 // (the ≈2× per-round uplink the SPATL paper reports for FedNova).
 type FedNovaAggregator struct {
+	Telemetered
 	Global *models.SplitModel
 
 	cfg      Config
 	velocity []float32 // server-averaged momentum over trainable params
 	bcast    []byte
 	pending  []fednovaUpload
-	dropped  atomic.Int64
+	dropped  telemetry.Counter
 }
 
 // fednovaUpload is one client's decoded round contribution.
@@ -46,11 +47,21 @@ func NewFedNovaAggregator(global *models.SplitModel, cfg Config) *FedNovaAggrega
 func (a *FedNovaAggregator) Velocity() []float32 { return a.velocity }
 
 // Dropped reports how many malformed uploads have been discarded.
-func (a *FedNovaAggregator) Dropped() int64 { return a.dropped.Load() }
+func (a *FedNovaAggregator) Dropped() int64 { return a.dropped.Value() }
+
+// SetTelemetry implements Wirer, additionally exposing the drop counter
+// through the registry — the same counter Dropped reads.
+func (a *FedNovaAggregator) SetTelemetry(s *telemetry.Set) {
+	a.Telemetered.SetTelemetry(s)
+	if s != nil && s.Reg != nil {
+		s.Reg.Attach("algo.uploads_dropped", &a.dropped)
+	}
+}
 
 // Broadcast implements Aggregator: joined dense payloads for the model
 // state and the server momentum.
 func (a *FedNovaAggregator) Broadcast(round int) []byte {
+	defer a.span(round, "agg.broadcast").End()
 	n := a.Global.StateLen(models.ScopeAll)
 	state := a.Global.StateInto(models.ScopeAll, comm.GetF32(n))
 	encS := a.cfg.encodeDenseInto(comm.GetBuf(a.cfg.denseLen(n)), state)
@@ -59,12 +70,15 @@ func (a *FedNovaAggregator) Broadcast(round int) []byte {
 	comm.PutBuf(encV)
 	comm.PutBuf(encS)
 	comm.PutF32(state)
+	a.size("payload.down", len(a.bcast))
 	return a.bcast
 }
 
 // Collect implements Aggregator: three joined parts — normalized update
 // d, momentum buffer, and the local step count τ as 4-byte little-endian.
 func (a *FedNovaAggregator) Collect(round int, client uint32, trainSize int, payload []byte) {
+	defer a.span(round, "agg.collect").End()
+	a.size("payload.up", len(payload))
 	parts, err := comm.SplitPayloads(payload)
 	if err != nil || len(parts) != 3 || len(parts[2]) != 4 {
 		a.dropped.Add(1)
@@ -88,6 +102,7 @@ func (a *FedNovaAggregator) Collect(round int, client uint32, trainSize int, pay
 // parameter dimension, clients in fixed order per index, bitwise
 // identical to the serial loops at any GOMAXPROCS.
 func (a *FedNovaAggregator) FinishRound(round int) {
+	defer a.span(round, "agg.reduce").End()
 	if len(a.pending) == 0 {
 		return
 	}
@@ -149,6 +164,7 @@ func (a *FedNovaAggregator) Final() []byte {
 // broadcast buffer, run local SGD, upload the τ-normalized update, the
 // final momentum and the step count.
 type FedNovaTrainer struct {
+	Telemetered
 	Client *Client
 
 	cfg   Config
@@ -162,6 +178,8 @@ func NewFedNovaTrainer(c *Client, cfg Config) *FedNovaTrainer {
 
 // LocalUpdate implements Trainer.
 func (t *FedNovaTrainer) LocalUpdate(round int, payload []byte) []byte {
+	sp := t.span(round, "client.update")
+	defer sp.End()
 	m := t.Client.Model
 	nState := m.StateLen(models.ScopeAll)
 	nVel := nn.ParamCount(m.Params())
@@ -180,7 +198,9 @@ func (t *FedNovaTrainer) LocalUpdate(round int, payload []byte) []byte {
 	rng := rand.New(rand.NewSource(ClientSeed(t.cfg.Seed, round, t.Client.ID)))
 	opts := t.cfg.localOpts(m.Params(), round)
 	opts.InitVelocity = initVel // SetVelocity copies, pooled buffer is safe
+	train := sp.Child("client.train")
 	steps, vel := LocalSGD(t.Client, opts, rng)
+	train.End()
 	comm.PutF32(initVel)
 
 	localState := m.StateInto(models.ScopeAll, comm.GetF32(nState))

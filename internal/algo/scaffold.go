@@ -3,11 +3,11 @@ package algo
 import (
 	"fmt"
 	"math/rand"
-	"sync/atomic"
 
 	"spatl/internal/comm"
 	"spatl/internal/models"
 	"spatl/internal/nn"
+	"spatl/internal/telemetry"
 	"spatl/internal/tensor"
 )
 
@@ -16,13 +16,14 @@ import (
 // the model, and folds the uploaded (Δw, Δc) pairs with
 // x += (1/|S|)·ΣΔw and c += (1/N)·ΣΔc.
 type SCAFFOLDAggregator struct {
+	Telemetered
 	Global *models.SplitModel
 
 	cfg     Config
 	c       []float32 // server control variate over trainable params
 	bcast   []byte
 	pending []scaffoldUpload // decoded uploads in collect order
-	dropped atomic.Int64
+	dropped telemetry.Counter
 }
 
 // scaffoldUpload is one client's decoded round contribution.
@@ -49,11 +50,21 @@ func NewSCAFFOLDAggregator(global *models.SplitModel, cfg Config) *SCAFFOLDAggre
 func (a *SCAFFOLDAggregator) ControlVariate() []float32 { return a.c }
 
 // Dropped reports how many malformed uploads have been discarded.
-func (a *SCAFFOLDAggregator) Dropped() int64 { return a.dropped.Load() }
+func (a *SCAFFOLDAggregator) Dropped() int64 { return a.dropped.Value() }
+
+// SetTelemetry implements Wirer, additionally exposing the drop counter
+// through the registry — the same counter Dropped reads.
+func (a *SCAFFOLDAggregator) SetTelemetry(s *telemetry.Set) {
+	a.Telemetered.SetTelemetry(s)
+	if s != nil && s.Reg != nil {
+		s.Reg.Attach("algo.uploads_dropped", &a.dropped)
+	}
+}
 
 // Broadcast implements Aggregator: joined dense payloads for the model
 // state and the server control variate.
 func (a *SCAFFOLDAggregator) Broadcast(round int) []byte {
+	defer a.span(round, "agg.broadcast").End()
 	n := a.Global.StateLen(models.ScopeAll)
 	state := a.Global.StateInto(models.ScopeAll, comm.GetF32(n))
 	encS := a.cfg.encodeDenseInto(comm.GetBuf(a.cfg.denseLen(n)), state)
@@ -62,11 +73,14 @@ func (a *SCAFFOLDAggregator) Broadcast(round int) []byte {
 	comm.PutBuf(encC)
 	comm.PutBuf(encS)
 	comm.PutF32(state)
+	a.size("payload.down", len(a.bcast))
 	return a.bcast
 }
 
 // Collect implements Aggregator.
 func (a *SCAFFOLDAggregator) Collect(round int, client uint32, trainSize int, payload []byte) {
+	defer a.span(round, "agg.collect").End()
+	a.size("payload.up", len(payload))
 	parts, err := comm.SplitPayloads(payload)
 	if err != nil || len(parts) != 2 {
 		a.dropped.Add(1)
@@ -90,6 +104,7 @@ func (a *SCAFFOLDAggregator) Collect(round int, client uint32, trainSize int, pa
 // order per index, bitwise identical to the serial loops at any
 // GOMAXPROCS.
 func (a *SCAFFOLDAggregator) FinishRound(round int) {
+	defer a.span(round, "agg.reduce").End()
 	if len(a.pending) == 0 {
 		return
 	}
@@ -132,6 +147,7 @@ func (a *SCAFFOLDAggregator) Final() []byte {
 // SGD, then an Option-II control update, uploading the joined (Δw, Δc)
 // pair — the ≈2× FedAvg per-round payload the SPATL paper highlights.
 type SCAFFOLDTrainer struct {
+	Telemetered
 	Client *Client
 
 	cfg   Config
@@ -149,6 +165,8 @@ func NewSCAFFOLDTrainer(c *Client, cfg Config) *SCAFFOLDTrainer {
 
 // LocalUpdate implements Trainer.
 func (t *SCAFFOLDTrainer) LocalUpdate(round int, payload []byte) []byte {
+	sp := t.span(round, "client.update")
+	defer sp.End()
 	m := t.Client.Model
 	nState := m.StateLen(models.ScopeAll)
 	nCtrl := len(t.Client.Control)
@@ -169,7 +187,9 @@ func (t *SCAFFOLDTrainer) LocalUpdate(round int, payload []byte) []byte {
 	rng := rand.New(rand.NewSource(ClientSeed(t.cfg.Seed, round, t.Client.ID)))
 	opts := t.cfg.localOpts(m.Params(), round)
 	opts.Hook = addControl(serverC, t.Client.Control, m.Params())
+	train := sp.Child("client.train")
 	steps, _ := LocalSGD(t.Client, opts, rng)
+	train.End()
 
 	localFlat := nn.FlattenParams(m.Params())
 	localState := m.StateInto(models.ScopeAll, comm.GetF32(nState))

@@ -2,13 +2,13 @@ package algo
 
 import (
 	"math/rand"
-	"sync/atomic"
 
 	"spatl/internal/comm"
 	"spatl/internal/models"
 	"spatl/internal/nn"
 	"spatl/internal/prune"
 	"spatl/internal/rl"
+	"spatl/internal/telemetry"
 	"spatl/internal/tensor"
 )
 
@@ -80,6 +80,7 @@ func (o SPATLOptions) CtrlParams(m *models.SplitModel) []*nn.Param {
 // aggregation of salient encoder deltas (eq. 12) and the 1/N-scaled
 // control-variate update at the uploaded indices (eq. 11).
 type SPATLAggregator struct {
+	Telemetered
 	Global *models.SplitModel
 	Opts   SPATLOptions
 
@@ -88,7 +89,7 @@ type SPATLAggregator struct {
 	bcast   []byte
 	pending []spatlUpload
 	count   []int32 // per-index contributor count, reused across rounds
-	dropped atomic.Int64
+	dropped telemetry.Counter
 }
 
 // spatlUpload is one client's decoded sparse contribution.
@@ -112,11 +113,21 @@ func NewSPATLAggregator(global *models.SplitModel, opts SPATLOptions, cfg Config
 func (a *SPATLAggregator) ControlVariate() []float32 { return a.c }
 
 // Dropped reports how many malformed uploads have been discarded.
-func (a *SPATLAggregator) Dropped() int64 { return a.dropped.Load() }
+func (a *SPATLAggregator) Dropped() int64 { return a.dropped.Value() }
+
+// SetTelemetry implements Wirer, additionally exposing the drop counter
+// through the registry — the same counter Dropped reads.
+func (a *SPATLAggregator) SetTelemetry(s *telemetry.Set) {
+	a.Telemetered.SetTelemetry(s)
+	if s != nil && s.Reg != nil {
+		s.Reg.Attach("algo.uploads_dropped", &a.dropped)
+	}
+}
 
 // Broadcast implements Aggregator: the shared-scope model state, joined
 // with the server control variate unless gradient control is disabled.
 func (a *SPATLAggregator) Broadcast(round int) []byte {
+	defer a.span(round, "agg.broadcast").End()
 	scope := a.Opts.Scope()
 	n := a.Global.StateLen(scope)
 	state := a.Global.StateInto(scope, comm.GetF32(n))
@@ -130,6 +141,7 @@ func (a *SPATLAggregator) Broadcast(round int) []byte {
 	}
 	comm.PutBuf(encS)
 	comm.PutF32(state)
+	a.size("payload.down", len(a.bcast))
 	return a.bcast
 }
 
@@ -137,6 +149,8 @@ func (a *SPATLAggregator) Broadcast(round int) []byte {
 // control delta unless gradient control is disabled. A bad control part
 // keeps the weight delta — the model update is still sound.
 func (a *SPATLAggregator) Collect(round int, client uint32, trainSize int, payload []byte) {
+	defer a.span(round, "agg.collect").End()
+	a.size("payload.up", len(payload))
 	wantParts := 2
 	if a.Opts.DisableGradControl {
 		wantParts = 1
@@ -168,6 +182,7 @@ func (a *SPATLAggregator) Collect(round int, client uint32, trainSize int, paylo
 // chunk the parameter dimension with clients in fixed order per index,
 // bitwise identical to the serial ScatterAdd loops at any GOMAXPROCS.
 func (a *SPATLAggregator) FinishRound(round int) {
+	defer a.span(round, "agg.reduce").End()
 	if len(a.pending) == 0 {
 		return
 	}
@@ -230,6 +245,7 @@ func (a *SPATLAggregator) Final() []byte {
 // selection agent on the trained encoder, and upload only the salient
 // parameter deltas and their index ranges.
 type SPATLTrainer struct {
+	Telemetered
 	Client *Client
 	Opts   SPATLOptions
 
@@ -254,6 +270,8 @@ func NewSPATLTrainer(c *Client, opts SPATLOptions, cfg Config) *SPATLTrainer {
 
 // LocalUpdate implements Trainer.
 func (t *SPATLTrainer) LocalUpdate(round int, payload []byte) []byte {
+	sp := t.span(round, "client.update")
+	defer sp.End()
 	c := t.Client
 	m := c.Model
 	scope := t.Opts.Scope()
@@ -296,7 +314,9 @@ func (t *SPATLTrainer) LocalUpdate(round int, payload []byte) []byte {
 		opts.Hook = addControl(serverC, c.Control, ctrlP)
 	}
 	gBefore := nn.FlattenParams(ctrlP)
+	train := sp.Child("client.train")
 	steps, _ := LocalSGD(c, opts, rng)
+	train.End()
 
 	// Control variate update (option II of SCAFFOLD, over the generic
 	// parameters only).
@@ -317,7 +337,9 @@ func (t *SPATLTrainer) LocalUpdate(round int, payload []byte) []byte {
 	// ➌ salient parameter selection on the trained encoder, consuming the
 	// same rng stream as local training so both transports replay the
 	// identical sequence.
+	selSpan := sp.Child("client.select")
 	sel := t.selectSalient(round, rng)
+	selSpan.End()
 	t.LastSelection = sel
 
 	// ➍ upload only the salient parameter deltas and their indices.

@@ -23,8 +23,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sync/atomic"
 
+	"spatl/internal/telemetry"
 	"spatl/internal/tensor"
 )
 
@@ -394,9 +394,20 @@ func ScatterAddScaledRange(dst []float32, s *Sparse, scale float32, lo, hi int) 
 
 // Meter accumulates communication volume on lock-free atomic counters —
 // it is hammered concurrently by every client inside a parallel round.
+// The counters are telemetry.Counters, so Bind can expose them through
+// a registry; the accessors below are thin wrappers over those same
+// counters, keeping exactly one source of truth for traffic totals.
 type Meter struct {
-	up   atomic.Int64
-	down atomic.Int64
+	up   telemetry.Counter
+	down telemetry.Counter
+}
+
+// Bind registers the meter's counters in reg as "<prefix>.up_bytes"
+// and "<prefix>.down_bytes". The registry reads the very counters the
+// meter increments — no copies, no second accounting path.
+func (m *Meter) Bind(reg *telemetry.Registry, prefix string) {
+	reg.Attach(prefix+".up_bytes", &m.up)
+	reg.Attach(prefix+".down_bytes", &m.down)
 }
 
 // AddUp records client→server bytes.
@@ -406,15 +417,15 @@ func (m *Meter) AddUp(n int) { m.up.Add(int64(n)) }
 func (m *Meter) AddDown(n int) { m.down.Add(int64(n)) }
 
 // Up returns total client→server bytes.
-func (m *Meter) Up() int64 { return m.up.Load() }
+func (m *Meter) Up() int64 { return m.up.Value() }
 
 // Down returns total server→client bytes.
-func (m *Meter) Down() int64 { return m.down.Load() }
+func (m *Meter) Down() int64 { return m.down.Value() }
 
 // Reset zeroes both counters.
 func (m *Meter) Reset() {
-	m.up.Store(0)
-	m.down.Store(0)
+	m.up.Reset()
+	m.down.Reset()
 }
 
 // MB formats a byte count as mebibytes.

@@ -25,6 +25,7 @@ import (
 	"spatl/internal/plot"
 	"spatl/internal/rl"
 	"spatl/internal/stats"
+	"spatl/internal/telemetry"
 )
 
 // Scale bundles every knob that trades fidelity for runtime.
@@ -173,6 +174,18 @@ func cifarConfig(s Scale) data.SynthCIFARConfig {
 	return data.SynthCIFARConfig{Classes: s.Classes, H: s.H, W: s.W, Noise: 0.3}
 }
 
+// envTel, when set via SetTelemetry, is installed on every environment
+// the builders below construct. Experiments run sequentially in one
+// driver process, so a package-level hook (set once before the first
+// run) is race-free and avoids threading a parameter through every
+// driver signature.
+var envTel *telemetry.Set
+
+// SetTelemetry installs a telemetry set on all subsequently built
+// environments — spatl-bench's -journal passthrough. Pass nil to turn
+// it back off.
+func SetTelemetry(s *telemetry.Set) { envTel = s }
+
 // BuildCIFAREnv constructs the standard Non-IID-benchmark environment:
 // SynthCIFAR partitioned across clients by Dirichlet(α=0.5) label skew.
 func BuildCIFAREnv(s Scale, arch string, cs ClientSet, seed int64) *fl.Env {
@@ -190,7 +203,11 @@ func BuildCIFAREnv(s Scale, arch string, cs ClientSet, seed int64) *fl.Env {
 		tr, va := sub.Split(0.8)
 		cd[i] = fl.ClientData{Train: tr, Val: va}
 	}
-	return fl.NewEnv(specFor(s, arch), cfg, cd)
+	env := fl.NewEnv(specFor(s, arch), cfg, cd)
+	if envTel != nil {
+		env.EnableTelemetry(envTel)
+	}
+	return env
 }
 
 // BuildFEMNISTEnv constructs the LEAF-style environment: SynthFEMNIST
@@ -210,7 +227,11 @@ func BuildFEMNISTEnv(s Scale, cs ClientSet, seed int64) *fl.Env {
 		tr, va := sub.Split(0.8)
 		cd[i] = fl.ClientData{Train: tr, Val: va}
 	}
-	return fl.NewEnv(specFor(s, "cnn2"), cfg, cd)
+	env := fl.NewEnv(specFor(s, "cnn2"), cfg, cd)
+	if envTel != nil {
+		env.EnableTelemetry(envTel)
+	}
+	return env
 }
 
 // pretrainCache memoizes the pre-trained selection agent per scale so a

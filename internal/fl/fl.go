@@ -18,6 +18,8 @@ import (
 	"spatl/internal/data"
 	"spatl/internal/models"
 	"spatl/internal/nn"
+	"spatl/internal/telemetry"
+	"spatl/internal/tensor"
 )
 
 // Config holds the federated-learning hyperparameters shared by all
@@ -83,6 +85,24 @@ type Env struct {
 	Global  *models.SplitModel
 	Meter   *comm.Meter
 	Rng     *rand.Rand
+
+	// Tel, when set via EnableTelemetry, receives spans, metrics and
+	// journal events from the round loop and every wired algorithm core.
+	// Nil keeps the whole stack telemetry-free.
+	Tel *telemetry.Set
+}
+
+// EnableTelemetry installs a telemetry set on the environment: the
+// communication meter's counters are exposed through the registry under
+// "comm.*", the tensor worker-pool gauges under "tensor.pool.*", and
+// every Sim built afterwards wires its algorithm cores into the set.
+func (e *Env) EnableTelemetry(s *telemetry.Set) {
+	e.Tel = s
+	if s == nil || s.Reg == nil {
+		return
+	}
+	e.Meter.Bind(s.Reg, "comm")
+	tensor.BindPoolMetrics(s.Reg)
 }
 
 // ClientData is the per-client dataset pair handed to NewEnv.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"spatl/internal/telemetry"
 )
 
 // RoundRecord captures the state of the simulation after one round.
@@ -129,6 +131,7 @@ func Run(env *Env, algo Algorithm, opts RunOpts) *Result {
 			sum += acc
 		}
 		rec.AvgAcc = sum / float64(len(env.Clients))
+		env.Tel.Emit(telemetry.Eval(round, rec.AvgAcc))
 		res.Records = append(res.Records, rec)
 		if opts.Log != nil {
 			fmt.Fprintf(opts.Log, "[%s] round %3d  acc %.4f  up %.2fMB  down %.2fMB\n",

@@ -1,7 +1,10 @@
 package fl
 
 import (
+	"time"
+
 	"spatl/internal/algo"
+	"spatl/internal/telemetry"
 )
 
 // Sim is the in-process transport: it drives a transport-agnostic
@@ -12,7 +15,11 @@ import (
 //
 // Uploads are collected sequentially in selection order after the
 // parallel training phase, so aggregation stays deterministic regardless
-// of scheduling.
+// of scheduling. Journal events follow the same rule: the parallel phase
+// only measures durations into a slice; every Emit happens from this
+// sequential code, in selection order, which is what makes a seeded
+// run's journal reproducible and comparable with flnet's (see the
+// cross-transport journal test).
 type Sim struct {
 	Env      *Env
 	Agg      algo.Aggregator
@@ -22,27 +29,48 @@ type Sim struct {
 // Round runs one communication round over the selected clients.
 func (s *Sim) Round(round int, selected []int) {
 	env := s.Env
+	tel := env.Tel
 	payload := s.Agg.Broadcast(round)
+	tel.Emit(telemetry.RoundStart(round, len(selected), int64(len(payload))))
 	ups := make([][]byte, len(selected))
+	durs := make([]int64, len(selected))
 	ParallelClients(selected, func(pos int) {
 		ci := selected[pos]
 		env.Meter.AddDown(len(payload))
 		if env.ClientFailed(round, ci) {
 			return // crashed after download: upload lost
 		}
+		t0 := time.Now()
 		ups[pos] = s.Trainers[ci].LocalUpdate(round, payload)
+		durs[pos] = time.Since(t0).Nanoseconds()
 	})
+	collected := 0
 	for pos, ci := range selected {
 		if ups[pos] == nil {
+			tel.Emit(telemetry.Drop(round, ci))
 			continue
 		}
 		env.Meter.AddUp(len(ups[pos]))
+		tel.Emit(telemetry.ClientUpload(round, ci, int64(len(ups[pos])), durs[pos]))
 		s.Agg.Collect(round, uint32(ci), env.Clients[ci].Train.Len(), ups[pos])
+		collected++
 	}
+	t0 := time.Now()
 	s.Agg.FinishRound(round)
+	tel.Emit(telemetry.Aggregate(round, collected, time.Since(t0).Nanoseconds()))
+	tel.Emit(telemetry.RoundEnd(round, env.Meter.Up(), env.Meter.Down()))
 }
 
-// NewSim wires an aggregator and per-client trainers into a Sim.
+// NewSim wires an aggregator and per-client trainers into a Sim,
+// installing the environment's telemetry set (if any) on every core.
 func NewSim(env *Env, agg algo.Aggregator, trainers []algo.Trainer) *Sim {
+	if env.Tel != nil {
+		cores := make([]any, 0, len(trainers)+1)
+		cores = append(cores, agg)
+		for _, t := range trainers {
+			cores = append(cores, t)
+		}
+		algo.Wire(env.Tel, cores...)
+	}
 	return &Sim{Env: env, Agg: agg, Trainers: trainers}
 }

@@ -1,0 +1,70 @@
+package fl
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"spatl/internal/telemetry"
+)
+
+// TestTelemetryOverheadBudget enforces the <1% telemetry overhead
+// acceptance bound analytically instead of by A/B wall-clock diffing
+// (which is hopelessly flaky at test scale): run an instrumented
+// federation, count every telemetry operation it performed, price each
+// at the cost of the most expensive telemetry primitive (a journal
+// emit, which JSON-encodes a line), and require the total to stay
+// under 1% of the measured round-loop wall time.
+func TestTelemetryOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-driven budget test")
+	}
+	const rounds = 3
+	env := testEnv(t, 8, quickCfg(5))
+	env.EnableTelemetry(telemetry.New(io.Discard))
+	alg := &FedAvg{}
+	alg.Setup(env)
+	sel := make([]int, env.Cfg.NumClients)
+	for i := range sel {
+		sel[i] = i
+	}
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		alg.Round(env, r, sel)
+	}
+	wall := time.Since(start)
+
+	// Every span End and size observation lands in exactly one
+	// histogram record; every lifecycle transition is one journal emit;
+	// counter adds (byte meter, drop counters) are bounded above by two
+	// per journal event. Sum = total telemetry ops performed.
+	snap := env.Tel.Reg.Snapshot()
+	var ops int64
+	for _, h := range snap.Histograms {
+		ops += h.Count
+	}
+	events := env.Tel.Journal.Events()
+	if events == 0 {
+		t.Fatal("instrumented rounds emitted no journal events")
+	}
+	ops += events + 2*events
+
+	// Per-op price: the journal emit, the costliest primitive (counter
+	// adds and span ends are atomic ops, orders of magnitude cheaper).
+	bench := telemetry.New(io.Discard)
+	ev := telemetry.ClientUpload(1, 2, 4096, int64(time.Millisecond))
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bench.Emit(ev)
+		}
+	})
+	perOp := res.NsPerOp()
+
+	cost := time.Duration(ops * perOp)
+	budget := wall / 100
+	t.Logf("wall=%v ops=%d perOp=%dns cost=%v budget(1%%)=%v", wall, ops, perOp, cost, budget)
+	if cost > budget {
+		t.Fatalf("telemetry cost %v exceeds 1%% budget %v (wall %v, %d ops at %dns)",
+			cost, budget, wall, ops, perOp)
+	}
+}

@@ -1,6 +1,7 @@
 package flnet
 
 import (
+	"bytes"
 	"math"
 	"math/rand"
 	"sync"
@@ -12,14 +13,16 @@ import (
 	"spatl/internal/fl"
 	"spatl/internal/models"
 	"spatl/internal/rl"
+	"spatl/internal/telemetry"
 )
 
 // TestCrossTransportEquivalence is the contract of the unified algorithm
 // layer: for every algorithm, a federation simulated in-process
 // (internal/fl) and one run over loopback TCP (this package) must
-// produce bitwise-identical global models and meter identical uplink
-// payload bytes — same cores, same per-(round, client) seeds, different
-// transport.
+// produce bitwise-identical global models, meter identical uplink
+// payload bytes, and — with timestamps zeroed — emit byte-identical
+// round journals: same cores, same per-(round, client) seeds, same
+// lifecycle event sequence, different transport.
 func TestCrossTransportEquivalence(t *testing.T) {
 	const (
 		clients = 3
@@ -87,6 +90,10 @@ func TestCrossTransportEquivalence(t *testing.T) {
 				NumClients: clients, SampleRatio: 1, LocalEpochs: 1,
 				BatchSize: 16, LR: 0.02, Momentum: 0.9, Seed: seed,
 			}, cd)
+			var simJournal bytes.Buffer
+			simTel := telemetry.New(&simJournal)
+			simTel.Journal.SetZeroTime(true)
+			env.EnableTelemetry(simTel)
 			cfg := env.AlgoConfig()
 			all := make([]int, clients)
 			for i := range all {
@@ -99,8 +106,12 @@ func TestCrossTransportEquivalence(t *testing.T) {
 
 			// The identical federation over TCP: same global init, same
 			// client init (mirrors fl.NewEnv), same hyperparameters.
+			var tcpJournal bytes.Buffer
+			tcpTel := telemetry.New(&tcpJournal)
+			tcpTel.Journal.SetZeroTime(true)
 			srv, err := NewServer(ServerConfig{
 				Addr: "127.0.0.1:0", Clients: clients, Rounds: rounds, Seed: seed,
+				Tel: tcpTel,
 			})
 			if err != nil {
 				t.Fatal(err)
@@ -145,6 +156,22 @@ func TestCrossTransportEquivalence(t *testing.T) {
 			}
 			if up := env.Meter.Up(); up != srv.UpPayloadBytes {
 				t.Fatalf("uplink payload bytes differ: %d (sim) vs %d (tcp)", up, srv.UpPayloadBytes)
+			}
+
+			// The two transports must have journaled the identical event
+			// sequence — byte-for-byte, with timestamps zeroed.
+			if err := simTel.Journal.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := tcpTel.Journal.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if simTel.Journal.Events() == 0 {
+				t.Fatal("sim journal is empty")
+			}
+			if !bytes.Equal(simJournal.Bytes(), tcpJournal.Bytes()) {
+				t.Fatalf("journals diverge across transports:\nsim:\n%s\ntcp:\n%s",
+					simJournal.Bytes(), tcpJournal.Bytes())
 			}
 		})
 	}

@@ -25,6 +25,7 @@ import (
 
 	"spatl/internal/algo"
 	"spatl/internal/comm"
+	"spatl/internal/telemetry"
 )
 
 // Message types.
@@ -149,6 +150,11 @@ type ServerConfig struct {
 	// WriteTimeout bounds each broadcast write to a client. Zero waits
 	// forever.
 	WriteTimeout time.Duration
+
+	// Tel, when set, receives the server's lifecycle journal events and
+	// exposes its drop/error counters through the registry; it is also
+	// wired into the aggregator core. Nil disables telemetry.
+	Tel *telemetry.Set
 }
 
 // ClientStats is the server's per-client health record.
@@ -180,7 +186,22 @@ type Server struct {
 	DownBytes        int64
 	UpPayloadBytes   int64
 	DownPayloadBytes int64
+
+	// drops/errs aggregate the per-client counters below as telemetry
+	// counters, attached in the registry as "flnet.drops" and
+	// "flnet.errors" when telemetry is on; Drops/Errors read the same
+	// counters.
+	drops telemetry.Counter
+	errs  telemetry.Counter
 }
+
+// Drops reports total dropped contributions across all clients and
+// rounds — the same counter the registry exposes as "flnet.drops".
+func (s *Server) Drops() int64 { return s.drops.Value() }
+
+// Errors reports total protocol/I-O failures across all clients — the
+// same counter the registry exposes as "flnet.errors".
+func (s *Server) Errors() int64 { return s.errs.Value() }
 
 // NewServer starts listening (so clients can connect before Run).
 func NewServer(cfg ServerConfig) (*Server, error) {
@@ -194,7 +215,12 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{cfg: cfg, ln: ln}, nil
+	s := &Server{cfg: cfg, ln: ln}
+	if cfg.Tel != nil && cfg.Tel.Reg != nil {
+		cfg.Tel.Reg.Attach("flnet.drops", &s.drops)
+		cfg.Tel.Reg.Attach("flnet.errors", &s.errs)
+	}
+	return s, nil
 }
 
 // Addr returns the listening address (use after NewServer with ":0").
@@ -274,16 +300,29 @@ func (s *Server) Run(agg Aggregator) error {
 	// floating-point reduction — matches the in-process simulator bitwise.
 	sort.Slice(s.clients, func(i, j int) bool { return s.clients[i].id < s.clients[j].id })
 
+	tel := s.cfg.Tel
+	algo.Wire(tel, agg)
 	rng := newRng(s.cfg.Seed)
+	// Per-position outcome of a round, for journal emission in selection
+	// order after the concurrent collect.
+	const (
+		outcomeDrop      = uint8(iota) // dead, I/O error or bad frame
+		outcomeStraggler               // missed the straggler deadline
+		outcomeUpload                  // contribution aggregated
+	)
 	for round := 0; round < s.cfg.Rounds; round++ {
 		payload := agg.Broadcast(round)
 		selected := samplePerm(rng, len(s.clients), s.cfg.PerRound)
+		tel.Emit(telemetry.RoundStart(round, len(selected), int64(len(payload))))
+		roundStart := time.Now()
 		// Broadcast to the sampled clients that are still alive.
 		awaiting := make([]bool, len(selected))
+		outcomes := make([]uint8, len(selected))
 		for pos, ci := range selected {
 			c := s.clients[ci]
 			if !c.alive {
 				c.drops++
+				s.drops.Inc()
 				continue
 			}
 			if s.cfg.WriteTimeout > 0 {
@@ -293,6 +332,8 @@ func (s *Server) Run(agg Aggregator) error {
 			if err := WriteFrame(c.conn, f); err != nil {
 				c.errs++
 				c.drops++
+				s.errs.Inc()
+				s.drops.Inc()
 				c.markDead()
 				continue
 			}
@@ -324,39 +365,58 @@ func (s *Server) Run(agg Aggregator) error {
 			}(pos, c)
 		}
 		frames := make([]*Frame, len(selected))
+		recvNS := make([]int64, len(selected))
 		for ; inflight > 0; inflight-- {
 			r := <-results
 			c := s.clients[selected[r.idx]]
 			switch {
 			case r.err != nil:
 				var ne net.Error
-				if !(errors.As(r.err, &ne) && ne.Timeout()) {
+				if errors.As(r.err, &ne) && ne.Timeout() {
+					outcomes[r.idx] = outcomeStraggler
+				} else {
 					c.errs++ // real I/O failure, not just a straggler
+					s.errs.Inc()
 				}
 				c.drops++
+				s.drops.Inc()
 				c.markDead()
 			case r.frame.Type != MsgUpdate || int(r.frame.Round) != round:
 				c.errs++
 				c.drops++
+				s.errs.Inc()
+				s.drops.Inc()
 				c.markDead()
 				r.frame.Release()
 			default:
 				f := r.frame
 				frames[r.idx] = &f
+				recvNS[r.idx] = time.Since(roundStart).Nanoseconds()
+				outcomes[r.idx] = outcomeUpload
 			}
 		}
+		collected := 0
 		for pos, ci := range selected {
-			if frames[pos] == nil {
-				continue
-			}
 			c := s.clients[ci]
-			c.conn.SetReadDeadline(time.Time{})
-			s.UpBytes += int64(frameHeaderLen + len(frames[pos].Payload))
-			s.UpPayloadBytes += int64(len(frames[pos].Payload))
-			agg.Collect(round, c.id, c.trainSize, frames[pos].Payload)
-			frames[pos].Release()
+			switch outcomes[pos] {
+			case outcomeUpload:
+				c.conn.SetReadDeadline(time.Time{})
+				s.UpBytes += int64(frameHeaderLen + len(frames[pos].Payload))
+				s.UpPayloadBytes += int64(len(frames[pos].Payload))
+				tel.Emit(telemetry.ClientUpload(round, int(c.id), int64(len(frames[pos].Payload)), recvNS[pos]))
+				agg.Collect(round, c.id, c.trainSize, frames[pos].Payload)
+				frames[pos].Release()
+				collected++
+			case outcomeStraggler:
+				tel.Emit(telemetry.Straggler(round, int(c.id)))
+			default:
+				tel.Emit(telemetry.Drop(round, int(c.id)))
+			}
 		}
+		t0 := time.Now()
 		agg.FinishRound(round)
+		tel.Emit(telemetry.Aggregate(round, collected, time.Since(t0).Nanoseconds()))
+		tel.Emit(telemetry.RoundEnd(round, s.UpPayloadBytes, s.DownPayloadBytes))
 
 		anyAlive := false
 		for _, c := range s.clients {
@@ -396,6 +456,12 @@ type ClientOptions struct {
 	DialTimeout time.Duration
 	// HelloTimeout bounds writing the registration frame (default 30s).
 	HelloTimeout time.Duration
+
+	// Tel, when set, receives this client's lifecycle events
+	// (client_train, client_upload, client_apply) and is wired into the
+	// trainer core. Each client owns its set — client events never mix
+	// into the server journal.
+	Tel *telemetry.Set
 }
 
 // RunClient connects to a federation server, participates in every round
@@ -425,6 +491,8 @@ func RunClientOpts(addr string, clientID uint32, trainSize int, tr Trainer, opts
 		return err
 	}
 	conn.SetWriteDeadline(time.Time{})
+	tel := opts.Tel
+	algo.Wire(tel, tr)
 	for {
 		f, err := ReadFrame(conn)
 		if err != nil {
@@ -432,13 +500,18 @@ func RunClientOpts(addr string, clientID uint32, trainSize int, tr Trainer, opts
 		}
 		switch f.Type {
 		case MsgRoundStart:
-			up := tr.LocalUpdate(int(f.Round), f.Payload)
+			round := int(f.Round)
+			t0 := time.Now()
+			up := tr.LocalUpdate(round, f.Payload)
+			tel.Emit(telemetry.ClientTrain(round, int(clientID), time.Since(t0).Nanoseconds()))
 			f.Release()
 			if err := WriteFrame(conn, Frame{Type: MsgUpdate, Client: clientID, Round: f.Round, Payload: up}); err != nil {
 				return err
 			}
+			tel.Emit(telemetry.ClientUpload(round, int(clientID), int64(len(up)), time.Since(t0).Nanoseconds()))
 		case MsgDone:
 			tr.Finish(f.Payload)
+			tel.Emit(telemetry.ClientApply(int(f.Round), int(clientID), int64(len(f.Payload))))
 			f.Release()
 			return nil
 		default:

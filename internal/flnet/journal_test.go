@@ -1,0 +1,192 @@
+package flnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+
+	"spatl/internal/algo"
+	"spatl/internal/data"
+	"spatl/internal/fl"
+	"spatl/internal/models"
+	"spatl/internal/telemetry"
+)
+
+// runClientRounds is a client that registers, participates in exactly
+// nRounds rounds, then closes its connection — simulating a node that
+// crashes mid-federation.
+func runClientRounds(t *testing.T, addr string, id uint32, trainSize int, tr Trainer, nRounds int) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	defer conn.Close()
+	var hello [4]byte
+	binary.LittleEndian.PutUint32(hello[:], uint32(trainSize))
+	if err := WriteFrame(conn, Frame{Type: MsgHello, Client: id, Payload: hello[:]}); err != nil {
+		t.Error(err)
+		return
+	}
+	for r := 0; r < nRounds; r++ {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if f.Type != MsgRoundStart {
+			f.Release()
+			return
+		}
+		up := tr.LocalUpdate(int(f.Round), f.Payload)
+		round := f.Round
+		f.Release()
+		if err := WriteFrame(conn, Frame{Type: MsgUpdate, Client: id, Round: round, Payload: up}); err != nil {
+			t.Error(err)
+			return
+		}
+	}
+}
+
+// runJournaledFederation executes one seeded FedAvg federation over
+// loopback TCP with a zero-time journal attached to the server and
+// returns the journal bytes.
+func runJournaledFederation(t *testing.T, seed int64, clients, rounds int) []byte {
+	t.Helper()
+	const classes = 4
+	spec := models.Spec{Arch: "mlp", Classes: classes, InC: 3, H: 8, W: 8, Width: 0.5}
+	ds := data.SynthCIFAR(data.SynthCIFARConfig{Classes: classes, H: 8, W: 8, Noise: 0.25}, clients*60, 1, 2)
+	parts := data.DirichletPartition(ds.Y, classes, clients, 0.5, 10, rand.New(rand.NewSource(3)))
+	cd := make([]fl.ClientData, clients)
+	for i := range cd {
+		cd[i].Train, cd[i].Val = ds.Subset(parts[i]).Split(0.8)
+	}
+
+	var journal bytes.Buffer
+	tel := telemetry.New(&journal)
+	tel.Journal.SetZeroTime(true)
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", Clients: clients, Rounds: rounds, Seed: seed,
+		Tel: tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := algo.Config{NumClients: clients, LocalEpochs: 1, BatchSize: 16, LR: 0.02, Momentum: 0.9, Seed: seed}
+	global := models.Build(spec, seed)
+	globalInit := global.State(models.ScopeAll)
+	serverErr := make(chan error, 1)
+	go func() { serverErr <- srv.Run(algo.NewFedAvgAggregator(global, cfg)) }()
+
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		m := models.Build(spec, seed+int64(1000+i))
+		m.SetState(models.ScopeAll, globalInit)
+		tr := algo.NewFedAvgTrainer(&algo.Client{ID: i, Train: cd[i].Train, Val: cd[i].Val, Model: m}, cfg)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := RunClient(srv.Addr(), uint32(i), cd[i].Train.Len(), tr); err != nil {
+				t.Errorf("client %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := <-serverErr; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	if err := tel.Journal.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return journal.Bytes()
+}
+
+// TestJournalDeterministicAcrossRuns: two identical seeded 3-round TCP
+// federations must emit byte-identical zero-time journals — TCP
+// scheduling, goroutine interleaving and connection order must not leak
+// into the event sequence.
+func TestJournalDeterministicAcrossRuns(t *testing.T) {
+	a := runJournaledFederation(t, 97, 3, 3)
+	b := runJournaledFederation(t, 97, 3, 3)
+	if len(a) == 0 {
+		t.Fatal("journal is empty")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("seeded journals differ across runs:\nrun1:\n%s\nrun2:\n%s", a, b)
+	}
+	// 3 rounds × (round_start + 3 uploads + aggregate + round_end).
+	wantLines := 3 * (1 + 3 + 1 + 1)
+	if got := bytes.Count(a, []byte("\n")); got != wantLines {
+		t.Fatalf("journal has %d lines, want %d:\n%s", got, wantLines, a)
+	}
+}
+
+// TestServerDropCounters: a client that dies mid-federation shows up in
+// Drops()/Errors(), in the registry counters they alias, and as
+// drop events in the journal.
+func TestServerDropCounters(t *testing.T) {
+	const clients, rounds, classes = 2, 3, 4
+	spec := models.Spec{Arch: "mlp", Classes: classes, InC: 3, H: 8, W: 8, Width: 0.5}
+	ds := data.SynthCIFAR(data.SynthCIFARConfig{Classes: classes, H: 8, W: 8, Noise: 0.25}, clients*60, 1, 2)
+	parts := data.DirichletPartition(ds.Y, classes, clients, 0.5, 10, rand.New(rand.NewSource(3)))
+
+	var journal bytes.Buffer
+	tel := telemetry.New(&journal)
+	tel.Journal.SetZeroTime(true)
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", Clients: clients, Rounds: rounds, Seed: 7,
+		Tel: tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := algo.Config{NumClients: clients, LocalEpochs: 1, BatchSize: 16, LR: 0.02, Momentum: 0.9, Seed: 7}
+	global := models.Build(spec, 7)
+	globalInit := global.State(models.ScopeAll)
+	serverErr := make(chan error, 1)
+	go func() { serverErr <- srv.Run(algo.NewFedAvgAggregator(global, cfg)) }()
+
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		m := models.Build(spec, 7+int64(1000+i))
+		m.SetState(models.ScopeAll, globalInit)
+		tr, va := ds.Subset(parts[i]).Split(0.8)
+		trainer := algo.NewFedAvgTrainer(&algo.Client{ID: i, Train: tr, Val: va, Model: m}, cfg)
+		wg.Add(1)
+		if i == 1 {
+			// Client 1 participates in round 0 only, then vanishes.
+			go func() {
+				defer wg.Done()
+				runClientRounds(t, srv.Addr(), 1, tr.Len(), trainer, 1)
+			}()
+			continue
+		}
+		go func(i int) {
+			defer wg.Done()
+			if err := RunClient(srv.Addr(), uint32(i), tr.Len(), trainer); err != nil {
+				t.Errorf("client %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := <-serverErr; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	if srv.Drops() == 0 {
+		t.Fatal("expected drops after a client vanished")
+	}
+	snap := tel.Reg.Snapshot()
+	if snap.Counters["flnet.drops"] != srv.Drops() {
+		t.Fatalf("registry sees %d drops, accessor %d", snap.Counters["flnet.drops"], srv.Drops())
+	}
+	if snap.Counters["flnet.errors"] != srv.Errors() {
+		t.Fatalf("registry sees %d errors, accessor %d", snap.Counters["flnet.errors"], srv.Errors())
+	}
+	if !bytes.Contains(journal.Bytes(), []byte(`"ev":"drop"`)) {
+		t.Fatalf("journal records no drop events:\n%s", journal.Bytes())
+	}
+}

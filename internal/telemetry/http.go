@@ -1,0 +1,37 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves an indented JSON snapshot of reg — the expvar-style
+// document: {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+func Handler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+}
+
+// NewMux builds the diagnostics mux served behind -telemetry-addr:
+//
+//	/metrics       JSON registry snapshot
+//	/healthz       liveness probe
+//	/debug/pprof/  the standard Go profiler endpoints
+//
+// The pprof handlers are mounted explicitly so nothing leaks onto
+// http.DefaultServeMux.
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(reg))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestMuxMetricsAndHealth(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("rounds").Add(7)
+	reg.Gauge("clients").Set(3)
+	reg.Histogram("lat.ns", []int64{10, 100}).Observe(42)
+	mux := NewMux(reg)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("/metrics is not a Snapshot document: %v\n%s", err, rec.Body.Bytes())
+	}
+	if snap.Counters["rounds"] != 7 || snap.Gauges["clients"] != 3 {
+		t.Fatalf("snapshot over HTTP lost values: %+v", snap)
+	}
+	if h := snap.Histograms["lat.ns"]; h.Count != 1 || h.Sum != 42 {
+		t.Fatalf("histogram over HTTP lost records: %+v", h)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 || rec.Body.String() != "ok\n" {
+		t.Fatalf("/healthz: %d %q", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/pprof/ status %d", rec.Code)
+	}
+}

@@ -1,0 +1,349 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use, so counters can be embedded in other structs (see
+// comm.Meter) and attached to a registry afterwards. All methods are
+// safe on a nil receiver.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() {
+	if c != nil {
+		c.v.Store(0)
+	}
+}
+
+// Gauge is an atomic instantaneous value. Zero value ready; nil-safe.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adds n (use for up/down occupancy gauges).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram over int64 observations
+// (durations in nanoseconds, sizes in bytes). Bucket i counts
+// observations v ≤ bounds[i]; one extra overflow bucket counts the
+// rest. Recording is lock-free: a linear scan over the (small, fixed)
+// bounds plus three atomic adds.
+type Histogram struct {
+	bounds  []int64
+	buckets []atomic.Int64 // len(bounds)+1, last = overflow
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// NewHistogram builds a histogram with the given ascending bucket
+// upper bounds. The bounds slice is copied.
+func NewHistogram(bounds []int64) *Histogram {
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			panic("telemetry: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value. Nil-safe.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// reset zeroes all buckets and totals.
+func (h *Histogram) reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+}
+
+// snapshot copies the histogram state. Under concurrent recording the
+// per-bucket counts, count and sum are each atomically read but may be
+// mutually inconsistent by the few records in flight — snapshots are a
+// monitoring view, not a barrier.
+func (h *Histogram) snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.buckets)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistSnapshot is the exported state of one histogram. Counts has one
+// more entry than Bounds (the overflow bucket).
+type HistSnapshot struct {
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+}
+
+// Snapshot is a point-in-time view of a registry. encoding/json
+// marshals map keys sorted, so serialized snapshots are deterministic
+// for deterministic metric values.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]int64        `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Registry is a named-metric table. Registration and name lookup take
+// a read-write mutex (rare, and read-mostly); recording on the handles
+// a lookup returns is lock-free. Hot paths should resolve handles once
+// and hold them.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	funcs    map[string]func() int64
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		funcs:    map[string]func() int64{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+// Nil-safe: a nil registry returns a nil (still usable) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Attach adopts an externally owned counter under name, so metrics
+// that live inside other structs (comm.Meter, flnet.Server) are read
+// through the registry like any other — one way to read every counter.
+// A previous metric under the same name is replaced.
+func (r *Registry) Attach(name string, c *Counter) {
+	if r == nil || c == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] = c
+	r.mu.Unlock()
+}
+
+// AttachGauge adopts an externally owned gauge under name.
+func (r *Registry) AttachGauge(name string, g *Gauge) {
+	if r == nil || g == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = g
+	r.mu.Unlock()
+}
+
+// Func registers a callback gauge: fn is evaluated at snapshot time
+// and reported alongside the gauges, at zero hot-path cost to the
+// instrumented code.
+func (r *Registry) Func(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.funcs[name] = fn
+	r.mu.Unlock()
+}
+
+// Snapshot captures every metric. Callback gauges are evaluated here.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, fn := range r.funcs {
+		s.Gauges[name] = fn()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// Reset zeroes every counter, gauge and histogram (callback gauges,
+// which own no state here, are untouched). Attached metrics are zeroed
+// too — they are the same objects their owners read.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.counters {
+		c.Reset()
+	}
+	for _, g := range r.gauges {
+		g.Set(0)
+	}
+	for _, h := range r.hists {
+		h.reset()
+	}
+}
+
+// WriteJSON writes an indented JSON snapshot — the expvar-style
+// document served at /metrics. Deterministic: map keys sort.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	_, err = w.Write(out)
+	return err
+}

@@ -1,0 +1,206 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketEdges pins the bucket boundary convention: bucket
+// i counts v ≤ bounds[i], the last bucket overflows.
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{-5, 0}, {0, 0}, {9, 0}, {10, 0}, // at the bound → lower bucket
+		{11, 1}, {100, 1},
+		{101, 2}, {1000, 2},
+		{1001, 3}, {1 << 40, 3}, // overflow
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	s := h.snapshot()
+	want := []int64{4, 2, 2, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d: got %d want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != int64(len(cases)) {
+		t.Errorf("count %d want %d", s.Count, len(cases))
+	}
+	var sum int64
+	for _, c := range cases {
+		sum += c.v
+	}
+	if s.Sum != sum {
+		t.Errorf("sum %d want %d", s.Sum, sum)
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-ascending bounds")
+		}
+	}()
+	NewHistogram([]int64{10, 10})
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x")
+	c1.Add(3)
+	if c2 := r.Counter("x"); c2 != c1 || c2.Value() != 3 {
+		t.Fatal("Counter did not return the same handle")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	if r.Gauge("g").Value() != 7 {
+		t.Fatal("Gauge did not return the same handle")
+	}
+	h := r.Histogram("h", []int64{1, 2})
+	h.Observe(1)
+	if r.Histogram("h", []int64{9}).Count() != 1 {
+		t.Fatal("Histogram did not return the same handle")
+	}
+}
+
+// TestRegistryAttach verifies the one-way-to-read-counters contract:
+// an attached counter and the registry view are the same object.
+func TestRegistryAttach(t *testing.T) {
+	r := NewRegistry()
+	var owned Counter
+	r.Attach("ext.count", &owned)
+	owned.Add(5)
+	if got := r.Snapshot().Counters["ext.count"]; got != 5 {
+		t.Fatalf("snapshot sees %d, want 5", got)
+	}
+	r.Counter("ext.count").Add(2)
+	if owned.Value() != 7 {
+		t.Fatalf("owner sees %d, want 7", owned.Value())
+	}
+	r.Reset()
+	if owned.Value() != 0 {
+		t.Fatalf("reset did not zero attached counter: %d", owned.Value())
+	}
+}
+
+func TestRegistryFuncGauge(t *testing.T) {
+	r := NewRegistry()
+	v := int64(41)
+	r.Func("fn", func() int64 { return v })
+	v++
+	if got := r.Snapshot().Gauges["fn"]; got != 42 {
+		t.Fatalf("func gauge %d, want 42", got)
+	}
+}
+
+// TestSnapshotDeterministicJSON asserts two identical registries
+// serialize byte-identically (map keys sort under encoding/json).
+func TestSnapshotDeterministicJSON(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		for _, n := range []string{"z.last", "a.first", "m.mid"} {
+			r.Counter(n).Add(int64(len(n)))
+			r.Gauge("g." + n).Set(9)
+			r.Histogram("h."+n, []int64{1, 10}).Observe(5)
+		}
+		return r
+	}
+	var b1, b2 bytes.Buffer
+	if err := build().WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("snapshots differ:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+	var s Snapshot
+	if err := json.Unmarshal(b1.Bytes(), &s); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+}
+
+// TestRegistryRaceHammer hammers every metric kind from many
+// goroutines while snapshots and resets run concurrently; run under
+// -race this is the lock-freedom proof, and after the joins the totals
+// must be exact.
+func TestRegistryRaceHammer(t *testing.T) {
+	r := NewRegistry()
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent reader
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Snapshot()
+			}
+		}
+	}()
+	var hw sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		hw.Add(1)
+		go func(w int) {
+			defer hw.Done()
+			for i := 0; i < perW; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", DurationBounds).Observe(int64(i))
+			}
+		}(w)
+	}
+	hw.Wait()
+	close(stop)
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != workers*perW {
+		t.Fatalf("counter %d, want %d", got, workers*perW)
+	}
+	if got := r.Gauge("g").Value(); got != workers*perW {
+		t.Fatalf("gauge %d, want %d", got, workers*perW)
+	}
+	if got := r.Histogram("h", DurationBounds).Count(); got != workers*perW {
+		t.Fatalf("histogram count %d, want %d", got, workers*perW)
+	}
+}
+
+// TestNilSafety: every surface must be inert, not panic, when off.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(1)
+	r.Histogram("x", DurationBounds).Observe(1)
+	r.Func("x", func() int64 { return 0 })
+	r.Reset()
+	_ = r.Snapshot()
+
+	var s *Set
+	s.Span(1, "x").Child("y").End()
+	s.Emit(RoundStart(0, 1, 2))
+	s.Counter("x").Inc()
+	s.Size("x", 9)
+
+	var tr *Tracer
+	tr.Start(1, "x").End()
+
+	var j *Journal
+	j.Emit(RoundEnd(0, 1, 2))
+	j.SetZeroTime(true)
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+// Package telemetry is the repo's zero-dependency observability
+// substrate: a concurrency-safe metrics registry (atomic counters,
+// gauges and fixed-bucket histograms with lock-free recording),
+// lightweight span tracing cheap enough to leave on in benchmarks, and
+// a JSONL round journal that emits one structured event per federated
+// lifecycle transition.
+//
+// The three surfaces are bundled in a Set, which every instrumented
+// layer accepts; a nil *Set (or nil field) disables that surface with
+// nothing but a nil check on the hot path, so un-telemetered runs pay
+// essentially nothing.
+//
+// Determinism rule: telemetry observes, it never participates.
+// Recording a metric, opening a span or emitting an event must not
+// change any numeric result or reorder any lifecycle transition, and
+// every journal emission happens from sequential transport code so the
+// event sequence of a seeded run is reproducible byte-for-byte once
+// timestamps are zeroed (see Journal.SetZeroTime).
+package telemetry
+
+import "io"
+
+// DurationBounds are the default histogram bucket upper bounds for
+// span durations, in nanoseconds: 1µs to 100s in decades.
+var DurationBounds = []int64{
+	1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11,
+}
+
+// SizeBounds are the default histogram bucket upper bounds for payload
+// sizes, in bytes: 64B to 64MiB in multiples of four.
+var SizeBounds = []int64{
+	64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10,
+	1 << 20, 4 << 20, 16 << 20, 64 << 20,
+}
+
+// Set bundles the three telemetry surfaces handed to instrumented
+// layers. All methods are safe on a nil receiver and on nil fields, so
+// callers thread a Set unconditionally and pay one branch when
+// telemetry is off.
+type Set struct {
+	Reg     *Registry
+	Trace   *Tracer
+	Journal *Journal
+}
+
+// New builds a Set with a fresh registry and tracer. When journal is
+// non-nil a round journal writing JSONL to it is attached and its
+// event counter bound into the registry.
+func New(journal io.Writer) *Set {
+	reg := NewRegistry()
+	s := &Set{Reg: reg, Trace: NewTracer(reg)}
+	if journal != nil {
+		s.Journal = NewJournal(journal)
+		s.Journal.Bind(reg)
+	}
+	return s
+}
+
+// Span starts a span under the given trace ID (conventionally
+// round+1, so round 0 is distinguishable from "no trace"). Nil-safe.
+func (s *Set) Span(trace uint64, name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.Trace.Start(trace, name)
+}
+
+// Emit writes one event to the round journal, if one is attached.
+func (s *Set) Emit(e Event) {
+	if s == nil {
+		return
+	}
+	s.Journal.Emit(e)
+}
+
+// Counter returns the named registry counter (nil when the set or its
+// registry is nil — the returned nil counter is itself safe to use).
+func (s *Set) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	return s.Reg.Counter(name)
+}
+
+// Size records a payload size into the named histogram (SizeBounds
+// buckets). Nil-safe.
+func (s *Set) Size(name string, n int64) {
+	if s == nil || s.Reg == nil {
+		return
+	}
+	s.Reg.Histogram(name, SizeBounds).Observe(n)
+}

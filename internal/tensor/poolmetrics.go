@@ -1,0 +1,17 @@
+package tensor
+
+import "spatl/internal/telemetry"
+
+// BindPoolMetrics exposes worker-pool utilization through reg as func
+// gauges. The callbacks read the pool's own atomics at snapshot time,
+// so binding costs the dispatch path nothing.
+func BindPoolMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Func("tensor.pool.workers", poolWorkers.Load)
+	reg.Func("tensor.pool.jobs", poolJobCount.Load)
+	reg.Func("tensor.pool.inline", poolInline.Load)
+	reg.Func("tensor.pool.chunks", poolChunks.Load)
+	reg.Func("tensor.pool.busy", poolBusy.Load)
+}

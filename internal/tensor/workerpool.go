@@ -53,7 +53,37 @@ func (j *poolJob) run() {
 var (
 	poolOnce sync.Once
 	poolJobs chan *poolJob
+
+	// Pool instrumentation: bumped on the dispatch path with plain
+	// atomics (no registry lookups); exported through PoolStats and,
+	// via BindPoolMetrics, as func gauges evaluated only at snapshot
+	// time — the hot path never pays for an unread metric.
+	poolWorkers  atomic.Int64 // workers started (0 until first pooled job)
+	poolJobCount atomic.Int64 // Parallel calls dispatched to the pool
+	poolInline   atomic.Int64 // Parallel calls run entirely inline
+	poolChunks   atomic.Int64 // chunks executed across all jobs
+	poolBusy     atomic.Int64 // workers currently executing chunks
 )
+
+// PoolStats is a point-in-time view of worker-pool utilization.
+type PoolStats struct {
+	Workers int64 // pool size (0 if the pool has not started)
+	Jobs    int64 // Parallel calls dispatched to the pool
+	Inline  int64 // Parallel calls that ran inline (n or GOMAXPROCS ≤ 1)
+	Chunks  int64 // total chunks executed
+	Busy    int64 // workers busy right now
+}
+
+// ReadPoolStats returns current pool utilization counters.
+func ReadPoolStats() PoolStats {
+	return PoolStats{
+		Workers: poolWorkers.Load(),
+		Jobs:    poolJobCount.Load(),
+		Inline:  poolInline.Load(),
+		Chunks:  poolChunks.Load(),
+		Busy:    poolBusy.Load(),
+	}
+}
 
 // ensurePool starts the persistent workers. The queue is buffered so
 // callers never block handing out work: if the queue is full, every worker
@@ -65,10 +95,13 @@ func ensurePool() {
 			nw = 1
 		}
 		poolJobs = make(chan *poolJob, 4*nw)
+		poolWorkers.Store(int64(nw))
 		for i := 0; i < nw; i++ {
 			go func() {
 				for j := range poolJobs {
+					poolBusy.Add(1)
 					j.run()
+					poolBusy.Add(-1)
 				}
 			}()
 		}
@@ -89,12 +122,15 @@ func Parallel(n int, fn func(lo, hi int)) {
 		workers = n
 	}
 	if workers <= 1 {
+		poolInline.Add(1)
 		fn(0, n)
 		return
 	}
 	ensurePool()
 	chunk := (n + workers - 1) / workers
 	nchunks := (n + chunk - 1) / chunk
+	poolJobCount.Add(1)
+	poolChunks.Add(int64(nchunks))
 	j := &poolJob{fn: fn, n: n, chunk: chunk}
 	j.wg.Add(nchunks)
 	// Wake at most nchunks-1 helpers; the caller handles the rest itself.

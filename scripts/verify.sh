@@ -1,17 +1,23 @@
 #!/usr/bin/env bash
-# verify.sh — the repo's two verification tiers in one command.
+# verify.sh — the repo's verification tiers in one command.
 #
 #   ./scripts/verify.sh          tier-1 only (what CI gates on)
 #   ./scripts/verify.sh --hot    tier-1 plus the hot-path battery:
 #                                vet and the -race hammer over the
 #                                packages with hand-written kernels and
 #                                lock-free aggregation paths
+#   ./scripts/verify.sh --obs    tier-1 plus the observability battery:
+#                                the -race hammer over the telemetry
+#                                subsystem and the TCP transport that
+#                                journals through it, plus the analytic
+#                                <1% telemetry-overhead budget test
 #
 # Tier-1 must pass on every commit. The hot-path battery is mandatory
 # for changes touching internal/tensor (SIMD kernels, packed GEMM,
 # scratch pools), internal/nn (fused lowering, panel caches),
 # internal/algo (parallel deterministic reduction) or internal/flnet
-# (TCP transport rounds).
+# (TCP transport rounds). The observability battery is mandatory for
+# changes touching internal/telemetry or any code that records into it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,6 +31,13 @@ if [[ "${1:-}" == "--hot" ]]; then
     go vet ./...
     echo "== hot path: race hammer =="
     go test -race ./internal/tensor ./internal/nn ./internal/algo ./internal/flnet
+fi
+
+if [[ "${1:-}" == "--obs" ]]; then
+    echo "== observability: race hammer =="
+    go test -race ./internal/telemetry ./internal/flnet
+    echo "== observability: overhead budget =="
+    go test -run TestTelemetryOverheadBudget -v ./internal/fl
 fi
 
 echo "verify: OK"
