@@ -1,0 +1,247 @@
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"spatl/internal/algo"
+	"spatl/internal/comm"
+	"spatl/internal/flnet"
+	"spatl/internal/models"
+)
+
+// The federation-scale benchmark measures what the aggregation tree is
+// for: root ingest throughput, in client uploads per second, when the
+// root talks to every client directly (flat) versus through edge
+// aggregators that pool a whole shard's uploads into one frame (tree).
+// The model is deliberately tiny — at massive scale the root's cost is
+// per-connection bookkeeping (goroutines, deadlines, frame reads), not
+// arithmetic, and SPATL's salient-parameter uploads are small anyway.
+//
+// The flat baseline runs fewer clients than the tree (real sockets; two
+// file descriptors per loopback connection, and the fd budget caps out
+// well before 10k conns) and the comparison is rate against rate, which
+// if anything flatters flat: its hello phase amortizes over more rounds
+// per connection.
+
+// fedResult is one topology's measurement in the -fed report.
+type fedResult struct {
+	Clients       int     `json:"clients"`
+	Conns         int     `json:"conns"` // root-facing connections
+	Rounds        int     `json:"rounds"`
+	PayloadBytes  int     `json:"payload_bytes"`
+	Seconds       float64 `json:"seconds"`
+	ClientsPerSec float64 `json:"clients_per_sec"`
+	SpeedupVsFlat float64 `json:"speedup_vs_flat,omitempty"`
+}
+
+// fedSpec is the benchmark model: small enough that per-upload decode
+// does not drown the per-connection costs under measurement.
+var fedSpec = models.Spec{Arch: "mlp", Classes: 2, InC: 1, H: 4, W: 4, Width: 0.01}
+
+func fedTrainSize(id uint32) int { return 50 + int(id)%101 }
+
+// cannedTrainer uploads a fixed pre-encoded payload: zero local compute,
+// so elapsed time is the transport and aggregation machinery.
+type cannedTrainer struct{ up []byte }
+
+func (c *cannedTrainer) LocalUpdate(round int, payload []byte) []byte { return c.up }
+func (c *cannedTrainer) Finish(payload []byte)                        {}
+
+// runFedFlat federates n canned clients against the flat server and
+// returns the measurement.
+func runFedFlat(n, rounds int, canned []byte) (*fedResult, error) {
+	srv, err := flnet.NewServer(flnet.ServerConfig{
+		Addr: "127.0.0.1:0", Clients: n, Rounds: rounds, Seed: 7,
+	})
+	if err != nil {
+		return nil, err
+	}
+	agg := algo.NewFedAvgAggregator(models.Build(fedSpec, 1), algo.Config{NumClients: n, Seed: 7})
+
+	start := time.Now()
+	serverErr := make(chan error, 1)
+	go func() { serverErr <- srv.Run(agg) }()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = flnet.RunClient(srv.Addr(), uint32(i), fedTrainSize(uint32(i)), &cannedTrainer{up: canned})
+		}(i)
+	}
+	wg.Wait()
+	if err := <-serverErr; err != nil {
+		return nil, fmt.Errorf("flat root: %w", err)
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("flat client %d: %w", i, err)
+		}
+	}
+	sec := time.Since(start).Seconds()
+	return &fedResult{
+		Clients: n, Conns: n, Rounds: rounds, PayloadBytes: len(canned),
+		Seconds: sec, ClientsPerSec: float64(n*rounds) / sec,
+	}, nil
+}
+
+// runFedEdge speaks the edge protocol for one shard: register the
+// shard's clients, then answer every round broadcast with the pooled
+// payload of their canned uploads — what a real Edge forwards after its
+// clients report, minus the second tier of sockets the benchmark is not
+// measuring.
+func runFedEdge(rootAddr string, shard uint32, lo, hi int, canned []byte) error {
+	conn, err := net.Dial("tcp", rootAddr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	hello := make([]byte, 4+8*(hi-lo))
+	binary.LittleEndian.PutUint32(hello[:4], uint32(hi-lo))
+	for i := lo; i < hi; i++ {
+		off := 4 + 8*(i-lo)
+		binary.LittleEndian.PutUint32(hello[off:off+4], uint32(i))
+		binary.LittleEndian.PutUint32(hello[off+4:off+8], uint32(fedTrainSize(uint32(i))))
+	}
+	if err := flnet.WriteFrame(conn, flnet.Frame{Type: flnet.MsgEdgeHello, Client: shard, Payload: hello}); err != nil {
+		return err
+	}
+	var sb algo.ShardBuffer
+	for {
+		f, err := flnet.ReadFrame(conn)
+		if err != nil {
+			return err
+		}
+		switch f.Type {
+		case flnet.MsgRoundStart:
+			parts, err := comm.SplitPayloads(f.Payload)
+			if err != nil || len(parts) != 2 {
+				f.Release()
+				return fmt.Errorf("edge %d: bad round broadcast", shard)
+			}
+			sel := parts[0]
+			sb.Reset()
+			for off := 0; off+4 <= len(sel); off += 4 {
+				id := binary.LittleEndian.Uint32(sel[off : off+4])
+				sb.Add(id, fedTrainSize(id), canned)
+			}
+			out := flnet.Frame{Type: flnet.MsgShardUpdate, Client: shard, Round: f.Round, Payload: sb.Payload()}
+			f.Release()
+			if err := flnet.WriteFrame(conn, out); err != nil {
+				return err
+			}
+		case flnet.MsgDone:
+			f.Release()
+			return nil
+		default:
+			f.Release()
+			return fmt.Errorf("edge %d: unexpected frame type %d", shard, f.Type)
+		}
+	}
+}
+
+// runFedTree federates n clients behind `shards` pooling edges and
+// returns the measurement.
+func runFedTree(n, shards, rounds int, canned []byte) (*fedResult, error) {
+	root, err := flnet.NewTreeServer(flnet.TreeServerConfig{
+		Addr: "127.0.0.1:0", Shards: shards, Clients: n, Rounds: rounds, Seed: 7,
+	})
+	if err != nil {
+		return nil, err
+	}
+	agg := algo.NewFedAvgAggregator(models.Build(fedSpec, 1), algo.Config{NumClients: n, Seed: 7})
+
+	start := time.Now()
+	rootErr := make(chan error, 1)
+	go func() { rootErr <- root.Run(agg) }()
+	var wg sync.WaitGroup
+	errs := make([]error, shards)
+	for sh := 0; sh < shards; sh++ {
+		lo, hi := algo.ShardRange(sh, n, shards)
+		wg.Add(1)
+		go func(sh, lo, hi int) {
+			defer wg.Done()
+			errs[sh] = runFedEdge(root.Addr(), uint32(sh), lo, hi, canned)
+		}(sh, lo, hi)
+	}
+	wg.Wait()
+	if err := <-rootErr; err != nil {
+		return nil, fmt.Errorf("tree root: %w", err)
+	}
+	for sh, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("edge %d: %w", sh, err)
+		}
+	}
+	sec := time.Since(start).Seconds()
+	return &fedResult{
+		Clients: n, Conns: shards, Rounds: rounds, PayloadBytes: len(canned),
+		Seconds: sec, ClientsPerSec: float64(n*rounds) / sec,
+	}, nil
+}
+
+// runFed measures flat vs tree root ingest and merges a "federation"
+// section into the JSON report at jsonPath ("" = stdout only).
+func runFed(jsonPath string) error {
+	const (
+		flatClients = 3000 // 2 fds per loopback conn; stay far under the fd cap
+		treeClients = 10000
+		shards      = 16
+		rounds      = 6
+	)
+	canned := comm.EncodeDense(models.Build(fedSpec, 1).State(models.ScopeAll))
+
+	fmt.Fprintf(os.Stderr, "fed: flat root, %d clients x %d rounds...\n", flatClients, rounds)
+	flat, err := runFedFlat(flatClients, rounds, canned)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fed: tree root, %d clients behind %d edges x %d rounds...\n", treeClients, shards, rounds)
+	tree, err := runFedTree(treeClients, shards, rounds, canned)
+	if err != nil {
+		return err
+	}
+	tree.SpeedupVsFlat = tree.ClientsPerSec / flat.ClientsPerSec
+	fed := map[string]*fedResult{"FlatRootIngest": flat, "TreeRootIngest": tree}
+
+	fmt.Printf("%-16s %8d clients %5d conns %9.0f clients/sec\n", "FlatRootIngest", flat.Clients, flat.Conns, flat.ClientsPerSec)
+	fmt.Printf("%-16s %8d clients %5d conns %9.0f clients/sec   %.2fx vs flat\n",
+		"TreeRootIngest", tree.Clients, tree.Conns, tree.ClientsPerSec, tree.SpeedupVsFlat)
+
+	report := &microReport{
+		Schema:     "spatl-micro-bench/v1",
+		Results:    map[string]*microResult{},
+		Federation: fed,
+	}
+	if jsonPath == "" {
+		out, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(append(out, '\n'))
+		return nil
+	}
+	// Merge into an existing -micro report rather than clobbering it.
+	if raw, err := os.ReadFile(jsonPath); err == nil {
+		if err := json.Unmarshal(raw, report); err != nil {
+			return fmt.Errorf("parse %s: %w", jsonPath, err)
+		}
+		report.Federation = fed
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fed: wrote %s\n", jsonPath)
+	return nil
+}

@@ -33,8 +33,11 @@ func main() {
 		rounds    = flag.Int("rounds", 0, "override the scale's round caps (both convergence and curve rounds)")
 		perClient = flag.Int("perclient", 0, "override the scale's examples per client")
 		micro     = flag.Bool("micro", false, "run hot-path micro-benchmarks and emit JSON")
-		microJSON = flag.String("json", "", "with -micro: write the JSON report to this file (default stdout)")
+		fed       = flag.Bool("fed", false, "run the federation-scale root-ingest benchmark (flat vs aggregation tree)")
+		microJSON = flag.String("json", "", "with -micro/-fed: write (or merge) the JSON report to this file (default stdout)")
 		baseline  = flag.String("baseline", "", "with -micro: prior -micro JSON to compute speedups against")
+		gate      = flag.Bool("gate", false, "with -micro and -baseline: exit nonzero if any benchmark regressed beyond -tolerance")
+		tolerance = flag.Float64("tolerance", 0.15, "with -gate: allowed fractional slowdown before failing")
 		journal   = flag.String("journal", "", "append the JSONL round journal of every experiment run to this file")
 	)
 	flag.Parse()
@@ -52,7 +55,16 @@ func main() {
 	}
 
 	if *micro {
-		if err := runMicro(*microJSON, *baseline); err != nil {
+		if err := runMicro(*microJSON, *baseline, *gate, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "spatl-bench:", err)
+			os.Exit(1)
+		}
+		if !*fed {
+			return
+		}
+	}
+	if *fed {
+		if err := runFed(*microJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "spatl-bench:", err)
 			os.Exit(1)
 		}

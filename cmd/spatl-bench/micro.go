@@ -6,6 +6,8 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"testing"
 
@@ -39,7 +41,8 @@ type microResult struct {
 	AllocReduction  float64 `json:"alloc_reduction,omitempty"`
 }
 
-// microReport is the JSON document written by -micro.
+// microReport is the JSON document written by -micro; -fed adds the
+// federation-scale section.
 type microReport struct {
 	Schema     string                  `json:"schema"`
 	GoVersion  string                  `json:"go_version"`
@@ -47,6 +50,7 @@ type microReport struct {
 	GOARCH     string                  `json:"goarch"`
 	GOMAXPROCS int                     `json:"gomaxprocs"`
 	Results    map[string]*microResult `json:"results"`
+	Federation map[string]*fedResult   `json:"federation,omitempty"`
 }
 
 // microVec is the payload size for the wire-and-aggregate benchmarks
@@ -425,8 +429,10 @@ var microBenchmarks = []struct {
 }
 
 // runMicro measures every tracked workload, annotates against an optional
-// baseline report, and writes JSON to jsonPath ("" = stdout only).
-func runMicro(jsonPath, baselinePath string) error {
+// baseline report, and writes JSON to jsonPath ("" = stdout only). With
+// gate set, any benchmark slower than 1+tolerance times its baseline
+// fails the run — the regression gate scripts/verify.sh --bench uses.
+func runMicro(jsonPath, baselinePath string, gate bool, tolerance float64) error {
 	report := microReport{
 		Schema:     "spatl-micro-bench/v1",
 		GoVersion:  runtime.Version(),
@@ -487,6 +493,25 @@ func runMicro(jsonPath, baselinePath string) error {
 		fmt.Fprintf(os.Stderr, "micro: wrote %s\n", jsonPath)
 	} else {
 		os.Stdout.Write(out)
+	}
+	if gate {
+		if baseline == nil {
+			return fmt.Errorf("-gate needs a -baseline report to compare against")
+		}
+		var regressed []string
+		for name, res := range report.Results {
+			if res.BaselineNsPerOp > 0 && res.NsPerOp > res.BaselineNsPerOp*(1+tolerance) {
+				regressed = append(regressed,
+					fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.0f%%)",
+						name, res.NsPerOp, res.BaselineNsPerOp, 100*(res.NsPerOp/res.BaselineNsPerOp-1)))
+			}
+		}
+		if len(regressed) > 0 {
+			sort.Strings(regressed)
+			return fmt.Errorf("regression gate (tolerance %.0f%%) failed:\n  %s",
+				100*tolerance, strings.Join(regressed, "\n  "))
+		}
+		fmt.Fprintf(os.Stderr, "micro: regression gate passed (tolerance %.0f%%)\n", 100*tolerance)
 	}
 	return nil
 }

@@ -14,7 +14,22 @@
 // shared seed, so client i of n always holds shard i. All five
 // algorithms are available via -algo; the server tolerates stragglers
 // when -straggler-timeout is set, aggregating each round from the
-// clients that reported in time.
+// clients that reported in time, and -quorum switches it to async
+// FedBuff-style rounds that close after that many uploads.
+//
+// At larger scale the federation runs as a two-level aggregation tree:
+// a root fans out to edge aggregators, each edge owns a contiguous
+// shard of the client-ID space and forwards one pooled payload per
+// round (see DESIGN.md §11):
+//
+//	spatl-node -role root -addr :7071 -shards 2 -clients 4 -rounds 10
+//	spatl-node -role edge -addr :7072 -root-addr localhost:7071 -shard 0 -shards 2 -of 4
+//	spatl-node -role edge -addr :7073 -root-addr localhost:7071 -shard 1 -shards 2 -of 4
+//	spatl-node -role client -addr localhost:7072 -id 0 -of 4
+//	...clients 0..1 dial edge 0, clients 2..3 dial edge 1
+//
+// The tree is a collection topology, not an arithmetic change: a seeded
+// run produces the bitwise-identical global model through either shape.
 package main
 
 import (
@@ -36,7 +51,7 @@ import (
 
 func main() {
 	var (
-		role    = flag.String("role", "", "server | client")
+		role    = flag.String("role", "", "server | client | root | edge")
 		algoF   = flag.String("algo", "fedavg", "federation algorithm: fedavg | fedprox | scaffold | fednova | spatl")
 		addr    = flag.String("addr", "localhost:7070", "server address (server: listen, client: dial)")
 		clients = flag.Int("clients", 4, "number of clients in the federation")
@@ -55,6 +70,11 @@ func main() {
 
 		telemetryAddr = flag.String("telemetry-addr", "", "serve /metrics (registry JSON), /healthz and /debug/pprof on this address (e.g. :9090)")
 		journalPath   = flag.String("journal", "", "append the JSONL round journal to this file")
+
+		quorum   = flag.Int("quorum", 0, "server: close each round once this many uploads arrived; stragglers fold into the next round (0 = synchronous)")
+		shards   = flag.Int("shards", 2, "root: number of edge aggregators in the tree")
+		shard    = flag.Int("shard", 0, "edge: this edge's shard id (owns clients ShardRange(shard, of, shards))")
+		rootAddr = flag.String("root-addr", "localhost:7071", "edge: the tree root's address")
 	)
 	flag.Parse()
 
@@ -96,10 +116,52 @@ func main() {
 	}
 	spatlOpts := algo.SPATLOptions{AgentCfg: rl.AgentConfig{Dim: 16, HeadHidden: 32, Seed: *seed + 31}}
 
+	buildAgg := func(global *models.SplitModel) flnet.Aggregator {
+		switch *algoF {
+		case "fedavg", "fedprox": // FedProx's proximal term is client-side
+			return algo.NewFedAvgAggregator(global, cfg)
+		case "scaffold":
+			return algo.NewSCAFFOLDAggregator(global, cfg)
+		case "fednova":
+			return algo.NewFedNovaAggregator(global, cfg)
+		case "spatl":
+			return algo.NewSPATLAggregator(global, spatlOpts, cfg)
+		}
+		fatal(fmt.Errorf("unknown -algo %q", *algoF))
+		return nil
+	}
+
 	switch *role {
 	case "server":
 		srv, err := flnet.NewServer(flnet.ServerConfig{
 			Addr: *addr, Clients: *clients, Rounds: *rounds, Seed: *seed,
+			HelloTimeout:     *helloTimeout,
+			StragglerTimeout: *stragglerTimeout,
+			WriteTimeout:     *writeTimeout,
+			Quorum:           *quorum,
+			Tel:              tel,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("spatl-node server listening on %s (%s), waiting for %d clients...\n", srv.Addr(), *algoF, *clients)
+		if err := srv.Run(buildAgg(models.Build(spec, *seed))); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("federation finished: %d rounds, uplink %.2f MB, downlink %.2f MB\n",
+			*rounds, float64(srv.UpBytes)/(1<<20), float64(srv.DownBytes)/(1<<20))
+		if *quorum > 0 {
+			fmt.Printf("async quorum %d: %d late uploads folded\n", *quorum, srv.LateUploads())
+		}
+		for _, st := range srv.ClientStats() {
+			if st.Drops > 0 || st.Errors > 0 || !st.Alive {
+				fmt.Printf("client %d: alive=%v drops=%d errors=%d\n", st.ID, st.Alive, st.Drops, st.Errors)
+			}
+		}
+
+	case "root":
+		root, err := flnet.NewTreeServer(flnet.TreeServerConfig{
+			Addr: *addr, Shards: *shards, Clients: *clients, Rounds: *rounds, Seed: *seed,
 			HelloTimeout:     *helloTimeout,
 			StragglerTimeout: *stragglerTimeout,
 			WriteTimeout:     *writeTimeout,
@@ -108,31 +170,39 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("spatl-node server listening on %s (%s), waiting for %d clients...\n", srv.Addr(), *algoF, *clients)
-		global := models.Build(spec, *seed)
-		var agg flnet.Aggregator
-		switch *algoF {
-		case "fedavg", "fedprox": // FedProx's proximal term is client-side
-			agg = algo.NewFedAvgAggregator(global, cfg)
-		case "scaffold":
-			agg = algo.NewSCAFFOLDAggregator(global, cfg)
-		case "fednova":
-			agg = algo.NewFedNovaAggregator(global, cfg)
-		case "spatl":
-			agg = algo.NewSPATLAggregator(global, spatlOpts, cfg)
-		default:
-			fatal(fmt.Errorf("unknown -algo %q", *algoF))
-		}
-		if err := srv.Run(agg); err != nil {
+		fmt.Printf("spatl-node tree root listening on %s (%s), waiting for %d edges / %d clients...\n",
+			root.Addr(), *algoF, *shards, *clients)
+		if err := root.Run(buildAgg(models.Build(spec, *seed))); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("federation finished: %d rounds, uplink %.2f MB, downlink %.2f MB\n",
-			*rounds, float64(srv.UpBytes)/(1<<20), float64(srv.DownBytes)/(1<<20))
-		for _, st := range srv.ClientStats() {
-			if st.Drops > 0 || st.Errors > 0 || !st.Alive {
-				fmt.Printf("client %d: alive=%v drops=%d errors=%d\n", st.ID, st.Alive, st.Drops, st.Errors)
+		m := root.Meter()
+		fmt.Printf("federation finished: %d rounds, client uplink %.2f MB, downlink %.2f MB (relay %.2f / %.2f MB), %d drops\n",
+			*rounds, float64(m.Up())/(1<<20), float64(m.Down())/(1<<20),
+			float64(m.RelayUp())/(1<<20), float64(m.RelayDown())/(1<<20), root.Drops())
+		for sh := 0; sh < *shards; sh++ {
+			if d := root.ShardDrops(sh); d > 0 {
+				fmt.Printf("shard %d: %d drops\n", sh, d)
 			}
 		}
+
+	case "edge":
+		lo, hi := algo.ShardRange(*shard, *of, *shards)
+		edge, err := flnet.NewEdge(flnet.EdgeConfig{
+			Addr: *addr, Clients: hi - lo, RootAddr: *rootAddr, Shard: uint32(*shard),
+			DialTimeout:      *dialTimeout,
+			HelloTimeout:     *helloTimeout,
+			StragglerTimeout: *stragglerTimeout,
+			WriteTimeout:     *writeTimeout,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("spatl-node edge %d/%d listening on %s for clients %d..%d, root %s...\n",
+			*shard, *shards, edge.Addr(), lo, hi-1, *rootAddr)
+		if err := edge.Run(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("edge %d done\n", *shard)
 
 	case "client":
 		train, val := shardFor(spec, *id, *of, *seed)
@@ -171,7 +241,7 @@ func main() {
 		}
 
 	default:
-		fmt.Fprintln(os.Stderr, "spatl-node: -role must be server or client")
+		fmt.Fprintln(os.Stderr, "spatl-node: -role must be server, client, root or edge")
 		os.Exit(2)
 	}
 }

@@ -71,6 +71,32 @@ func (a *FedAvgAggregator) Collect(round int, client uint32, trainSize int, payl
 	a.weights = append(a.weights, float64(trainSize))
 }
 
+// CollectBatch implements BatchCollector: decode a whole batch of
+// uploads concurrently, buffering results in upload order — equivalent
+// to sequential Collect calls, with the per-upload decode parallelized.
+func (a *FedAvgAggregator) CollectBatch(round int, ups []Upload) {
+	defer a.span(round, "agg.collect").End()
+	n := a.Global.StateLen(models.ScopeAll)
+	type entry struct {
+		state []float32
+		w     float64
+	}
+	entries := decodeBatch(ups, func(u Upload) (entry, bool) {
+		a.size("payload.up", len(u.Payload))
+		state, err := comm.DecodeDenseAnyInto(comm.GetF32(n), u.Payload)
+		if err != nil || len(state) != n {
+			a.dropped.Add(1)
+			comm.PutF32(state)
+			return entry{}, false
+		}
+		return entry{state: state, w: float64(u.TrainSize)}, true
+	})
+	for _, e := range entries {
+		a.states = append(a.states, e.state)
+		a.weights = append(a.weights, e.w)
+	}
+}
+
 // FinishRound implements Aggregator: the deterministic parallel weighted
 // average, bitwise identical to the serial reference at any GOMAXPROCS.
 func (a *FedAvgAggregator) FinishRound(round int) {

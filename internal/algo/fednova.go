@@ -97,6 +97,31 @@ func (a *FedNovaAggregator) Collect(round int, client uint32, trainSize int, pay
 	a.pending = append(a.pending, fednovaUpload{d: d, v: v, tau: float64(steps), w: float64(trainSize)})
 }
 
+// CollectBatch implements BatchCollector: the Collect decode run
+// concurrently over a whole batch, results buffered in upload order.
+func (a *FedNovaAggregator) CollectBatch(round int, ups []Upload) {
+	defer a.span(round, "agg.collect").End()
+	nState := a.Global.StateLen(models.ScopeAll)
+	a.pending = append(a.pending, decodeBatch(ups, func(u Upload) (fednovaUpload, bool) {
+		a.size("payload.up", len(u.Payload))
+		parts, err := comm.SplitPayloads(u.Payload)
+		if err != nil || len(parts) != 3 || len(parts[2]) != 4 {
+			a.dropped.Add(1)
+			return fednovaUpload{}, false
+		}
+		steps := binary.LittleEndian.Uint32(parts[2])
+		d, err1 := comm.DecodeDenseAnyInto(comm.GetF32(nState), parts[0])
+		v, err2 := comm.DecodeDenseAnyInto(comm.GetF32(len(a.velocity)), parts[1])
+		if err1 != nil || err2 != nil || len(d) != nState || len(v) != len(a.velocity) || steps == 0 {
+			a.dropped.Add(1)
+			comm.PutF32(d)
+			comm.PutF32(v)
+			return fednovaUpload{}, false
+		}
+		return fednovaUpload{d: d, v: v, tau: float64(steps), w: float64(u.TrainSize)}, true
+	})...)
+}
+
 // FinishRound implements Aggregator: τ_eff = Σ pᵢ·τᵢ ; x_g ← x_g −
 // τ_eff · Σ pᵢ·dᵢ ; velocity = Σ pᵢ·vᵢ. The reductions chunk the
 // parameter dimension, clients in fixed order per index, bitwise

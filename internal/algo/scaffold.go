@@ -98,6 +98,30 @@ func (a *SCAFFOLDAggregator) Collect(round int, client uint32, trainSize int, pa
 	a.pending = append(a.pending, scaffoldUpload{dW: dW, dC: dC})
 }
 
+// CollectBatch implements BatchCollector: the Collect decode run
+// concurrently over a whole batch, results buffered in upload order.
+func (a *SCAFFOLDAggregator) CollectBatch(round int, ups []Upload) {
+	defer a.span(round, "agg.collect").End()
+	nState := a.Global.StateLen(models.ScopeAll)
+	a.pending = append(a.pending, decodeBatch(ups, func(u Upload) (scaffoldUpload, bool) {
+		a.size("payload.up", len(u.Payload))
+		parts, err := comm.SplitPayloads(u.Payload)
+		if err != nil || len(parts) != 2 {
+			a.dropped.Add(1)
+			return scaffoldUpload{}, false
+		}
+		dW, err1 := comm.DecodeDenseAnyInto(comm.GetF32(nState), parts[0])
+		dC, err2 := comm.DecodeDenseAnyInto(comm.GetF32(len(a.c)), parts[1])
+		if err1 != nil || err2 != nil || len(dW) != nState || len(dC) != len(a.c) {
+			a.dropped.Add(1)
+			comm.PutF32(dW)
+			comm.PutF32(dC)
+			return scaffoldUpload{}, false
+		}
+		return scaffoldUpload{dW: dW, dC: dC}, true
+	})...)
+}
+
 // FinishRound implements Aggregator: x += (1/|S|)·ΣΔw ; c += (1/N)·ΣΔc,
 // where S is the set of clients whose uploads actually arrived. Both
 // reductions chunk the parameter dimension and sum clients in fixed

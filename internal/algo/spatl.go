@@ -177,6 +177,39 @@ func (a *SPATLAggregator) Collect(round int, client uint32, trainSize int, paylo
 	a.pending = append(a.pending, spatlUpload{dW: dW, dC: dC})
 }
 
+// CollectBatch implements BatchCollector: the Collect decode run
+// concurrently over a whole batch, results buffered in upload order.
+func (a *SPATLAggregator) CollectBatch(round int, ups []Upload) {
+	defer a.span(round, "agg.collect").End()
+	wantParts := 2
+	if a.Opts.DisableGradControl {
+		wantParts = 1
+	}
+	a.pending = append(a.pending, decodeBatch(ups, func(u Upload) (spatlUpload, bool) {
+		a.size("payload.up", len(u.Payload))
+		parts, err := comm.SplitPayloads(u.Payload)
+		if err != nil || len(parts) != wantParts {
+			a.dropped.Add(1)
+			return spatlUpload{}, false
+		}
+		dW := &comm.Sparse{Values: comm.GetF32(len(parts[0]) / 4)[:0]}
+		if err := comm.DecodeSparseAnyInto(dW, parts[0]); err != nil {
+			a.dropped.Add(1)
+			comm.PutSparse(dW)
+			return spatlUpload{}, false
+		}
+		var dC *comm.Sparse
+		if wantParts == 2 {
+			dC = &comm.Sparse{Values: comm.GetF32(len(parts[1]) / 4)[:0]}
+			if err := comm.DecodeSparseAnyInto(dC, parts[1]); err != nil {
+				comm.PutSparse(dC)
+				dC = nil // keep dW: the model update is still sound
+			}
+		}
+		return spatlUpload{dW: dW, dC: dC}, true
+	})...)
+}
+
 // FinishRound implements Aggregator: eq. 12 per-index averaging over the
 // salient deltas, then eq. 11 on the control variate. Both reductions
 // chunk the parameter dimension with clients in fixed order per index,

@@ -134,6 +134,21 @@ func DecodeDenseInto(dst []float32, buf []byte) ([]float32, error) {
 	return out, nil
 }
 
+// PatchDensePayload overwrites element i of an encoded float32 dense
+// payload in place — the cheap way to derive many distinct valid
+// payloads from one template (massive-scale simulation). It is a no-op
+// on payloads that are not plain dense or do not contain index i.
+func PatchDensePayload(buf []byte, i int, v float32) {
+	if len(buf) < 5 || buf[0] != magicDense || i < 0 {
+		return
+	}
+	off := 5 + 4*i
+	if off+4 > len(buf) {
+		return
+	}
+	binary.LittleEndian.PutUint32(buf[off:off+4], math.Float32bits(v))
+}
+
 // Range is a contiguous index run [Start, Start+Len) into a flat state
 // vector. Salient-parameter selection operates at filter granularity, so
 // selected indices naturally form a small number of runs; shipping runs
@@ -400,14 +415,26 @@ func ScatterAddScaledRange(dst []float32, s *Sparse, scale float32, lo, hi int) 
 type Meter struct {
 	up   telemetry.Counter
 	down telemetry.Counter
+
+	// Relay counters attribute the extra hop of a two-level aggregation
+	// tree: pooled shard payloads moving edge→root (relay up) and
+	// broadcasts moving root→edge (relay down). Client-facing traffic
+	// stays in up/down — identical whichever topology carried it — so
+	// cross-transport byte accounting keeps matching; the relay pair is
+	// the tree's own overhead, reported separately.
+	relayUp   telemetry.Counter
+	relayDown telemetry.Counter
 }
 
-// Bind registers the meter's counters in reg as "<prefix>.up_bytes"
-// and "<prefix>.down_bytes". The registry reads the very counters the
+// Bind registers the meter's counters in reg as "<prefix>.up_bytes",
+// "<prefix>.down_bytes", "<prefix>.relay_up_bytes" and
+// "<prefix>.relay_down_bytes". The registry reads the very counters the
 // meter increments — no copies, no second accounting path.
 func (m *Meter) Bind(reg *telemetry.Registry, prefix string) {
 	reg.Attach(prefix+".up_bytes", &m.up)
 	reg.Attach(prefix+".down_bytes", &m.down)
+	reg.Attach(prefix+".relay_up_bytes", &m.relayUp)
+	reg.Attach(prefix+".relay_down_bytes", &m.relayDown)
 }
 
 // AddUp records client→server bytes.
@@ -416,16 +443,30 @@ func (m *Meter) AddUp(n int) { m.up.Add(int64(n)) }
 // AddDown records server→client bytes.
 func (m *Meter) AddDown(n int) { m.down.Add(int64(n)) }
 
+// AddRelayUp records edge→root pooled shard bytes.
+func (m *Meter) AddRelayUp(n int) { m.relayUp.Add(int64(n)) }
+
+// AddRelayDown records root→edge broadcast bytes.
+func (m *Meter) AddRelayDown(n int) { m.relayDown.Add(int64(n)) }
+
 // Up returns total client→server bytes.
 func (m *Meter) Up() int64 { return m.up.Value() }
 
 // Down returns total server→client bytes.
 func (m *Meter) Down() int64 { return m.down.Value() }
 
-// Reset zeroes both counters.
+// RelayUp returns total edge→root pooled shard bytes.
+func (m *Meter) RelayUp() int64 { return m.relayUp.Value() }
+
+// RelayDown returns total root→edge broadcast bytes.
+func (m *Meter) RelayDown() int64 { return m.relayDown.Value() }
+
+// Reset zeroes all counters.
 func (m *Meter) Reset() {
 	m.up.Reset()
 	m.down.Reset()
+	m.relayUp.Reset()
+	m.relayDown.Reset()
 }
 
 // MB formats a byte count as mebibytes.

@@ -1,0 +1,109 @@
+package fl
+
+import (
+	"time"
+
+	"spatl/internal/algo"
+	"spatl/internal/telemetry"
+)
+
+// ShardedSim is the in-process analog of the two-level aggregation tree
+// (internal/flnet TreeServer + Edge): clients are partitioned into
+// NumShards contiguous shards of the client-index order, each shard
+// pools its round uploads into an algo.ShardBuffer — the same wire
+// format an edge aggregator forwards — and the pooled payloads fold
+// into the aggregator in fixed shard-ID order. Because selections are
+// sorted ascending and shards are contiguous, shard-major fold order
+// equals flat selection order, so a ShardedSim round is bitwise
+// identical to Sim.Round at any shard count.
+//
+// Journal events follow the tree root's canonical order: round_start;
+// then per shard, per selected client client_upload or drop followed by
+// one shard_push; then aggregate and round_end. All emission happens
+// from this sequential code, so a seeded zero-time run's journal is
+// byte-identical to the TCP tree's (see the cross-transport test).
+// Client-facing traffic meters into comm up/down exactly as Sim meters
+// it; the pooled shard payloads and the per-edge broadcasts go to the
+// meter's relay counters.
+type ShardedSim struct {
+	Env       *Env
+	Agg       algo.Aggregator
+	Trainers  []algo.Trainer // indexed by client ID
+	NumShards int
+}
+
+// NewShardedSim wires a sharded simulator; numShards is clamped to at
+// least 1 and telemetry is installed on every core as in NewSim.
+func NewShardedSim(env *Env, agg algo.Aggregator, trainers []algo.Trainer, numShards int) *ShardedSim {
+	if numShards < 1 {
+		numShards = 1
+	}
+	if env.Tel != nil {
+		cores := make([]any, 0, len(trainers)+1)
+		cores = append(cores, agg)
+		for _, t := range trainers {
+			cores = append(cores, t)
+		}
+		algo.Wire(env.Tel, cores...)
+	}
+	return &ShardedSim{Env: env, Agg: agg, Trainers: trainers, NumShards: numShards}
+}
+
+// Round runs one communication round over the selected clients
+// (sorted ascending) through the shard-pooling path.
+func (s *ShardedSim) Round(round int, selected []int) {
+	env := s.Env
+	tel := env.Tel
+	total := env.Cfg.NumClients
+	payload := s.Agg.Broadcast(round)
+	tel.Emit(telemetry.RoundStart(round, len(selected), int64(len(payload))))
+	ups := make([][]byte, len(selected))
+	durs := make([]int64, len(selected))
+	ParallelClients(selected, func(pos int) {
+		ci := selected[pos]
+		env.Meter.AddDown(len(payload))
+		if env.ClientFailed(round, ci) {
+			return // crashed after download: upload lost
+		}
+		t0 := time.Now()
+		ups[pos] = s.Trainers[ci].LocalUpdate(round, payload)
+		durs[pos] = time.Since(t0).Nanoseconds()
+	})
+
+	collected := 0
+	var sb algo.ShardBuffer
+	var entries []algo.Upload
+	pos := 0
+	for sh := 0; sh < s.NumShards; sh++ {
+		_, shardHi := algo.ShardRange(sh, total, s.NumShards)
+		lo := pos
+		for pos < len(selected) && selected[pos] < shardHi {
+			pos++
+		}
+		if pos == lo {
+			continue // no clients sampled from this shard
+		}
+		env.Meter.AddRelayDown(len(payload)) // one broadcast per participating edge
+		sb.Reset()
+		for p := lo; p < pos; p++ {
+			ci := selected[p]
+			if ups[p] == nil {
+				tel.Emit(telemetry.Drop(round, ci))
+				continue
+			}
+			env.Meter.AddUp(len(ups[p]))
+			tel.Emit(telemetry.ClientUpload(round, ci, int64(len(ups[p])), durs[p]))
+			sb.Add(uint32(ci), env.Clients[ci].Train.Len(), ups[p])
+		}
+		env.Meter.AddRelayUp(len(sb.Payload()))
+		tel.Emit(telemetry.ShardPush(round, sh, sb.Len(), int64(len(sb.Payload()))))
+		// Fold through the pooled wire format — the root's code path.
+		entries, _ = algo.ShardEntries(entries[:0], sb.Payload())
+		algo.CollectAll(s.Agg, round, entries)
+		collected += len(entries)
+	}
+	t0 := time.Now()
+	s.Agg.FinishRound(round)
+	tel.Emit(telemetry.Aggregate(round, collected, time.Since(t0).Nanoseconds()))
+	tel.Emit(telemetry.RoundEnd(round, env.Meter.Up(), env.Meter.Down()))
+}

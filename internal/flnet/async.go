@@ -1,0 +1,189 @@
+package flnet
+
+import (
+	"fmt"
+	"time"
+
+	"spatl/internal/telemetry"
+)
+
+// Buffered/async rounds (FedBuff-style). The synchronous loop's cost at
+// scale is the tail: every round waits for the slowest sampled client.
+// With ServerConfig.Quorum set, the server aggregates as soon as K of
+// the round's sampled uploads have arrived and moves on; a straggler's
+// work is not discarded — its upload folds into whatever round is in
+// progress when it lands (a "late upload", counted in
+// "flnet.late_uploads" and journaled as late_upload). Arrival order is
+// scheduling-dependent, so async rounds trade the sync loop's bitwise
+// journal reproducibility for tail-latency immunity; the journal still
+// proves the semantics (quorum_reached, late_upload events).
+
+// arrival is one frame (or terminal read error) from a persistent
+// per-client reader goroutine.
+type arrival struct {
+	ci    int // index into s.clients
+	frame Frame
+	err   error
+}
+
+// runAsync is the buffered round loop: persistent readers feed a single
+// arrivals channel; each round closes at quorum or at the straggler
+// deadline, and stale uploads fold into the round in progress.
+func (s *Server) runAsync(agg Aggregator) error {
+	tel := s.cfg.Tel
+	rng := newRng(s.cfg.Seed)
+	// Readers outlive rounds: a straggler's upload must be readable
+	// after its round closed. Capacity absorbs a burst of one pending
+	// upload plus the terminal error per client; a full channel simply
+	// backpressures that client's reader.
+	arrivals := make(chan arrival, 4*len(s.clients)+8)
+	for ci, c := range s.clients {
+		go func(ci int, c *clientConn) {
+			for {
+				f, err := ReadFrame(c.conn)
+				arrivals <- arrival{ci: ci, frame: f, err: err}
+				if err != nil {
+					return
+				}
+			}
+		}(ci, c)
+	}
+
+	for round := 0; round < s.cfg.Rounds; round++ {
+		payload := agg.Broadcast(round)
+		selected := samplePerm(rng, len(s.clients), s.cfg.PerRound)
+		tel.Emit(telemetry.RoundStart(round, len(selected), int64(len(payload))))
+		roundStart := time.Now()
+
+		awaited := make(map[int]bool, len(selected)) // client idx -> still owes this round's upload
+		for _, ci := range selected {
+			c := s.clients[ci]
+			if !c.alive {
+				c.drops++
+				s.drops.Inc()
+				tel.Emit(telemetry.Drop(round, int(c.id)))
+				continue
+			}
+			if s.cfg.WriteTimeout > 0 {
+				c.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			}
+			f := Frame{Type: MsgRoundStart, Client: c.id, Round: uint32(round), Payload: payload}
+			if err := WriteFrame(c.conn, f); err != nil {
+				c.errs++
+				c.drops++
+				s.errs.Inc()
+				s.drops.Inc()
+				c.markDead()
+				tel.Emit(telemetry.Drop(round, int(c.id)))
+				continue
+			}
+			s.DownBytes += int64(frameHeaderLen + len(payload))
+			s.DownPayloadBytes += int64(len(payload))
+			awaited[ci] = true
+		}
+
+		want := s.cfg.Quorum
+		if want > len(awaited) {
+			want = len(awaited)
+		}
+		var timer *time.Timer
+		var deadline <-chan time.Time
+		if s.cfg.StragglerTimeout > 0 {
+			timer = time.NewTimer(s.cfg.StragglerTimeout)
+			deadline = timer.C
+		}
+		onTime, folded := 0, 0
+	recv:
+		for onTime < want {
+			var a arrival
+			select {
+			case a = <-arrivals:
+			case <-deadline:
+				break recv
+			}
+			c := s.clients[a.ci]
+			switch {
+			case a.err != nil:
+				if !c.alive {
+					continue // terminal error of a connection we closed
+				}
+				c.errs++
+				s.errs.Inc()
+				c.markDead()
+				if awaited[a.ci] {
+					delete(awaited, a.ci)
+					c.drops++
+					s.drops.Inc()
+					tel.Emit(telemetry.Drop(round, int(c.id)))
+					if want > len(awaited)+onTime {
+						want = len(awaited) + onTime
+					}
+				}
+			case a.frame.Type != MsgUpdate || int(a.frame.Round) > round:
+				c.errs++
+				s.errs.Inc()
+				c.markDead()
+				a.frame.Release()
+				if awaited[a.ci] {
+					delete(awaited, a.ci)
+					c.drops++
+					s.drops.Inc()
+					tel.Emit(telemetry.Drop(round, int(c.id)))
+					if want > len(awaited)+onTime {
+						want = len(awaited) + onTime
+					}
+				}
+			case int(a.frame.Round) == round && awaited[a.ci]:
+				delete(awaited, a.ci)
+				s.UpBytes += int64(frameHeaderLen + len(a.frame.Payload))
+				s.UpPayloadBytes += int64(len(a.frame.Payload))
+				tel.Emit(telemetry.ClientUpload(round, int(c.id), int64(len(a.frame.Payload)), time.Since(roundStart).Nanoseconds()))
+				agg.Collect(round, c.id, c.trainSize, a.frame.Payload)
+				a.frame.Release()
+				onTime++
+				folded++
+			case int(a.frame.Round) < round:
+				// A straggler's upload from an earlier round: fold it
+				// into the round in progress instead of discarding the
+				// client's work.
+				s.late.Inc()
+				s.UpBytes += int64(frameHeaderLen + len(a.frame.Payload))
+				s.UpPayloadBytes += int64(len(a.frame.Payload))
+				tel.Emit(telemetry.LateUpload(round, int(c.id), int64(len(a.frame.Payload))))
+				agg.Collect(round, c.id, c.trainSize, a.frame.Payload)
+				a.frame.Release()
+				folded++
+			default:
+				// Same-round duplicate or an upload from a client that
+				// was never sent this round's broadcast: protocol
+				// violation, never fold it twice.
+				c.errs++
+				s.errs.Inc()
+				c.markDead()
+				a.frame.Release()
+			}
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+		if want > 0 && onTime >= want {
+			tel.Emit(telemetry.Quorum(round, onTime))
+		}
+		t0 := time.Now()
+		agg.FinishRound(round)
+		tel.Emit(telemetry.Aggregate(round, folded, time.Since(t0).Nanoseconds()))
+		tel.Emit(telemetry.RoundEnd(round, s.UpPayloadBytes, s.DownPayloadBytes))
+
+		anyAlive := false
+		for _, c := range s.clients {
+			if c.alive {
+				anyAlive = true
+				break
+			}
+		}
+		if !anyAlive {
+			return fmt.Errorf("flnet: all %d clients dead after round %d", len(s.clients), round)
+		}
+	}
+	return nil
+}

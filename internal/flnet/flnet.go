@@ -39,6 +39,13 @@ const (
 	MsgUpdate
 	// MsgDone carries the final model; the client disconnects after it.
 	MsgDone
+	// MsgEdgeHello registers an edge aggregator with a tree root: the
+	// frame's Client field carries the shard ID, the payload a count
+	// followed by (client ID, train size) pairs for the shard's clients.
+	MsgEdgeHello
+	// MsgShardUpdate carries an edge's pooled shard payload for a round
+	// (algo.ShardBuffer wire format); Client is the shard ID.
+	MsgShardUpdate
 )
 
 // maxFrame bounds a frame to guard against corrupt length prefixes.
@@ -151,6 +158,15 @@ type ServerConfig struct {
 	// forever.
 	WriteTimeout time.Duration
 
+	// Quorum, when positive, switches the server to buffered/async
+	// rounds (FedBuff-style): FinishRound fires as soon as Quorum of
+	// the round's sampled uploads have been collected, without waiting
+	// for the stragglers. A straggler's upload is not lost — it folds
+	// into the round in progress when it eventually arrives, counted in
+	// "flnet.late_uploads" and journaled as a late_upload event. Zero
+	// keeps the synchronous round loop.
+	Quorum int
+
 	// Tel, when set, receives the server's lifecycle journal events and
 	// exposes its drop/error counters through the registry; it is also
 	// wired into the aggregator core. Nil disables telemetry.
@@ -193,6 +209,10 @@ type Server struct {
 	// counters.
 	drops telemetry.Counter
 	errs  telemetry.Counter
+	// late counts straggler uploads folded into a later round than the
+	// one they were computed for (async quorum mode only), exposed as
+	// "flnet.late_uploads".
+	late telemetry.Counter
 }
 
 // Drops reports total dropped contributions across all clients and
@@ -202,6 +222,11 @@ func (s *Server) Drops() int64 { return s.drops.Value() }
 // Errors reports total protocol/I-O failures across all clients — the
 // same counter the registry exposes as "flnet.errors".
 func (s *Server) Errors() int64 { return s.errs.Value() }
+
+// LateUploads reports how many straggler uploads were folded into a
+// later round (async quorum mode) — the same counter the registry
+// exposes as "flnet.late_uploads".
+func (s *Server) LateUploads() int64 { return s.late.Value() }
 
 // NewServer starts listening (so clients can connect before Run).
 func NewServer(cfg ServerConfig) (*Server, error) {
@@ -219,6 +244,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Tel != nil && cfg.Tel.Reg != nil {
 		cfg.Tel.Reg.Attach("flnet.drops", &s.drops)
 		cfg.Tel.Reg.Attach("flnet.errors", &s.errs)
+		cfg.Tel.Reg.Attach("flnet.late_uploads", &s.late)
 	}
 	return s, nil
 }
@@ -257,14 +283,37 @@ func (c *clientConn) markDead() {
 	}
 }
 
-// Run accepts registrations, executes the round loop and broadcasts the
-// final model. A malformed hello still fails fast — the federation has
-// not started — but once rounds begin, client failures and stragglers
-// are tolerated: their contributions are dropped (see ClientStats) and
+// Run accepts registrations, executes the round loop (synchronous, or
+// buffered/async when cfg.Quorum is set) and broadcasts the final
+// model. A malformed hello still fails fast — the federation has not
+// started — but once rounds begin, client failures and stragglers are
+// tolerated: their contributions are dropped (see ClientStats) and
 // each round aggregates whatever arrived. Run errors only when every
 // client is dead.
 func (s *Server) Run(agg Aggregator) error {
 	defer s.ln.Close()
+	if err := s.acceptClients(); err != nil {
+		return err
+	}
+	defer func() {
+		for _, c := range s.clients {
+			c.conn.Close()
+		}
+	}()
+	algo.Wire(s.cfg.Tel, agg)
+	if s.cfg.Quorum > 0 {
+		if err := s.runAsync(agg); err != nil {
+			return err
+		}
+	} else if err := s.runSync(agg); err != nil {
+		return err
+	}
+	return s.sendFinal(agg)
+}
+
+// acceptClients waits for every registration and orders the client
+// table by ID, so collect order is reproducible across runs.
+func (s *Server) acceptClients() error {
 	s.clients = make([]*clientConn, 0, s.cfg.Clients)
 	for len(s.clients) < s.cfg.Clients {
 		conn, err := s.ln.Accept()
@@ -290,18 +339,17 @@ func (s *Server) Run(agg Aggregator) error {
 		})
 		f.Release()
 	}
-	defer func() {
-		for _, c := range s.clients {
-			c.conn.Close()
-		}
-	}()
 	// Clients register in connection order, which is not reproducible;
 	// aggregate in client-ID order so collect order — and therefore the
 	// floating-point reduction — matches the in-process simulator bitwise.
 	sort.Slice(s.clients, func(i, j int) bool { return s.clients[i].id < s.clients[j].id })
+	return nil
+}
 
+// runSync is the synchronous round loop: every round waits for all
+// selected uploads (or the straggler deadline) before aggregating.
+func (s *Server) runSync(agg Aggregator) error {
 	tel := s.cfg.Tel
-	algo.Wire(tel, agg)
 	rng := newRng(s.cfg.Seed)
 	// Per-position outcome of a round, for journal emission in selection
 	// order after the concurrent collect.
@@ -429,7 +477,12 @@ func (s *Server) Run(agg Aggregator) error {
 			return fmt.Errorf("flnet: all %d clients dead after round %d", len(s.clients), round)
 		}
 	}
+	return nil
+}
 
+// sendFinal broadcasts the aggregator's final model to every surviving
+// client.
+func (s *Server) sendFinal(agg Aggregator) error {
 	final := agg.Final()
 	for _, c := range s.clients {
 		if !c.alive {

@@ -3,6 +3,8 @@ package flnet
 import (
 	"bytes"
 	"testing"
+
+	"spatl/internal/algo"
 )
 
 // FuzzReadFrame ensures the frame parser never panics or over-allocates
@@ -13,6 +15,13 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(seed.Bytes())
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, 1})
 	f.Add([]byte{})
+	// A pooled shard frame — the tree root's hot input.
+	var sb algo.ShardBuffer
+	sb.Add(7, 120, []byte("payload-a"))
+	sb.Add(9, 80, []byte("payload-b"))
+	var shard bytes.Buffer
+	WriteFrame(&shard, Frame{Type: MsgShardUpdate, Client: 1, Round: 2, Payload: sb.Payload()})
+	f.Add(shard.Bytes())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := ReadFrame(bytes.NewReader(data))
 		if err != nil {

@@ -61,6 +61,28 @@ func SampleLinks(n int, p Profile, seed int64) []Link {
 	return links
 }
 
+// Churn models infrastructure failure across rounds: each round, a
+// unit (an edge aggregator, a relay, a client) vanishes independently
+// with probability P. Decisions are deterministic in (Seed, round,
+// unit) so churn scenarios replay identically — the same property the
+// rest of the stack's failure injection has (fl.Config.DropRate).
+type Churn struct {
+	P    float64
+	Seed int64
+}
+
+// Fails reports whether the unit vanishes in the given round.
+func (c Churn) Fails(round, unit int) bool {
+	if c.P <= 0 {
+		return false
+	}
+	if c.P >= 1 {
+		return true
+	}
+	rng := rand.New(rand.NewSource(c.Seed ^ int64(round)*1_000_003 ^ int64(unit)*8_191))
+	return rng.Float64() < c.P
+}
+
 // RoundTime returns the synchronous-round wall time for the selected
 // clients: every participant downloads downBytes, computes for
 // computeSec, uploads upBytes; the server waits for the slowest.

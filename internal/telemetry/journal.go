@@ -28,6 +28,10 @@ const (
 	EvDrop         = "drop"              // server: contribution lost (crash, I/O or protocol error)
 	EvAggregate    = "aggregate"         // server: uploads folded into the global model
 	EvEval         = "eval"              // harness: periodic accuracy evaluation
+	EvShardPush    = "shard_push"        // edge: pooled shard payload forwarded upstream
+	EvShardDrop    = "shard_drop"        // root: an entire shard's contribution was lost
+	EvQuorum       = "quorum_reached"    // server: round closed at quorum K before the deadline
+	EvLateUpload   = "late_upload"       // server: straggler upload folded into a later round
 )
 
 // NoClient marks events that are not scoped to one client.
@@ -96,6 +100,32 @@ func Aggregate(round, n int, durNS int64) Event {
 // Eval: the harness measured mean accuracy after round.
 func Eval(round int, acc float64) Event {
 	return Event{Ev: EvEval, Round: round, Client: NoClient, Acc: acc}
+}
+
+// ShardPush: shard forwarded its pooled payload of n uploads upstream.
+// The shard ID rides in the Client field (shards, like clients, are
+// small dense integers — the fixed schema stays fixed).
+func ShardPush(round, shard, n int, bytes int64) Event {
+	return Event{Ev: EvShardPush, Round: round, Client: shard, N: n, Bytes: bytes}
+}
+
+// ShardDrop: an entire shard (its edge aggregator died or timed out)
+// contributed nothing this round; n is the number of selected clients
+// lost with it. Shard ID in the Client field, as in ShardPush.
+func ShardDrop(round, shard, n int) Event {
+	return Event{Ev: EvShardDrop, Round: round, Client: shard, N: n}
+}
+
+// Quorum: the round closed at quorum with n uploads folded, before the
+// straggler deadline.
+func Quorum(round, n int) Event {
+	return Event{Ev: EvQuorum, Round: round, Client: NoClient, N: n}
+}
+
+// LateUpload: a straggler's upload from an earlier round was folded into
+// round (FedBuff-style buffered aggregation); bytes is the payload size.
+func LateUpload(round, client int, bytes int64) Event {
+	return Event{Ev: EvLateUpload, Round: round, Client: client, Bytes: bytes}
 }
 
 // Journal serializes events as JSONL. Emission takes a mutex — journal

@@ -11,13 +11,22 @@
 #                                subsystem and the TCP transport that
 #                                journals through it, plus the analytic
 #                                <1% telemetry-overhead budget test
+#   ./scripts/verify.sh --bench  tier-1 plus the performance regression
+#                                gate: rerun the micro benchmarks and
+#                                fail if any is slower than the latest
+#                                committed BENCH_N.json beyond the
+#                                tolerance (BENCH_TOLERANCE, default
+#                                0.15 = 15%)
 #
 # Tier-1 must pass on every commit. The hot-path battery is mandatory
 # for changes touching internal/tensor (SIMD kernels, packed GEMM,
 # scratch pools), internal/nn (fused lowering, panel caches),
-# internal/algo (parallel deterministic reduction) or internal/flnet
-# (TCP transport rounds). The observability battery is mandatory for
-# changes touching internal/telemetry or any code that records into it.
+# internal/algo (parallel deterministic reduction, shard fold) or
+# internal/flnet (TCP transport rounds, aggregation tree, async quorum).
+# The observability battery is mandatory for changes touching
+# internal/telemetry or any code that records into it. The bench gate is
+# advisory (benchmarks are noisy on shared machines) but should be run
+# before committing a new BENCH_N.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,6 +40,19 @@ if [[ "${1:-}" == "--hot" ]]; then
     go vet ./...
     echo "== hot path: race hammer =="
     go test -race ./internal/tensor ./internal/nn ./internal/algo ./internal/flnet
+    echo "== hot path: shard/quorum hammer =="
+    go test -race -run 'Shard|Tree|Async|Quorum|Massive' ./internal/algo ./internal/flnet ./internal/fl
+fi
+
+if [[ "${1:-}" == "--bench" ]]; then
+    baseline=$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1)
+    if [[ -z "$baseline" ]]; then
+        echo "verify: no BENCH_N.json baseline found" >&2
+        exit 1
+    fi
+    echo "== bench gate: micro vs $baseline =="
+    go run ./cmd/spatl-bench -micro -baseline "$baseline" -gate \
+        -tolerance "${BENCH_TOLERANCE:-0.15}"
 fi
 
 if [[ "${1:-}" == "--obs" ]]; then
