@@ -49,8 +49,43 @@ type microReport struct {
 	GOOS       string                  `json:"goos"`
 	GOARCH     string                  `json:"goarch"`
 	GOMAXPROCS int                     `json:"gomaxprocs"`
+	Machine    machineInfo             `json:"machine"`
 	Results    map[string]*microResult `json:"results"`
 	Federation map[string]*fedResult   `json:"federation,omitempty"`
+}
+
+// machineInfo fingerprints the host a report was recorded on.
+// Benchmark numbers are only comparable on the same machine, so the
+// regression gate refuses to judge a report against a baseline whose
+// fingerprint differs.
+type machineInfo struct {
+	Hostname   string `json:"hostname"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	CPUModel   string `json:"cpu_model"`
+}
+
+// fingerprint captures this machine's identity for the report stamp.
+func fingerprint() machineInfo {
+	host, _ := os.Hostname()
+	return machineInfo{Hostname: host, GOMAXPROCS: runtime.GOMAXPROCS(0), CPUModel: cpuModel()}
+}
+
+// cpuModel reads the first "model name" from /proc/cpuinfo; empty on
+// platforms without it — the fingerprint then rests on hostname and
+// core count.
+func cpuModel() string {
+	raw, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, "model name") {
+			if i := strings.IndexByte(line, ':'); i >= 0 {
+				return strings.TrimSpace(line[i+1:])
+			}
+		}
+	}
+	return ""
 }
 
 // microVec is the payload size for the wire-and-aggregate benchmarks
@@ -126,6 +161,28 @@ func spatlRoundBench(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		algo.Round(env, i, env.SampleClients())
+	}
+}
+
+// ssflRoundBench measures one steady-state SSFL round — mask already
+// agreed, index ranges already shipped, every wire frame values-only —
+// with the mask-static sparse GEMM dispatch either on (the default) or
+// off (the per-minibatch probing path it replaced). The on/off pair in
+// the report is the direct cost of probing and branch-on-zero per
+// minibatch under a mask that never changes.
+func ssflRoundBench(maskStatic bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		prev := nn.SetMaskStaticDispatch(maskStatic)
+		defer nn.SetMaskStaticDispatch(prev)
+		env := experiments.BuildCIFAREnv(experiments.Tiny, "resnet20", experiments.ClientSet{Clients: 4, Ratio: 1}, 1)
+		algo := experiments.NewAlgorithm("ssfl", experiments.Tiny, 1)
+		algo.Setup(env)
+		algo.Round(env, 0, env.SampleClients()) // dense mask-agreement round
+		algo.Round(env, 1, env.SampleClients()) // the one index-bearing round
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			algo.Round(env, i+2, env.SampleClients())
+		}
 	}
 }
 
@@ -391,6 +448,9 @@ var microBenchmarks = []struct {
 	{"FLRoundTelemetry", withProcs(1, flRoundTelemetryBench)},
 	{"SPATLRound", withProcs(1, spatlRoundBench)},
 	{"SPATLRoundMP", withProcs(runtime.NumCPU(), spatlRoundBench)},
+	{"SSFLRound", withProcs(1, ssflRoundBench(true))},
+	{"SSFLRoundMP", withProcs(runtime.NumCPU(), ssflRoundBench(true))},
+	{"SSFLRoundProbe", withProcs(1, ssflRoundBench(false))},
 	{"FlnetRound", func(b *testing.B) {
 		// One full FedAvg round over loopback TCP — the same algo core as
 		// FLRound plus framing, sockets and the fault-tolerant round loop.
@@ -439,6 +499,7 @@ func runMicro(jsonPath, baselinePath string, gate bool, tolerance float64) error
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Machine:    fingerprint(),
 		Results:    map[string]*microResult{},
 	}
 
@@ -497,6 +558,16 @@ func runMicro(jsonPath, baselinePath string, gate bool, tolerance float64) error
 	if gate {
 		if baseline == nil {
 			return fmt.Errorf("-gate needs a -baseline report to compare against")
+		}
+		// Numbers from a different machine are not a regression signal.
+		// Baselines older than the fingerprint stamp (zero Machine) are
+		// judged as before — there is nothing to compare against.
+		if baseline.Machine != (machineInfo{}) && baseline.Machine != report.Machine {
+			fmt.Fprintf(os.Stderr,
+				"micro: baseline recorded on a different machine (%s, %d procs, %q; this is %s, %d procs, %q) — skipping regression gate\n",
+				baseline.Machine.Hostname, baseline.Machine.GOMAXPROCS, baseline.Machine.CPUModel,
+				report.Machine.Hostname, report.Machine.GOMAXPROCS, report.Machine.CPUModel)
+			return nil
 		}
 		var regressed []string
 		for name, res := range report.Results {

@@ -11,7 +11,7 @@
 //	...
 //
 // Every node derives the same synthetic non-IID data split from the
-// shared seed, so client i of n always holds shard i. All five
+// shared seed, so client i of n always holds shard i. All six
 // algorithms are available via -algo; the server tolerates stragglers
 // when -straggler-timeout is set, aggregating each round from the
 // clients that reported in time, and -quorum switches it to async
@@ -52,7 +52,7 @@ import (
 func main() {
 	var (
 		role    = flag.String("role", "", "server | client | root | edge")
-		algoF   = flag.String("algo", "fedavg", "federation algorithm: fedavg | fedprox | scaffold | fednova | spatl")
+		algoF   = flag.String("algo", "fedavg", "federation algorithm: fedavg | fedprox | scaffold | fednova | spatl | ssfl")
 		addr    = flag.String("addr", "localhost:7070", "server address (server: listen, client: dial)")
 		clients = flag.Int("clients", 4, "number of clients in the federation")
 		id      = flag.Int("id", 0, "this client's id (client)")
@@ -126,6 +126,8 @@ func main() {
 			return algo.NewFedNovaAggregator(global, cfg)
 		case "spatl":
 			return algo.NewSPATLAggregator(global, spatlOpts, cfg)
+		case "ssfl":
+			return algo.NewSSFLAggregator(global, algo.SSFLOptions{}, cfg)
 		}
 		fatal(fmt.Errorf("unknown -algo %q", *algoF))
 		return nil
@@ -221,6 +223,8 @@ func main() {
 			tr = algo.NewFedNovaTrainer(c, cfg)
 		case "spatl":
 			tr = algo.NewSPATLTrainer(c, spatlOpts, cfg)
+		case "ssfl":
+			tr = algo.NewSSFLTrainer(c, algo.SSFLOptions{}, cfg)
 		default:
 			fatal(fmt.Errorf("unknown -algo %q", *algoF))
 		}

@@ -24,10 +24,16 @@ func FuzzDecodeDense(f *testing.F) {
 }
 
 // FuzzDecodeSparse ensures arbitrary byte input never panics and that
-// accepted payloads validate.
+// accepted payloads validate. The corpus seeds the malformed shapes the
+// mask-static wire path must survive: a frame truncated mid-index-block
+// (range count promises more runs than the buffer holds) and a
+// values-only frame arriving where a full sparse frame is expected.
 func FuzzDecodeSparse(f *testing.F) {
 	f.Add(EncodeSparse(&Sparse{Ranges: []Range{{0, 2}}, Values: []float32{1, 2}}))
 	f.Add([]byte{magicSparse, 0, 0, 0, 0})
+	// Truncated index block: claims 4 ranges, carries half of one.
+	f.Add([]byte{magicSparse, 4, 0, 0, 0, 7, 0, 0, 0})
+	f.Add(EncodeSparseVals([]float32{1, 2, 3}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := DecodeSparse(data)
 		if err != nil {
@@ -35,6 +41,30 @@ func FuzzDecodeSparse(f *testing.F) {
 		}
 		if err := s.Validate(); err != nil {
 			t.Fatalf("decoded sparse payload fails validation: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeSparseVals ensures arbitrary byte input never panics the
+// values-only decoder and that valid f32 encodings round-trip.
+func FuzzDecodeSparseVals(f *testing.F) {
+	f.Add(EncodeSparseVals([]float32{1, 2, 3}))
+	f.Add(EncodeSparseValsF16([]float32{1, 2, 3}))
+	f.Add([]byte{magicSparseVals, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{magicSparseValsF16, 2, 0, 0, 0, 1})
+	// A full sparse frame and a truncated index block must both be
+	// rejected, never scribbled through.
+	f.Add(EncodeSparse(&Sparse{Ranges: []Range{{0, 2}}, Values: []float32{1, 2}}))
+	f.Add([]byte{magicSparse, 4, 0, 0, 0, 7, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals, err := DecodeSparseValsAny(data)
+		if err != nil {
+			return
+		}
+		if len(data) > 0 && data[0] == magicSparseVals {
+			if re := EncodeSparseVals(vals); !bytes.Equal(re, data) {
+				t.Fatalf("valid values-only payload did not round-trip")
+			}
 		}
 	})
 }

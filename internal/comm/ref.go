@@ -92,6 +92,63 @@ func RefDecodeSparse(buf []byte) (*Sparse, error) {
 	return s, nil
 }
 
+// RefEncodeSparseVals serializes a values-only sparse frame one word at
+// a time.
+func RefEncodeSparseVals(values []float32) []byte {
+	buf := make([]byte, 1+4+4*len(values))
+	buf[0] = magicSparseVals
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(len(values)))
+	for i, v := range values {
+		binary.LittleEndian.PutUint32(buf[5+4*i:], math.Float32bits(v))
+	}
+	return buf
+}
+
+// RefDecodeSparseVals parses a values-only frame one word at a time.
+func RefDecodeSparseVals(buf []byte) ([]float32, error) {
+	if len(buf) < 5 || buf[0] != magicSparseVals {
+		return nil, fmt.Errorf("comm: not a sparse-values payload")
+	}
+	n := int(binary.LittleEndian.Uint32(buf[1:5]))
+	if len(buf) != 5+4*n {
+		return nil, fmt.Errorf("comm: sparse-values payload length %d, want %d", len(buf), 5+4*n)
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[5+4*i:]))
+	}
+	return out, nil
+}
+
+// RefEncodeSparseValsF16 serializes a half-precision values-only frame
+// one value at a time.
+func RefEncodeSparseValsF16(values []float32) []byte {
+	buf := make([]byte, 1+4+2*len(values))
+	buf[0] = magicSparseValsF16
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(len(values)))
+	for i, v := range values {
+		binary.LittleEndian.PutUint16(buf[5+2*i:], Float32ToF16(v))
+	}
+	return buf
+}
+
+// RefDecodeSparseValsF16 parses a half-precision values-only frame one
+// value at a time.
+func RefDecodeSparseValsF16(buf []byte) ([]float32, error) {
+	if len(buf) < 5 || buf[0] != magicSparseValsF16 {
+		return nil, fmt.Errorf("comm: not a sparse-values-f16 payload")
+	}
+	n := int(binary.LittleEndian.Uint32(buf[1:5]))
+	if len(buf) != 5+2*n {
+		return nil, fmt.Errorf("comm: sparse-values-f16 payload length %d, want %d", len(buf), 5+2*n)
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = F16ToFloat32(binary.LittleEndian.Uint16(buf[5+2*i:]))
+	}
+	return out, nil
+}
+
 // RefEncodeDenseF16 serializes a flat vector at half precision one value
 // at a time.
 func RefEncodeDenseF16(values []float32) []byte {

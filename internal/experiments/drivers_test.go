@@ -104,6 +104,20 @@ func TestTable3DriverReportsTransfer(t *testing.T) {
 	}
 }
 
+func TestSSFLCommDriverComparesProtocols(t *testing.T) {
+	var buf bytes.Buffer
+	o := microOpts(t, &buf)
+	if err := SSFLCommunication(o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ssfl", "spatl", "total uplink", "up MB", "down MB"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ssfl-comm output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestSVGFiguresWritten(t *testing.T) {
 	var buf bytes.Buffer
 	o := microOpts(t, &buf)

@@ -147,6 +147,7 @@ var Registry = map[string]Runner{
 	"compression": Compression,
 	"robustness":  Robustness,
 	"walltime":    WallTime,
+	"ssfl-comm":   SSFLCommunication,
 }
 
 // Names returns the registered experiment ids, sorted.
@@ -278,6 +279,8 @@ func NewAlgorithm(name string, s Scale, seed int64) fl.Algorithm {
 			FineTuneRounds:   s.FineTuneRounds,
 			FineTuneEpisodes: 2,
 		})
+	case "ssfl":
+		return &fl.SSFL{} // KeepRatio defaults to 0.5
 	}
 	panic(fmt.Sprintf("experiments: unknown algorithm %q", name))
 }

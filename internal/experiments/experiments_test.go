@@ -39,7 +39,7 @@ func TestRegistryComplete(t *testing.T) {
 		"learning", "femnist", "converge", "localacc", "table1", "rounds",
 		"table2", "table3", "inference", "table4",
 		"ablation-select", "ablation-transfer", "ablation-gradctl", "rlagent",
-		"compression", "robustness", "walltime",
+		"compression", "robustness", "walltime", "ssfl-comm",
 	}
 	for _, id := range want {
 		if Registry[id] == nil {

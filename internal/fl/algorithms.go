@@ -2,7 +2,9 @@ package fl
 
 import (
 	"spatl/internal/algo"
+	"spatl/internal/comm"
 	"spatl/internal/models"
+	"spatl/internal/prune"
 )
 
 // The four baseline algorithms are implemented once, transport-free, in
@@ -147,3 +149,46 @@ func (f *FedNova) Round(env *Env, round int, selected []int) { f.sim.Round(round
 
 // EvalModel implements Algorithm.
 func (*FedNova) EvalModel(env *Env, c *Client) *models.SplitModel { return env.Global }
+
+// SSFL agrees on one global sparse sub-network during the first round
+// (clients upload saliency scores, the server reduces them into a single
+// channel mask) and then trains mask-static: every later round moves
+// only the packed masked values — values-only frames in both directions,
+// with the index ranges travelling exactly once after agreement. Like
+// SPATL it shares only the encoder; predictors stay private.
+type SSFL struct {
+	Opts algo.SSFLOptions
+
+	sim *Sim
+	agg *algo.SSFLAggregator
+}
+
+// Name implements Algorithm.
+func (*SSFL) Name() string { return "ssfl" }
+
+// Setup implements Algorithm.
+func (s *SSFL) Setup(env *Env) {
+	cfg := env.AlgoConfig()
+	s.agg = algo.NewSSFLAggregator(env.Global, s.Opts, cfg)
+	trainers := make([]algo.Trainer, len(env.Clients))
+	for i, c := range env.Clients {
+		trainers[i] = algo.NewSSFLTrainer(c, s.Opts, cfg)
+	}
+	s.sim = NewSim(env, s.agg, trainers)
+}
+
+// Round implements Algorithm.
+func (s *SSFL) Round(env *Env, round int, selected []int) { s.sim.Round(round, selected) }
+
+// EvalModel implements Algorithm: the global encoder composed with the
+// client's private predictor, as for SPATL.
+func (s *SSFL) EvalModel(env *Env, c *Client) *models.SplitModel {
+	n := env.Global.StateLen(models.ScopeEncoder)
+	st := env.Global.StateInto(models.ScopeEncoder, comm.GetF32(n))
+	c.Model.SetState(models.ScopeEncoder, st)
+	comm.PutF32(st)
+	return c.Model
+}
+
+// Selection exposes the agreed global selection (nil before agreement).
+func (s *SSFL) Selection() *prune.Selection { return s.agg.Selection() }

@@ -43,6 +43,10 @@ func TestCrossTransportEquivalence(t *testing.T) {
 		// agg builds the TCP-side aggregator; tr the TCP-side trainers.
 		agg func(global *models.SplitModel, cfg algo.Config) Aggregator
 		tr  func(c *algo.Client, cfg algo.Config) Trainer
+		// rounds overrides the default round count (0 = default). SSFL
+		// needs three: agreement, the index-bearing sparse round, and a
+		// values-only round — every wire phase must match bitwise.
+		rounds int
 	}{
 		{
 			name: "fedavg", spec: mlp, alg: &fl.FedAvg{},
@@ -73,11 +77,24 @@ func TestCrossTransportEquivalence(t *testing.T) {
 				return algo.NewSPATLTrainer(c, spatlOpts, cfg)
 			},
 		},
+		{
+			name: "ssfl", spec: resnet, alg: &fl.SSFL{}, rounds: 3,
+			agg: func(g *models.SplitModel, cfg algo.Config) Aggregator {
+				return algo.NewSSFLAggregator(g, algo.SSFLOptions{}, cfg)
+			},
+			tr: func(c *algo.Client, cfg algo.Config) Trainer {
+				return algo.NewSSFLTrainer(c, algo.SSFLOptions{}, cfg)
+			},
+		},
 	}
 
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
+			rounds := rounds
+			if tc.rounds != 0 {
+				rounds = tc.rounds
+			}
 			ds := data.SynthCIFAR(data.SynthCIFARConfig{Classes: classes, H: 8, W: 8, Noise: 0.25}, clients*60, 1, 2)
 			parts := data.DirichletPartition(ds.Y, classes, clients, 0.5, 10, rand.New(rand.NewSource(3)))
 			cd := make([]fl.ClientData, clients)

@@ -37,8 +37,15 @@ func treeFixture(t *testing.T, clients int, seed int64) (models.Spec, []fl.Clien
 // finish. Returns the root server for post-run assertions.
 func startTree(t *testing.T, spec models.Spec, cd []fl.ClientData, cfg algo.Config,
 	global *models.SplitModel, shards, rounds int, seed int64, tel *telemetry.Set,
-	edgeCfg func(shard int, base EdgeConfig) EdgeConfig, clientMayFail func(id int) bool) *TreeServer {
+	edgeCfg func(shard int, base EdgeConfig) EdgeConfig, clientMayFail func(id int) bool,
+	agg Aggregator, newTrainer func(c *algo.Client) Trainer) *TreeServer {
 	t.Helper()
+	if agg == nil {
+		agg = algo.NewFedAvgAggregator(global, cfg)
+	}
+	if newTrainer == nil {
+		newTrainer = func(c *algo.Client) Trainer { return algo.NewFedAvgTrainer(c, cfg) }
+	}
 	clients := len(cd)
 	root, err := NewTreeServer(TreeServerConfig{
 		Addr: "127.0.0.1:0", Shards: shards, Clients: clients, Rounds: rounds, Seed: seed,
@@ -49,7 +56,7 @@ func startTree(t *testing.T, spec models.Spec, cd []fl.ClientData, cfg algo.Conf
 	}
 	globalInit := global.State(models.ScopeAll)
 	rootErr := make(chan error, 1)
-	go func() { rootErr <- root.Run(algo.NewFedAvgAggregator(global, cfg)) }()
+	go func() { rootErr <- root.Run(agg) }()
 
 	var wg sync.WaitGroup
 	for sh := 0; sh < shards; sh++ {
@@ -73,7 +80,7 @@ func startTree(t *testing.T, spec models.Spec, cd []fl.ClientData, cfg algo.Conf
 		for i := lo; i < hi; i++ {
 			m := models.Build(spec, seed+int64(1000+i))
 			m.SetState(models.ScopeAll, globalInit)
-			tr := algo.NewFedAvgTrainer(&algo.Client{ID: i, Train: cd[i].Train, Val: cd[i].Val, Model: m}, cfg)
+			tr := newTrainer(&algo.Client{ID: i, Train: cd[i].Train, Val: cd[i].Val, Model: m})
 			wg.Add(1)
 			go func(i int, addr string) {
 				defer wg.Done()
@@ -133,7 +140,7 @@ func TestTreeCrossTransportEquivalence(t *testing.T) {
 	tcpTel := telemetry.New(&tcpJournal)
 	tcpTel.Journal.SetZeroTime(true)
 	global := models.Build(spec, seed)
-	root := startTree(t, spec, cd, cfg, global, shards, rounds, seed, tcpTel, nil, nil)
+	root := startTree(t, spec, cd, cfg, global, shards, rounds, seed, tcpTel, nil, nil, nil, nil)
 
 	simState := env.Global.State(models.ScopeAll)
 	tcpState := global.State(models.ScopeAll)
@@ -228,6 +235,7 @@ func TestTreeEdgeChurn(t *testing.T) {
 			return base
 		},
 		func(id int) bool { return id >= lo }, // shard 1 clients die with their edge
+		nil, nil,
 	)
 
 	if err := tel.Journal.Flush(); err != nil {
@@ -345,5 +353,190 @@ func TestAsyncQuorumRounds(t *testing.T) {
 	}
 	if srv.Drops() != 0 {
 		t.Fatalf("async stragglers must not count as drops, got %d", srv.Drops())
+	}
+}
+
+// TestTreeSSFLShardedEquivalence: the SSFL protocol — mask agreement,
+// one index-bearing sparse round, then values-only rounds — must be
+// transport-invariant on the sharded tree too: in-process
+// fl.ShardedSim and TreeServer+Edges produce bitwise-identical global
+// models and byte-identical zero-time journals, including the
+// mask_agreement event at the same position.
+func TestTreeSSFLShardedEquivalence(t *testing.T) {
+	const (
+		clients = 6
+		shards  = 3
+		rounds  = 3 // agreement + index-bearing + values-only
+		seed    = 47
+		classes = 4
+	)
+	spec := models.Spec{Arch: "resnet20", Classes: classes, InC: 3, H: 8, W: 8, Width: 0.25}
+	ds := data.SynthCIFAR(data.SynthCIFARConfig{Classes: classes, H: 8, W: 8, Noise: 0.25}, clients*40, 1, 2)
+	parts := data.DirichletPartition(ds.Y, classes, clients, 0.5, 10, rand.New(rand.NewSource(3)))
+	cd := make([]fl.ClientData, clients)
+	for i := range cd {
+		cd[i].Train, cd[i].Val = ds.Subset(parts[i]).Split(0.8)
+	}
+
+	// In-process sharded simulation, full participation.
+	env := fl.NewEnv(spec, fl.Config{
+		NumClients: clients, SampleRatio: 1, LocalEpochs: 1,
+		BatchSize: 16, LR: 0.02, Momentum: 0.9, Seed: seed,
+	}, cd)
+	var simJournal bytes.Buffer
+	simTel := telemetry.New(&simJournal)
+	simTel.Journal.SetZeroTime(true)
+	env.EnableTelemetry(simTel)
+	cfg := env.AlgoConfig()
+	trainers := make([]algo.Trainer, clients)
+	for i, c := range env.Clients {
+		trainers[i] = algo.NewSSFLTrainer(c, algo.SSFLOptions{}, cfg)
+	}
+	sim := fl.NewShardedSim(env, algo.NewSSFLAggregator(env.Global, algo.SSFLOptions{}, cfg), trainers, shards)
+	all := make([]int, clients)
+	for i := range all {
+		all[i] = i
+	}
+	for r := 0; r < rounds; r++ {
+		sim.Round(r, all)
+	}
+
+	// The identical federation over a TCP tree.
+	var tcpJournal bytes.Buffer
+	tcpTel := telemetry.New(&tcpJournal)
+	tcpTel.Journal.SetZeroTime(true)
+	global := models.Build(spec, seed)
+	root := startTree(t, spec, cd, cfg, global, shards, rounds, seed, tcpTel, nil, nil,
+		algo.NewSSFLAggregator(global, algo.SSFLOptions{}, cfg),
+		func(c *algo.Client) Trainer { return algo.NewSSFLTrainer(c, algo.SSFLOptions{}, cfg) },
+	)
+
+	simState := env.Global.State(models.ScopeAll)
+	tcpState := global.State(models.ScopeAll)
+	if len(simState) != len(tcpState) {
+		t.Fatalf("state length %d vs %d", len(simState), len(tcpState))
+	}
+	for j := range simState {
+		if math.Float32bits(simState[j]) != math.Float32bits(tcpState[j]) {
+			t.Fatalf("global state[%d] differs bitwise: %x (sim) vs %x (tree)",
+				j, math.Float32bits(simState[j]), math.Float32bits(tcpState[j]))
+		}
+	}
+
+	// Client-facing uplink matches, and pooling's only overhead is the
+	// 12-byte entry header per upload — sparse frames ride it unchanged.
+	m := root.Meter()
+	if env.Meter.Up() != m.Up() {
+		t.Fatalf("client-facing uplink bytes differ: sim %d, tree %d", env.Meter.Up(), m.Up())
+	}
+	if m.RelayUp() != m.Up()+int64(12*clients*rounds) {
+		t.Fatalf("relay uplink %d != client uplink %d + entry headers", m.RelayUp(), m.Up())
+	}
+
+	if err := simTel.Journal.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tcpTel.Journal.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(simJournal.Bytes(), []byte(`"ev":"mask_agreement"`)) {
+		t.Fatalf("sharded journal lacks the mask_agreement event:\n%s", simJournal.Bytes())
+	}
+	if !bytes.Equal(simJournal.Bytes(), tcpJournal.Bytes()) {
+		t.Fatalf("journals diverge across transports:\nsim:\n%s\ntree:\n%s",
+			simJournal.Bytes(), tcpJournal.Bytes())
+	}
+}
+
+// TestAsyncQuorumSSFL: SSFL under async quorum rounds. Round 0 closes
+// on a quorum of score uploads; a straggler's late round-0 score frame
+// lands inside a mask-static round, where it cannot decode as packed
+// values — the aggregator must count it as a drop and keep federating,
+// never panic or densify.
+func TestAsyncQuorumSSFL(t *testing.T) {
+	const (
+		clients = 3
+		rounds  = 3
+		seed    = 83
+		classes = 4
+	)
+	spec := models.Spec{Arch: "resnet20", Classes: classes, InC: 3, H: 8, W: 8, Width: 0.25}
+	ds := data.SynthCIFAR(data.SynthCIFARConfig{Classes: classes, H: 8, W: 8, Noise: 0.25}, clients*40, 1, 2)
+	parts := data.DirichletPartition(ds.Y, classes, clients, 0.5, 10, rand.New(rand.NewSource(3)))
+	cd := make([]fl.ClientData, clients)
+	for i := range cd {
+		cd[i].Train, cd[i].Val = ds.Subset(parts[i]).Split(0.8)
+	}
+	cfg := algo.Config{NumClients: clients, LocalEpochs: 1, BatchSize: 16, LR: 0.02, Momentum: 0.9, Seed: seed}
+
+	var journal bytes.Buffer
+	tel := telemetry.New(&journal)
+	tel.Journal.SetZeroTime(true)
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", Clients: clients, Rounds: rounds, Seed: seed,
+		Quorum: 2, StragglerTimeout: 30 * time.Second,
+		Tel: tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := models.Build(spec, seed)
+	globalInit := global.State(models.ScopeAll)
+	agg := algo.NewSSFLAggregator(global, algo.SSFLOptions{}, cfg)
+	serverErr := make(chan error, 1)
+	go func() { serverErr <- srv.Run(agg) }()
+
+	// Client 2's round-0 score upload straggles past the quorum; clients
+	// 0 and 1 straggle in round 1 so the late score frame demonstrably
+	// lands inside the mask-static collect window.
+	delays := map[int]map[int]time.Duration{
+		0: {1: 900 * time.Millisecond},
+		1: {1: 900 * time.Millisecond},
+		2: {0: 300 * time.Millisecond},
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		m := models.Build(spec, seed+int64(1000+i))
+		m.SetState(models.ScopeAll, globalInit)
+		tr := &delayedTrainer{
+			Trainer: algo.NewSSFLTrainer(&algo.Client{ID: i, Train: cd[i].Train, Val: cd[i].Val, Model: m}, algo.SSFLOptions{}, cfg),
+			delays:  delays[i],
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := RunClient(srv.Addr(), uint32(i), cd[i].Train.Len(), tr); err != nil {
+				t.Errorf("client %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := <-serverErr; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	if err := tel.Journal.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if srv.LateUploads() < 1 {
+		t.Fatalf("late uploads = %d, want >= 1", srv.LateUploads())
+	}
+	// The late round-0 score frame cannot fold into a mask-static round.
+	if agg.Dropped() < 1 {
+		t.Fatalf("aggregator drops = %d, want >= 1 (late score frame at packed phase)", agg.Dropped())
+	}
+	j := journal.Bytes()
+	if !bytes.Contains(j, []byte(`"ev":"quorum_reached"`)) {
+		t.Fatalf("journal records no quorum_reached events:\n%s", j)
+	}
+	if !bytes.Contains(j, []byte(`"ev":"mask_agreement"`)) {
+		t.Fatalf("journal records no mask_agreement event:\n%s", j)
+	}
+	// The global must still be finite and masked: SSFL quorum rounds
+	// average whichever packed uploads arrive.
+	for i, v := range global.State(models.ScopeAll) {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatalf("global state[%d] is not finite after quorum rounds: %v", i, v)
+		}
 	}
 }

@@ -78,3 +78,93 @@ func TestMaskFromScoresMatchesStableSort(t *testing.T) {
 		}
 	}
 }
+
+// TestMaskFromScoresEdgeCases pins the boundary behavior the SSFL
+// mask-agreement round depends on: ratio 0 clamps to a single
+// survivor, ratio 1 keeps every channel, all-equal scores resolve ties
+// by lowest index, and non-finite scores select deterministically —
+// NaN is normalized to -Inf (never salient unless the keep count
+// forces it) because the raw comparator is not a total order under
+// NaN; ±Inf rank as ordinary extremes.
+func TestMaskFromScoresEdgeCases(t *testing.T) {
+	// ratio 0 keeps exactly the top channel.
+	m := MaskFromScores([]float64{2, 9, 4}, 0)
+	if m.Kept != 1 || !m.Keep[1] {
+		t.Fatalf("ratio 0: kept=%d keep=%v, want only channel 1", m.Kept, m.Keep)
+	}
+	// ratio 1 keeps everything, NaN included.
+	m = MaskFromScores([]float64{math.NaN(), 1, math.Inf(-1)}, 1)
+	if m.Kept != 3 || !m.Keep[0] || !m.Keep[1] || !m.Keep[2] {
+		t.Fatalf("ratio 1: kept=%d keep=%v, want all", m.Kept, m.Keep)
+	}
+	// All-equal scores: ties break to the lowest indices.
+	m = MaskFromScores([]float64{5, 5, 5, 5}, 0.5)
+	if m.Kept != 2 || !m.Keep[0] || !m.Keep[1] || m.Keep[2] || m.Keep[3] {
+		t.Fatalf("all-equal: keep=%v, want channels 0,1", m.Keep)
+	}
+	// NaN loses to every ranked score, including -Inf ties broken by
+	// index: with one slot, the finite channel wins.
+	m = MaskFromScores([]float64{math.NaN(), math.NaN(), 1}, 0.3)
+	if m.Kept != 1 || !m.Keep[2] {
+		t.Fatalf("NaN never salient: keep=%v, want only channel 2", m.Keep)
+	}
+	// All-NaN scores: the forced keep resolves to the lowest indices.
+	m = MaskFromScores([]float64{math.NaN(), math.NaN(), math.NaN()}, 0.67)
+	if m.Kept != 3 || !m.Keep[0] {
+		t.Fatalf("all-NaN: kept=%d keep=%v", m.Kept, m.Keep)
+	}
+}
+
+// TestMaskFromScoresNonFiniteMatchesReference drives random NaN/±Inf
+// mixtures through quickselect and the stable-sort reference (on the
+// same NaN→-Inf normalization — raw NaN breaks the sort comparator
+// too), asserting identical selections and that the caller's score
+// slice is never mutated by the normalization.
+func TestMaskFromScoresNonFiniteMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, n := range []int{1, 2, 5, 17, 64, 100} {
+		for trial := 0; trial < 12; trial++ {
+			scores := make([]float64, n)
+			for i := range scores {
+				switch rng.Intn(5) {
+				case 0:
+					scores[i] = math.NaN()
+				case 1:
+					scores[i] = math.Inf(1)
+				case 2:
+					scores[i] = math.Inf(-1)
+				default:
+					scores[i] = rng.NormFloat64()
+				}
+			}
+			orig := append([]float64(nil), scores...)
+			normalized := make([]float64, n)
+			for i, s := range scores {
+				if math.IsNaN(s) {
+					normalized[i] = math.Inf(-1)
+				} else {
+					normalized[i] = s
+				}
+			}
+			for _, ratio := range []float64{0, 0.3, 0.5, 1} {
+				got := MaskFromScores(scores, ratio)
+				want := sortMaskFromScores(normalized, ratio)
+				if got.Kept != want.Kept {
+					t.Fatalf("n=%d trial=%d ratio=%v: kept %d, want %d", n, trial, ratio, got.Kept, want.Kept)
+				}
+				for i := range want.Keep {
+					if got.Keep[i] != want.Keep[i] {
+						t.Fatalf("n=%d trial=%d ratio=%v: Keep[%d]=%v, want %v",
+							n, trial, ratio, i, got.Keep[i], want.Keep[i])
+					}
+				}
+			}
+			for i := range scores {
+				same := scores[i] == orig[i] || (math.IsNaN(scores[i]) && math.IsNaN(orig[i]))
+				if !same {
+					t.Fatalf("n=%d trial=%d: input scores[%d] mutated: %v -> %v", n, trial, i, orig[i], scores[i])
+				}
+			}
+		}
+	}
+}

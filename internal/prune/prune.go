@@ -59,7 +59,12 @@ func ChannelScores(c *nn.Conv2D) []float64 {
 }
 
 // MaskFromScores keeps the ceil(ratio·C) highest-scoring channels
-// (always at least one).
+// (always at least one). NaN scores are normalized to -Inf before
+// ranking: NaN breaks scoreLess's total order (NaN compares unequal
+// yet not greater, so two NaN channels would be mutually unordered and
+// the selection would depend on partition internals) — normalized, a
+// NaN channel is never salient unless the keep count forces it, and
+// ties resolve by index as everywhere else.
 func MaskFromScores(scores []float64, ratio float64) Mask {
 	n := len(scores)
 	keep := int(math.Ceil(ratio * float64(n)))
@@ -68,6 +73,16 @@ func MaskFromScores(scores []float64, ratio float64) Mask {
 	}
 	if keep > n {
 		keep = n
+	}
+	normalized := false
+	for i, s := range scores {
+		if math.IsNaN(s) {
+			if !normalized {
+				scores = append([]float64(nil), scores...)
+				normalized = true
+			}
+			scores[i] = math.Inf(-1)
+		}
 	}
 	order := make([]int, n)
 	for i := range order {

@@ -32,6 +32,7 @@ const (
 	EvShardDrop    = "shard_drop"        // root: an entire shard's contribution was lost
 	EvQuorum       = "quorum_reached"    // server: round closed at quorum K before the deadline
 	EvLateUpload   = "late_upload"       // server: straggler upload folded into a later round
+	EvMaskAgree    = "mask_agreement"    // server: SSFL global mask agreed, sparse epoch begins
 )
 
 // NoClient marks events that are not scoped to one client.
@@ -126,6 +127,16 @@ func Quorum(round, n int) Event {
 // round (FedBuff-style buffered aggregation); bytes is the payload size.
 func LateUpload(round, client int, bytes int64) Event {
 	return Event{Ev: EvLateUpload, Round: round, Client: client, Bytes: bytes}
+}
+
+// MaskAgreement: the server reduced client saliency scores into the
+// global mask at the end of round; n is the number of salient state
+// elements and bytes the values-only frame size each subsequent round
+// will carry per payload. Emitted once per federation, from sequential
+// aggregation code — it appears at the same journal position on every
+// transport.
+func MaskAgreement(round, n int, bytes int64) Event {
+	return Event{Ev: EvMaskAgree, Round: round, Client: NoClient, N: n, Bytes: bytes}
 }
 
 // Journal serializes events as JSONL. Emission takes a mutex — journal

@@ -25,6 +25,11 @@ func allEvents() []Event {
 		Aggregate(0, 1, 900),
 		Eval(0, 0.8125),
 		ClientApply(0, 0, 64),
+		ShardPush(0, 1, 2, 256),
+		ShardDrop(0, 1, 2),
+		Quorum(0, 2),
+		LateUpload(0, 2, 64),
+		MaskAgreement(0, 48, 197),
 		RoundEnd(0, 64, 384),
 	}
 }

@@ -40,8 +40,9 @@ if [[ "${1:-}" == "--hot" ]]; then
     go vet ./...
     echo "== hot path: race hammer =="
     go test -race ./internal/tensor ./internal/nn ./internal/algo ./internal/flnet
-    echo "== hot path: shard/quorum hammer =="
-    go test -race -run 'Shard|Tree|Async|Quorum|Massive' ./internal/algo ./internal/flnet ./internal/fl
+    echo "== hot path: shard/quorum/sparse hammer =="
+    go test -race -run 'Shard|Tree|Async|Quorum|Massive|SSFL|MaskAgree|MaskStatic|MaskPat' \
+        ./internal/algo ./internal/flnet ./internal/fl ./internal/nn ./internal/tensor
 fi
 
 if [[ "${1:-}" == "--bench" ]]; then
