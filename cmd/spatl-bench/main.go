@@ -5,6 +5,14 @@
 //	spatl-bench -exp all -scale tiny -csv out/
 //	spatl-bench -list
 //
+// Scenario matrices sweep algorithm x participation x skew x transport
+// cross-products from one declarative JSON spec (see EXPERIMENTS.md),
+// emitting one zero-time journal per cell plus a comparison report:
+//
+//	spatl-bench -matrix quick -out out/quick
+//	spatl-bench -matrix path/to/matrix.json -dry
+//	spatl-bench -matrix list
+//
 // Scales: tiny (seconds, smoke), small (laptop reproduction, default),
 // paper (the paper's client counts and model widths; many hours in pure
 // Go).
@@ -39,8 +47,25 @@ func main() {
 		gate      = flag.Bool("gate", false, "with -micro and -baseline: exit nonzero if any benchmark regressed beyond -tolerance")
 		tolerance = flag.Float64("tolerance", 0.15, "with -gate: allowed fractional slowdown before failing")
 		journal   = flag.String("journal", "", "append the JSONL round journal of every experiment run to this file")
+
+		matrixF   = flag.String("matrix", "", "run a scenario matrix: preset name, JSON file (matrix or single spec), or 'list'")
+		matrixOut = flag.String("out", "matrix-out", "with -matrix: directory for per-cell journals and the comparison report")
+		workers   = flag.Int("workers", 0, "with -matrix: concurrent cells (default min(4, GOMAXPROCS))")
+		force     = flag.Bool("force", false, "with -matrix: run past the matrix cell cap")
+		dry       = flag.Bool("dry", false, "with -matrix: print the expanded cells without running them")
 	)
 	flag.Parse()
+
+	if *matrixF != "" {
+		if *list {
+			*matrixF = "list"
+		}
+		if err := runMatrixCmd(*matrixF, *matrixOut, *workers, *force, *dry); err != nil {
+			fmt.Fprintln(os.Stderr, "spatl-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *journal != "" {
 		jf, err := os.OpenFile(*journal, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)

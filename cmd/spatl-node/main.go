@@ -45,7 +45,7 @@ import (
 	"spatl/internal/eval"
 	"spatl/internal/flnet"
 	"spatl/internal/models"
-	"spatl/internal/rl"
+	"spatl/internal/scenario"
 	"spatl/internal/telemetry"
 )
 
@@ -62,6 +62,14 @@ func main() {
 		lr      = flag.Float64("lr", 0.02, "local learning rate (client)")
 		seed    = flag.Int64("seed", 1, "shared federation seed (must match across nodes)")
 		save    = flag.String("save", "", "write the final model checkpoint here (client)")
+
+		// Per-algorithm hyperparameters, routed through the shared
+		// scenario registry — the same knobs spatl-bench matrix cells
+		// configure. Must match across every node of a federation.
+		mu          = flag.Float64("mu", 0, "fedprox: proximal coefficient override (0 = paper default)")
+		keepRatio   = flag.Float64("keep-ratio", 0, "ssfl: kept-channel fraction (0 = default 0.5)")
+		algoLR      = flag.Float64("algo-lr", 0, "per-algorithm learning-rate override (takes precedence over -lr)")
+		flopsBudget = flag.Float64("flops-budget", 0, "spatl: sub-network FLOPs budget (0 = default 0.6)")
 
 		helloTimeout     = flag.Duration("hello-timeout", 30*time.Second, "server: max wait for a client's registration frame")
 		stragglerTimeout = flag.Duration("straggler-timeout", 0, "server: max wait for a round upload before dropping the client (0 = wait forever)")
@@ -108,29 +116,30 @@ func main() {
 	}
 
 	spec := models.Spec{Arch: "resnet20", Classes: 6, InC: 3, H: 16, W: 16, Width: 0.25}
+	// Algorithm construction goes through the scenario registry — the
+	// single construction path shared with the in-process simulator and
+	// spatl-bench matrix cells.
+	entry, err := scenario.Lookup(*algoF)
+	if err != nil {
+		fatal(fmt.Errorf("unknown -algo %q", *algoF))
+	}
+	params := scenario.Params{
+		ProxMu: *mu, KeepRatio: *keepRatio, LR: *algoLR,
+		FLOPsBudget: *flopsBudget, Seed: *seed,
+	}
 	// The shared hyperparameters; Seed must match across every node so
-	// the per-(round, client) training seeds line up.
+	// the per-(round, client) training seeds line up. The registry merges
+	// the per-algorithm overrides (-mu, -algo-lr, ...) on top.
 	cfg := algo.Config{
 		NumClients: *clients, LocalEpochs: *epochs, BatchSize: 16,
 		LR: *lr, Momentum: 0.9, Seed: *seed,
 	}
-	spatlOpts := algo.SPATLOptions{AgentCfg: rl.AgentConfig{Dim: 16, HeadHidden: 32, Seed: *seed + 31}}
+	if entry.Tune != nil {
+		entry.Tune(params, &cfg)
+	}
 
 	buildAgg := func(global *models.SplitModel) flnet.Aggregator {
-		switch *algoF {
-		case "fedavg", "fedprox": // FedProx's proximal term is client-side
-			return algo.NewFedAvgAggregator(global, cfg)
-		case "scaffold":
-			return algo.NewSCAFFOLDAggregator(global, cfg)
-		case "fednova":
-			return algo.NewFedNovaAggregator(global, cfg)
-		case "spatl":
-			return algo.NewSPATLAggregator(global, spatlOpts, cfg)
-		case "ssfl":
-			return algo.NewSSFLAggregator(global, algo.SSFLOptions{}, cfg)
-		}
-		fatal(fmt.Errorf("unknown -algo %q", *algoF))
-		return nil
+		return entry.NewAggregator(global, params, cfg)
 	}
 
 	switch *role {
@@ -211,23 +220,7 @@ func main() {
 		// The model must start from the server's initialization so the
 		// federation is reproducible across transports.
 		c := &algo.Client{ID: *id, Train: train, Val: val, Model: models.Build(spec, *seed)}
-		var tr flnet.Trainer
-		switch *algoF {
-		case "fedavg":
-			tr = algo.NewFedAvgTrainer(c, cfg)
-		case "fedprox":
-			tr = algo.NewFedProxTrainer(c, cfg)
-		case "scaffold":
-			tr = algo.NewSCAFFOLDTrainer(c, cfg)
-		case "fednova":
-			tr = algo.NewFedNovaTrainer(c, cfg)
-		case "spatl":
-			tr = algo.NewSPATLTrainer(c, spatlOpts, cfg)
-		case "ssfl":
-			tr = algo.NewSSFLTrainer(c, algo.SSFLOptions{}, cfg)
-		default:
-			fatal(fmt.Errorf("unknown -algo %q", *algoF))
-		}
+		tr := entry.NewTrainer(c, params, cfg)
 		fmt.Printf("spatl-node client %d/%d (%s): %d train / %d val samples, dialing %s...\n",
 			*id, *of, *algoF, train.Len(), val.Len(), *addr)
 		err := flnet.RunClientOpts(*addr, uint32(*id), train.Len(), tr,

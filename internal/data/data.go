@@ -11,6 +11,7 @@ package data
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"spatl/internal/tensor"
 )
@@ -158,6 +159,52 @@ func DirichletPartition(labels []int, classes, numClients int, alpha float64, mi
 			return parts
 		}
 	}
+}
+
+// ShardPartition splits example indices across numClients clients by
+// the pathological label-shard scheme of the original FedAvg paper
+// ("noniid-#label"): examples are sorted by label, cut into
+// numClients·shardsPerClient equal shards, and each client is dealt
+// shardsPerClient shards at random. Small shardsPerClient means extreme
+// skew — with 2 shards each client sees at most 2 labels.
+func ShardPartition(labels []int, numClients, shardsPerClient int, rng *rand.Rand) [][]int {
+	if numClients <= 0 {
+		panic("data: numClients must be positive")
+	}
+	if shardsPerClient < 1 {
+		shardsPerClient = 1
+	}
+	// Stable label-major order: sort indices by (label, index).
+	order := make([]int, len(labels))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if labels[order[a]] != labels[order[b]] {
+			return labels[order[a]] < labels[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	nShards := numClients * shardsPerClient
+	if nShards > len(order) {
+		panic(fmt.Sprintf("data: ShardPartition needs at least %d examples for %d shards, got %d",
+			nShards, nShards, len(order)))
+	}
+	deal := rng.Perm(nShards)
+	parts := make([][]int, numClients)
+	for c := 0; c < numClients; c++ {
+		for k := 0; k < shardsPerClient; k++ {
+			sh := deal[c*shardsPerClient+k]
+			lo := sh * len(order) / nShards
+			hi := (sh + 1) * len(order) / nShards
+			parts[c] = append(parts[c], order[lo:hi]...)
+		}
+		// Shuffle within the client so train/val splits see its full
+		// label mix on both sides, as DirichletPartition does.
+		p := parts[c]
+		rng.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	}
+	return parts
 }
 
 // dirichlet samples a length-n probability vector from Dir(alpha,...,alpha)

@@ -292,3 +292,60 @@ func TestDirichletSumsToOne(t *testing.T) {
 		}
 	}
 }
+
+func TestShardPartitionCoversAndSkews(t *testing.T) {
+	const n, classes, clients, perClient = 600, 10, 6, 2
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i % classes
+	}
+	parts := ShardPartition(labels, clients, perClient, rand.New(rand.NewSource(7)))
+	if len(parts) != clients {
+		t.Fatalf("got %d parts, want %d", len(parts), clients)
+	}
+	seen := make([]bool, n)
+	for _, p := range parts {
+		for _, i := range p {
+			if seen[i] {
+				t.Fatalf("example %d assigned twice", i)
+			}
+			seen[i] = true
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("example %d unassigned", i)
+		}
+	}
+	// Pathological skew: each shard spans at most 2 labels (it can
+	// straddle one label boundary), so a client holds at most
+	// 2·shardsPerClient distinct labels — far below the full 10.
+	for c, p := range parts {
+		labelSet := map[int]bool{}
+		for _, i := range p {
+			labelSet[labels[i]] = true
+		}
+		if len(labelSet) > 2*perClient {
+			t.Fatalf("client %d sees %d labels, want <= %d", c, len(labelSet), 2*perClient)
+		}
+	}
+}
+
+func TestShardPartitionDeterministic(t *testing.T) {
+	labels := make([]int, 300)
+	for i := range labels {
+		labels[i] = i % 5
+	}
+	a := ShardPartition(labels, 4, 2, rand.New(rand.NewSource(3)))
+	b := ShardPartition(labels, 4, 2, rand.New(rand.NewSource(3)))
+	for c := range a {
+		if len(a[c]) != len(b[c]) {
+			t.Fatalf("client %d sizes differ", c)
+		}
+		for i := range a[c] {
+			if a[c][i] != b[c][i] {
+				t.Fatalf("client %d index %d differs", c, i)
+			}
+		}
+	}
+}

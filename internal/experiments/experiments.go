@@ -11,19 +11,17 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
-	"sync"
 	"text/tabwriter"
 
-	"spatl/internal/core"
 	"spatl/internal/data"
 	"spatl/internal/fl"
 	"spatl/internal/models"
 	"spatl/internal/plot"
 	"spatl/internal/rl"
+	"spatl/internal/scenario"
 	"spatl/internal/stats"
 	"spatl/internal/telemetry"
 )
@@ -187,26 +185,38 @@ var envTel *telemetry.Set
 // it back off.
 func SetTelemetry(s *telemetry.Set) { envTel = s }
 
+// SpecFromScale projects a scale preset onto a scenario spec — the
+// bridge that makes every driver a thin preset over the scenario layer.
+// The algorithm defaults to fedavg; NewAlgorithm swaps it per run.
+func SpecFromScale(s Scale, arch string, cs ClientSet, seed int64) scenario.Spec {
+	return scenario.Spec{
+		Algo: "fedavg", Arch: arch,
+		Classes: s.Classes, H: s.H, W: s.W, Width: s.Width,
+		Clients: cs.Clients, Participation: cs.Ratio, PerClient: s.PerClient,
+		Rounds: s.Rounds, LocalEpochs: s.LocalEpochs, BatchSize: s.BatchSize,
+		LR: s.LR, Momentum: 0.9, TargetAcc: s.TargetAcc,
+		Params: paramsFromScale(s, seed), Seed: seed,
+	}
+}
+
+// paramsFromScale carries the scale's SPATL knobs into the registry's
+// hyperparameter bag.
+func paramsFromScale(s Scale, seed int64) scenario.Params {
+	return scenario.Params{
+		FLOPsBudget: s.FLOPsBudget, AgentDim: s.AgentDim, AgentHidden: s.AgentHidden,
+		PretrainRounds: s.PretrainRounds, FineTuneRounds: s.FineTuneRounds,
+		FineTuneEpisodes: 2, Seed: seed,
+	}
+}
+
 // BuildCIFAREnv constructs the standard Non-IID-benchmark environment:
 // SynthCIFAR partitioned across clients by Dirichlet(α=0.5) label skew.
+// It delegates to the scenario layer; the seed derivations are the
+// historical ones, so outputs match the pre-scenario harness.
 func BuildCIFAREnv(s Scale, arch string, cs ClientSet, seed int64) *fl.Env {
-	cfg := fl.Config{
-		NumClients: cs.Clients, SampleRatio: cs.Ratio,
-		LocalEpochs: s.LocalEpochs, BatchSize: s.BatchSize,
-		LR: s.LR, Momentum: 0.9, Seed: seed,
-	}
-	total := cs.Clients * s.PerClient
-	ds := data.SynthCIFAR(cifarConfig(s), total, seed*3+101, seed*7+303)
-	parts := data.DirichletPartition(ds.Y, s.Classes, cs.Clients, 0.5, 10, rand.New(rand.NewSource(seed+11)))
-	cd := make([]fl.ClientData, len(parts))
-	for i, p := range parts {
-		sub := ds.Subset(p)
-		tr, va := sub.Split(0.8)
-		cd[i] = fl.ClientData{Train: tr, Val: va}
-	}
-	env := fl.NewEnv(specFor(s, arch), cfg, cd)
-	if envTel != nil {
-		env.EnableTelemetry(envTel)
+	env, err := scenario.BuildEnv(SpecFromScale(s, arch, cs, seed), envTel)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: BuildCIFAREnv: %v", err))
 	}
 	return env
 }
@@ -214,75 +224,40 @@ func BuildCIFAREnv(s Scale, arch string, cs ClientSet, seed int64) *fl.Env {
 // BuildFEMNISTEnv constructs the LEAF-style environment: SynthFEMNIST
 // with whole writers assigned to clients.
 func BuildFEMNISTEnv(s Scale, cs ClientSet, seed int64) *fl.Env {
-	cfg := fl.Config{
-		NumClients: cs.Clients, SampleRatio: cs.Ratio,
-		LocalEpochs: s.LocalEpochs, BatchSize: s.BatchSize,
-		LR: s.LR, Momentum: 0.9, Seed: seed,
-	}
-	total := cs.Clients * s.PerClient
-	set := data.SynthFEMNIST(data.SynthFEMNISTConfig{Writers: cs.Clients * 3}, total, seed*3+401, seed*7+409)
-	parts := data.ByWriterPartition(set, cs.Clients, rand.New(rand.NewSource(seed+13)))
-	cd := make([]fl.ClientData, len(parts))
-	for i, p := range parts {
-		sub := set.Subset(p)
-		tr, va := sub.Split(0.8)
-		cd[i] = fl.ClientData{Train: tr, Val: va}
-	}
-	env := fl.NewEnv(specFor(s, "cnn2"), cfg, cd)
-	if envTel != nil {
-		env.EnableTelemetry(envTel)
+	spec := SpecFromScale(s, "cnn2", cs, seed)
+	spec.Dataset = scenario.DataFEMNIST
+	env, err := scenario.BuildEnv(spec, envTel)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: BuildFEMNISTEnv: %v", err))
 	}
 	return env
 }
 
-// pretrainCache memoizes the pre-trained selection agent per scale so a
-// multi-experiment run pays for ResNet-56 pre-training once.
-var pretrainCache sync.Map
-
 // PretrainedAgent returns (and caches) an agent pre-trained on the
-// ResNet-56 pruning task at this scale — the paper's §V-A setup.
+// ResNet-56 pruning task at this scale — the paper's §V-A setup. The
+// cache lives in the scenario layer, shared with matrix runs.
 func PretrainedAgent(s Scale, seed int64) []float32 {
-	key := fmt.Sprintf("%s-%d", s.Name, seed)
-	if v, ok := pretrainCache.Load(key); ok {
-		return v.([]float32)
-	}
-	spec := specFor(s, "resnet56")
-	m := models.Build(spec, seed+21)
-	val := data.SynthCIFAR(cifarConfig(s), 40*s.Classes, seed*3+101, seed+23)
-	agent, _ := core.PretrainAgent(agentCfg(s, seed), m, val, s.FLOPsBudget, s.PretrainRounds, 4, seed+25)
-	blob := agent.Save()
-	pretrainCache.Store(key, blob)
-	return blob
+	return scenario.PretrainAgentBlob(SpecFromScale(s, "resnet20", ClientSet{Clients: 1, Ratio: 1}, seed))
 }
 
 func agentCfg(s Scale, seed int64) rl.AgentConfig {
 	return rl.AgentConfig{Dim: s.AgentDim, HeadHidden: s.AgentHidden, Seed: seed + 31}
 }
 
-// NewAlgorithm instantiates a fresh algorithm by name. SPATL instances
-// receive the scale's pre-trained selection agent.
+// NewAlgorithm instantiates a fresh algorithm by name through the
+// shared scenario registry — the same construction path spatl-bench
+// matrix cells and spatl-node use. SPATL instances receive the scale's
+// pre-trained selection agent.
 func NewAlgorithm(name string, s Scale, seed int64) fl.Algorithm {
-	switch name {
-	case "fedavg":
-		return &fl.FedAvg{}
-	case "fedprox":
-		return &fl.FedProx{}
-	case "fednova":
-		return &fl.FedNova{}
-	case "scaffold":
-		return &fl.SCAFFOLD{}
-	case "spatl":
-		return core.New(core.Options{
-			FLOPsBudget:      s.FLOPsBudget,
-			AgentCfg:         agentCfg(s, seed),
-			Pretrained:       PretrainedAgent(s, seed),
-			FineTuneRounds:   s.FineTuneRounds,
-			FineTuneEpisodes: 2,
-		})
-	case "ssfl":
-		return &fl.SSFL{} // KeepRatio defaults to 0.5
+	p := paramsFromScale(s, seed)
+	if name == "spatl" {
+		p.Pretrained = PretrainedAgent(s, seed)
 	}
-	panic(fmt.Sprintf("experiments: unknown algorithm %q", name))
+	alg, err := scenario.NewAlgorithm(name, p)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return alg
 }
 
 // Baselines is the comparison set used throughout the paper.

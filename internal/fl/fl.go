@@ -76,6 +76,28 @@ func (c Config) WithDefaults() Config {
 // algo.Client so simulation code and algorithm cores share the type.
 type Client = algo.Client
 
+// In-process topology kinds (Topology.Kind).
+const (
+	TopoFlat    = "flat"    // Sim: flat collection, one hop
+	TopoSharded = "sharded" // ShardedSim: two-level collection tree
+	TopoQuorum  = "quorum"  // QuorumSim: deterministic async quorum rounds
+)
+
+// Topology selects the in-process round driver an algorithm's Setup
+// wires (see NewDriver): the flat Sim, the sharded collection tree, or
+// the deterministic async-quorum loop. The zero value is the flat Sim —
+// every pre-existing caller keeps its behavior.
+type Topology struct {
+	Kind string // "" or TopoFlat | TopoSharded | TopoQuorum
+
+	// Shards is the collection-tree width (TopoSharded; default 2).
+	Shards int
+	// OnTimeFrac is the fraction of a round's uploads that beat the
+	// quorum close (TopoQuorum); the rest fold into the next round as
+	// late uploads. 0 or >=1 makes every upload on time.
+	OnTimeFrac float64
+}
+
 // Env is the shared simulation environment: the server's global model,
 // all clients, the communication meter and the experiment RNG.
 type Env struct {
@@ -85,6 +107,10 @@ type Env struct {
 	Global  *models.SplitModel
 	Meter   *comm.Meter
 	Rng     *rand.Rand
+
+	// Topo selects the in-process round driver (NewDriver). The zero
+	// value is the flat Sim.
+	Topo Topology
 
 	// Tel, when set via EnableTelemetry, receives spans, metrics and
 	// journal events from the round loop and every wired algorithm core.

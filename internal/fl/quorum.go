@@ -1,0 +1,116 @@
+package fl
+
+import (
+	"time"
+
+	"spatl/internal/algo"
+	"spatl/internal/telemetry"
+)
+
+// QuorumSim is the in-process analog of the async FedBuff-style quorum
+// server (flnet.ServerConfig.Quorum): each round closes before every
+// upload has arrived, and the stragglers' uploads fold into the next
+// round instead of being lost. Which uploads miss the close is decided
+// deterministically per (seed, round, client) — the same device that
+// MassiveSim's OnTimeFrac uses — so unlike the TCP server's
+// wall-clock-raced quorum, a seeded QuorumSim run is bitwise
+// reproducible and its zero-time journal is byte-identical across
+// repetitions.
+//
+// Journal order per round: round_start; late_upload per straggler payload
+// carried over from the previous round (in the order they were deferred);
+// then per selected client, in selection order, client_upload or drop;
+// quorum_reached; aggregate; round_end. All emission happens from
+// sequential code.
+type QuorumSim struct {
+	Env      *Env
+	Agg      algo.Aggregator
+	Trainers []algo.Trainer // indexed by client ID
+
+	// OnTimeFrac is the fraction of uploads beating each round's close;
+	// 0 or >=1 degrades to the synchronous Sim round.
+	OnTimeFrac float64
+
+	pending []lateUpload // stragglers' payloads awaiting the next round
+}
+
+// NewQuorumSim wires a quorum simulator, installing telemetry on every
+// core as NewSim does.
+func NewQuorumSim(env *Env, agg algo.Aggregator, trainers []algo.Trainer, onTimeFrac float64) *QuorumSim {
+	if env.Tel != nil {
+		cores := make([]any, 0, len(trainers)+1)
+		cores = append(cores, agg)
+		for _, t := range trainers {
+			cores = append(cores, t)
+		}
+		algo.Wire(env.Tel, cores...)
+	}
+	return &QuorumSim{Env: env, Agg: agg, Trainers: trainers, OnTimeFrac: onTimeFrac}
+}
+
+// Pending reports how many straggler uploads are waiting to fold into
+// the next round (uploads deferred at the end of the federation are
+// never folded, matching the TCP server's behavior at shutdown).
+func (s *QuorumSim) Pending() int { return len(s.pending) }
+
+// Round runs one communication round over the selected clients.
+func (s *QuorumSim) Round(round int, selected []int) {
+	env := s.Env
+	tel := env.Tel
+	payload := s.Agg.Broadcast(round)
+	tel.Emit(telemetry.RoundStart(round, len(selected), int64(len(payload))))
+
+	// Stragglers from the previous round land first: fold them into
+	// this round before its own collect, FedBuff-style.
+	collected := 0
+	for _, lu := range s.pending {
+		env.Meter.AddUp(len(lu.payload))
+		tel.Emit(telemetry.LateUpload(round, int(lu.client), int64(len(lu.payload))))
+		s.Agg.Collect(round, lu.client, lu.trainSize, lu.payload)
+		collected++
+	}
+	s.pending = s.pending[:0]
+
+	ups := make([][]byte, len(selected))
+	durs := make([]int64, len(selected))
+	ParallelClients(selected, func(pos int) {
+		ci := selected[pos]
+		env.Meter.AddDown(len(payload))
+		if env.ClientFailed(round, ci) {
+			return // crashed after download: upload lost
+		}
+		t0 := time.Now()
+		ups[pos] = s.Trainers[ci].LocalUpdate(round, payload)
+		durs[pos] = time.Since(t0).Nanoseconds()
+	})
+
+	onTime := 0
+	for pos, ci := range selected {
+		if ups[pos] == nil {
+			tel.Emit(telemetry.Drop(round, ci))
+			continue
+		}
+		if !massiveOnTime(env.Cfg.Seed, round, ci, s.OnTimeFrac) {
+			// Missed the quorum close: the payload slice is owned by the
+			// trainer and reused next round, so defer a copy.
+			s.pending = append(s.pending, lateUpload{
+				client:    uint32(ci),
+				trainSize: env.Clients[ci].Train.Len(),
+				payload:   append([]byte(nil), ups[pos]...),
+			})
+			continue
+		}
+		onTime++
+		env.Meter.AddUp(len(ups[pos]))
+		tel.Emit(telemetry.ClientUpload(round, ci, int64(len(ups[pos])), durs[pos]))
+		s.Agg.Collect(round, uint32(ci), env.Clients[ci].Train.Len(), ups[pos])
+		collected++
+	}
+	if s.OnTimeFrac > 0 && s.OnTimeFrac < 1 {
+		tel.Emit(telemetry.Quorum(round, onTime))
+	}
+	t0 := time.Now()
+	s.Agg.FinishRound(round)
+	tel.Emit(telemetry.Aggregate(round, collected, time.Since(t0).Nanoseconds()))
+	tel.Emit(telemetry.RoundEnd(round, env.Meter.Up(), env.Meter.Down()))
+}

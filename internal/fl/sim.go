@@ -1,11 +1,37 @@
 package fl
 
 import (
+	"fmt"
 	"time"
 
 	"spatl/internal/algo"
 	"spatl/internal/telemetry"
 )
+
+// Driver is one in-process round transport: it moves the payloads of a
+// single communication round between an aggregator and the selected
+// clients' trainers. Sim (flat), ShardedSim (collection tree) and
+// QuorumSim (deterministic async quorum) all implement it; NewDriver
+// picks the one the environment's Topology asks for, so algorithms wire
+// their cores once and run over any in-process topology.
+type Driver interface {
+	Round(round int, selected []int)
+}
+
+// NewDriver wires the topology-selected round driver for the
+// environment. The zero Topology yields the flat Sim — the historical
+// behavior of every algorithm's Setup.
+func NewDriver(env *Env, agg algo.Aggregator, trainers []algo.Trainer) Driver {
+	switch env.Topo.Kind {
+	case "", TopoFlat:
+		return NewSim(env, agg, trainers)
+	case TopoSharded:
+		return NewShardedSim(env, agg, trainers, env.Topo.Shards)
+	case TopoQuorum:
+		return NewQuorumSim(env, agg, trainers, env.Topo.OnTimeFrac)
+	}
+	panic(fmt.Sprintf("fl: unknown topology kind %q", env.Topo.Kind))
+}
 
 // Sim is the in-process transport: it drives a transport-agnostic
 // algorithm core (algo.Aggregator + one algo.Trainer per client) through

@@ -47,6 +47,38 @@ var Mobile = Profile{MedianUpMbps: 8, MedianDownMbps: 40, Spread: 0.6, LatencyMs
 // Broadband approximates fixed-line clients.
 var Broadband = Profile{MedianUpMbps: 40, MedianDownMbps: 200, Spread: 0.4, LatencyMs: 15}
 
+// ProfileByName resolves the named link populations ("mobile",
+// "broadband"); ok is false for unknown names.
+func ProfileByName(name string) (Profile, bool) {
+	switch name {
+	case "mobile":
+		return Mobile, true
+	case "broadband":
+		return Broadband, true
+	}
+	return Profile{}, false
+}
+
+// ComputeProfile parameterizes per-client local-training time:
+// log-normal around a median, the same long-tailed shape the link
+// populations use — the compute-heterogeneity axis (a phone SoC vs a
+// desktop GPU differ by orders of magnitude on the same local epoch).
+type ComputeProfile struct {
+	MedianSec float64
+	Spread    float64 // sigma of ln-time; 0 = homogeneous fleet
+}
+
+// SampleCompute draws n per-client local-update durations from the
+// profile.
+func SampleCompute(n int, p ComputeProfile, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = p.MedianSec * math.Exp(rng.NormFloat64()*p.Spread)
+	}
+	return out
+}
+
 // SampleLinks draws n client links from the profile.
 func SampleLinks(n int, p Profile, seed int64) []Link {
 	rng := rand.New(rand.NewSource(seed))
@@ -91,6 +123,30 @@ func RoundTime(links []Link, selected []int, downBytes, upBytes int64, computeSe
 	for _, ci := range selected {
 		l := links[ci]
 		t := l.DownloadSec(downBytes) + computeSec + l.UploadSec(upBytes)
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// RoundTimeVar is RoundTime with per-client upload volume and compute
+// time: participant i (= selected[i]) downloads downBytes, computes for
+// computeSec[selected[i]] and uploads upBytes[i]; the server waits for
+// the slowest. upBytes entries may be 0 for participants whose upload
+// was lost (they still cost download + compute straggler time).
+// computeSec may be nil (no compute term).
+func RoundTimeVar(links []Link, selected []int, downBytes int64, upBytes []int64, computeSec []float64) float64 {
+	var worst float64
+	for i, ci := range selected {
+		l := links[ci]
+		t := l.DownloadSec(downBytes)
+		if computeSec != nil {
+			t += computeSec[ci]
+		}
+		if i < len(upBytes) && upBytes[i] > 0 {
+			t += l.UploadSec(upBytes[i])
+		}
 		if t > worst {
 			worst = t
 		}

@@ -81,3 +81,54 @@ func TestTimeToTarget(t *testing.T) {
 		t.Fatal("unreachable target must return -1")
 	}
 }
+
+func TestProfileByName(t *testing.T) {
+	if p, ok := ProfileByName("mobile"); !ok || p != Mobile {
+		t.Fatal("mobile profile not resolved")
+	}
+	if p, ok := ProfileByName("broadband"); !ok || p != Broadband {
+		t.Fatal("broadband profile not resolved")
+	}
+	if _, ok := ProfileByName("carrier-pigeon"); ok {
+		t.Fatal("unknown profile resolved")
+	}
+}
+
+func TestSampleComputeDeterministicAndSpread(t *testing.T) {
+	a := SampleCompute(50, ComputeProfile{MedianSec: 2, Spread: 0.8}, 9)
+	b := SampleCompute(50, ComputeProfile{MedianSec: 2, Spread: 0.8}, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("SampleCompute not deterministic in seed")
+		}
+		if a[i] <= 0 {
+			t.Fatal("non-positive compute time")
+		}
+	}
+	homo := SampleCompute(5, ComputeProfile{MedianSec: 2}, 9)
+	for _, v := range homo {
+		if v != 2 {
+			t.Fatalf("spread 0 must be homogeneous, got %v", v)
+		}
+	}
+}
+
+func TestRoundTimeVarWaitsForSlowest(t *testing.T) {
+	links := []Link{
+		{UpMbps: 8, DownMbps: 8, LatencyMs: 0},
+		{UpMbps: 1, DownMbps: 8, LatencyMs: 0}, // slow uplink
+	}
+	up := []int64{1e6, 1e6}
+	compute := []float64{1, 1}
+	got := RoundTimeVar(links, []int{0, 1}, 1e6, up, compute)
+	// Client 1 dominates: 1MB down at 8Mbps (1s) + 1s compute + 1MB up
+	// at 1Mbps (8s) = 10s.
+	if got < 9.9 || got > 10.1 {
+		t.Fatalf("round time %v, want ~10s", got)
+	}
+	// A lost upload still costs download + compute.
+	lost := RoundTimeVar(links, []int{1}, 1e6, []int64{0}, compute)
+	if lost < 1.9 || lost > 2.1 {
+		t.Fatalf("lost-upload time %v, want ~2s", lost)
+	}
+}

@@ -1,0 +1,128 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunCellDeterministicAcrossTransports: the load-bearing property —
+// the same spec run twice produces byte-identical zero-time journals,
+// on every transport the runner drives (including the real loopback-TCP
+// federation).
+func TestRunCellDeterministicAcrossTransports(t *testing.T) {
+	for _, tr := range []Transport{
+		{Kind: TransportSim},
+		{Kind: TransportSharded, Shards: 2},
+		{Kind: TransportQuorum, OnTimeFrac: 0.5},
+		{Kind: TransportTCP},
+	} {
+		tr := tr
+		t.Run(tr.transportTag(), func(t *testing.T) {
+			t.Parallel()
+			spec := microBase()
+			spec.Transport = tr
+			spec.Rounds = 2
+			var j1, j2 bytes.Buffer
+			if err := RunCell(spec, &j1); err != nil {
+				t.Fatal(err)
+			}
+			if err := RunCell(spec, &j2); err != nil {
+				t.Fatal(err)
+			}
+			if j1.Len() == 0 {
+				t.Fatal("empty journal")
+			}
+			if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+				t.Fatalf("journals differ across identical runs:\n%s\nvs\n%s", j1.String(), j2.String())
+			}
+			for _, ev := range []string{"round_start", "client_upload", "round_end", "eval"} {
+				if !strings.Contains(j1.String(), ev) {
+					t.Fatalf("journal missing %s events:\n%s", ev, j1.String())
+				}
+			}
+		})
+	}
+}
+
+// TestMatrixCellRerunsStandalone: a cell expanded from a matrix carries
+// its derived seed, so running that single cell standalone reproduces
+// the matrix's journal byte-for-byte — the ISSUE's re-run property.
+func TestMatrixCellRerunsStandalone(t *testing.T) {
+	m := Matrix{
+		Base: func() Spec { s := microBase(); s.Rounds = 2; return s }(),
+		Axes: Axes{Algos: []string{"fedavg", "fedprox"}},
+	}
+	dir := t.TempDir()
+	results, err := RunMatrix(m, RunOptions{OutDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("cell %s: %v", r.Key, r.Err)
+		}
+		fromMatrix, err := os.ReadFile(r.JournalPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Round-trip the cell through its canonical JSON first: the file
+		// a user would save and re-run must carry everything.
+		blob, err := EncodeJSON(r.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cell, err := DecodeSpec(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var standalone bytes.Buffer
+		if err := RunCell(cell, &standalone); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(fromMatrix, standalone.Bytes()) {
+			t.Fatalf("cell %s: standalone re-run differs from matrix journal", r.Key)
+		}
+	}
+}
+
+// TestRunMatrixTwiceIdentical: the whole matrix is reproducible — every
+// journal and both reports byte-identical across runs.
+func TestRunMatrixTwiceIdentical(t *testing.T) {
+	m := Matrix{
+		Base: func() Spec { s := microBase(); s.Rounds = 2; return s }(),
+		Axes: Axes{
+			Algos:  []string{"fedavg"},
+			Alphas: []float64{0.5, 0.1},
+		},
+	}
+	d1, d2 := t.TempDir(), t.TempDir()
+	if _, err := RunMatrix(m, RunOptions{OutDir: d1, Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunMatrix(m, RunOptions{OutDir: d2, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	names1, _ := filepath.Glob(filepath.Join(d1, "*"))
+	if len(names1) != 4 { // 2 journals + report.txt + report.csv
+		t.Fatalf("unexpected outputs: %v", names1)
+	}
+	for _, p1 := range names1 {
+		b1, err := os.ReadFile(p1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := os.ReadFile(filepath.Join(d2, filepath.Base(p1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("%s differs between identical matrix runs (worker count must not matter)", filepath.Base(p1))
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// DefaultCellCap bounds matrix expansion unless the caller forces past
+// it — a cross-product typo (three ten-value axes) should fail fast,
+// not train for a week.
+const DefaultCellCap = 64
+
+// Axes lists the values each swept dimension takes. Empty axes
+// contribute the base spec's value. Alphas and ShardsPerClient are two
+// faces of one partition axis: both non-empty means the partition axis
+// is their concatenation (dirichlet cells then shard cells).
+type Axes struct {
+	// Algos sweeps the algorithm (registry names).
+	Algos []string `json:"algos,omitempty"`
+	// Participation sweeps the per-round sampling ratio.
+	Participation []float64 `json:"participation,omitempty"`
+	// Alphas sweeps Dirichlet label skew.
+	Alphas []float64 `json:"alphas,omitempty"`
+	// ShardsPerClient sweeps pathological shard skew.
+	ShardsPerClient []int `json:"shards_per_client,omitempty"`
+	// Clients sweeps the federation size.
+	Clients []int `json:"clients,omitempty"`
+	// Transports sweeps the wire path.
+	Transports []Transport `json:"transports,omitempty"`
+	// Churn sweeps the per-round client-crash probability.
+	Churn []float64 `json:"churn,omitempty"`
+	// Archs sweeps the model architecture.
+	Archs []string `json:"archs,omitempty"`
+	// Seeds sweeps the base seed (per-cell seeds still derive from the
+	// cell key, so two cells never share RNG streams).
+	Seeds []int64 `json:"seeds,omitempty"`
+}
+
+// partitions materializes the partition axis.
+func (a Axes) partitions(base Partition) []Partition {
+	var out []Partition
+	for _, alpha := range a.Alphas {
+		p := base
+		p.Kind, p.Alpha = PartDirichlet, alpha
+		out = append(out, p)
+	}
+	for _, spc := range a.ShardsPerClient {
+		p := base
+		p.Kind, p.ShardsPerClient = PartShards, spc
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		out = []Partition{base}
+	}
+	return out
+}
+
+// Matrix is a cross-product of scenario cells: a base spec plus axis
+// lists. Expansion derives each cell's seed from its key, so every cell
+// is independently reproducible.
+type Matrix struct {
+	Name        string `json:"name,omitempty"`
+	Description string `json:"description,omitempty"`
+	Base        Spec   `json:"base"`
+	Axes        Axes   `json:"axes"`
+	// CellCap overrides DefaultCellCap (0 keeps the default).
+	CellCap int `json:"cell_cap,omitempty"`
+}
+
+// DecodeMatrix parses a matrix, rejecting unknown fields.
+func DecodeMatrix(b []byte) (Matrix, error) {
+	var m Matrix
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return Matrix{}, fmt.Errorf("scenario: bad matrix: %w", err)
+	}
+	if _, err := m.Expand(true); err != nil {
+		return Matrix{}, err
+	}
+	return m, nil
+}
+
+func (m Matrix) cap() int {
+	if m.CellCap > 0 {
+		return m.CellCap
+	}
+	return DefaultCellCap
+}
+
+// orDefault returns vals, or the single fallback when empty.
+func orDefault[T any](vals []T, fallback T) []T {
+	if len(vals) == 0 {
+		return []T{fallback}
+	}
+	return vals
+}
+
+// CellCount returns the expansion size without expanding.
+func (m Matrix) CellCount() int {
+	base := m.Base.WithDefaults()
+	n := len(orDefault(m.Axes.Algos, "")) *
+		len(orDefault(m.Axes.Archs, "")) *
+		len(orDefault(m.Axes.Clients, 0)) *
+		len(orDefault(m.Axes.Participation, 0)) *
+		len(m.Axes.partitions(base.Partition)) *
+		len(orDefault(m.Axes.Transports, Transport{})) *
+		len(orDefault(m.Axes.Churn, 0)) *
+		len(orDefault(m.Axes.Seeds, 0))
+	return n
+}
+
+// Expand materializes the cell cross-product in a fixed axis order
+// (algo, arch, clients, participation, partition, transport, churn,
+// seed), validating every cell and deriving its seed from the cell key.
+// Unless force is set, expansion refuses to exceed the cell cap.
+func (m Matrix) Expand(force bool) ([]Spec, error) {
+	if n := m.CellCount(); n > m.cap() && !force {
+		return nil, fmt.Errorf("scenario: matrix %q expands to %d cells, over the cap of %d (pass force / -force to run anyway)",
+			m.Name, n, m.cap())
+	}
+	base := m.Base.WithDefaults()
+	var cells []Spec
+	seen := map[string]bool{}
+	for _, alg := range orDefault(m.Axes.Algos, base.Algo) {
+		for _, arch := range orDefault(m.Axes.Archs, base.Arch) {
+			for _, nc := range orDefault(m.Axes.Clients, base.Clients) {
+				for _, part := range orDefault(m.Axes.Participation, base.Participation) {
+					for _, pt := range m.Axes.partitions(base.Partition) {
+						for _, tr := range orDefault(m.Axes.Transports, base.Transport) {
+							for _, churn := range orDefault(m.Axes.Churn, base.Churn) {
+								for _, seed := range orDefault(m.Axes.Seeds, base.Seed) {
+									cell := base
+									cell.Name = ""
+									cell.Algo = alg
+									cell.Arch = arch
+									cell.Clients = nc
+									// Writers scales with the population unless
+									// the base pinned it explicitly.
+									if m.Base.Writers == 0 {
+										cell.Writers = 3 * nc
+									}
+									cell.Participation = part
+									cell.Partition = pt
+									cell.Transport = tr
+									cell.Churn = churn
+									cell = cell.WithDefaults()
+									cell.Seed = DeriveSeed(seed, cell.dimsKey())
+									if err := cell.Validate(); err != nil {
+										return nil, fmt.Errorf("cell %s: %w", cell.dimsKey(), err)
+									}
+									if key := cell.Key(); seen[key] {
+										return nil, fmt.Errorf("scenario: matrix %q produces duplicate cell %s (degenerate axes)", m.Name, key)
+									} else {
+										seen[key] = true
+									}
+									cells = append(cells, cell)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells, nil
+}

@@ -1,0 +1,151 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMatrixExpandCrossProduct(t *testing.T) {
+	m := presets["acceptance"].Matrix
+	want := 2 * 2 * 2 * 2
+	if got := m.CellCount(); got != want {
+		t.Fatalf("CellCount = %d, want %d", got, want)
+	}
+	cells, err := m.Expand(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != want {
+		t.Fatalf("expanded %d cells, want %d", len(cells), want)
+	}
+	// Every cell validates, keys are unique, seeds are distinct and
+	// derived from the key.
+	keys := map[string]bool{}
+	seeds := map[int64]bool{}
+	for _, c := range cells {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("cell %s invalid: %v", c.Key(), err)
+		}
+		if keys[c.Key()] {
+			t.Fatalf("duplicate key %s", c.Key())
+		}
+		keys[c.Key()] = true
+		seeds[c.Seed] = true
+		if want := DeriveSeed(m.Base.WithDefaults().Seed, c.dimsKey()); c.Seed != want {
+			t.Fatalf("cell %s seed %d, want derived %d", c.Key(), c.Seed, want)
+		}
+	}
+	if len(seeds) != want {
+		t.Fatalf("only %d distinct seeds across %d cells", len(seeds), want)
+	}
+	// Expansion order is fixed: algo is the outermost axis.
+	if !strings.HasPrefix(cells[0].Key(), "fedavg_") || !strings.HasPrefix(cells[len(cells)-1].Key(), "fedprox_") {
+		t.Fatalf("unexpected expansion order: %s ... %s", cells[0].Key(), cells[len(cells)-1].Key())
+	}
+}
+
+func TestMatrixEmptyAxesUseBase(t *testing.T) {
+	m := Matrix{Base: microBase()}
+	cells, err := m.Expand(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("axis-free matrix expanded to %d cells, want 1", len(cells))
+	}
+	if cells[0].Algo != "fedavg" || cells[0].Partition.Kind != PartDirichlet {
+		t.Fatalf("base not carried through: %+v", cells[0])
+	}
+}
+
+// TestMatrixCellCapGuard: oversized matrices refuse to expand unless
+// forced — the -matrix dry-run guard.
+func TestMatrixCellCapGuard(t *testing.T) {
+	m := Matrix{
+		Base:    microBase(),
+		CellCap: 4,
+		Axes: Axes{
+			Algos:  []string{"fedavg", "fedprox", "scaffold"},
+			Alphas: []float64{0.1, 0.5},
+		},
+	}
+	if _, err := m.Expand(false); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("over-cap expansion allowed (err=%v)", err)
+	}
+	cells, err := m.Expand(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 6 {
+		t.Fatalf("forced expansion gave %d cells, want 6", len(cells))
+	}
+}
+
+func TestMatrixPartitionAxisCombinesSkews(t *testing.T) {
+	m := Matrix{
+		Base: microBase(),
+		Axes: Axes{
+			Alphas:          []float64{0.5},
+			ShardsPerClient: []int{2},
+		},
+	}
+	cells, err := m.Expand(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells, want 2 (one dirichlet + one shards)", len(cells))
+	}
+	if cells[0].Partition.Kind != PartDirichlet || cells[1].Partition.Kind != PartShards {
+		t.Fatalf("partition kinds: %s, %s", cells[0].Partition.Kind, cells[1].Partition.Kind)
+	}
+}
+
+func TestMatrixRejectsInvalidCells(t *testing.T) {
+	m := Matrix{
+		Base: microBase(),
+		Axes: Axes{
+			Churn:      []float64{0.2},
+			Transports: []Transport{{Kind: TransportTCP}},
+		},
+	}
+	if _, err := m.Expand(false); err == nil || !strings.Contains(err.Error(), "churn") {
+		t.Fatalf("tcp+churn cell accepted (err=%v)", err)
+	}
+}
+
+func TestMatrixClientsAxisRescalesWriters(t *testing.T) {
+	base := microBase()
+	base.Dataset = DataFEMNIST
+	m := Matrix{Base: base, Axes: Axes{Clients: []int{2, 6}}}
+	cells, err := m.Expand(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if c.Writers != 3*c.Clients {
+			t.Fatalf("cell %s writers %d, want %d", c.Key(), c.Writers, 3*c.Clients)
+		}
+	}
+}
+
+func TestPresetsAllExpand(t *testing.T) {
+	if len(Presets()) < 4 {
+		t.Fatalf("only %d presets bundled", len(Presets()))
+	}
+	for _, p := range Presets() {
+		cells, err := p.Matrix.Expand(false)
+		if err != nil {
+			t.Fatalf("preset %s: %v", p.Name, err)
+		}
+		if len(cells) == 0 {
+			t.Fatalf("preset %s expands to zero cells", p.Name)
+		}
+		if len(cells) != p.Matrix.CellCount() {
+			t.Fatalf("preset %s: CellCount %d != expanded %d", p.Name, p.Matrix.CellCount(), len(cells))
+		}
+	}
+	if _, ok := PresetByName("acceptance"); !ok {
+		t.Fatal("acceptance preset missing")
+	}
+}

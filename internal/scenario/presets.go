@@ -1,0 +1,117 @@
+package scenario
+
+import "sort"
+
+// microBase is the smallest runnable cell: an MLP on 8x8 synthetic
+// CIFAR, seconds per cell — the base the bundled presets sweep around.
+func microBase() Spec {
+	return Spec{
+		Algo: "fedavg", Arch: "mlp", Classes: 4, H: 8, W: 8,
+		Clients: 4, PerClient: 60, Rounds: 3, LocalEpochs: 1,
+		BatchSize: 16, TargetAcc: 0.3, Seed: 1,
+	}
+}
+
+// Preset is a named, ready-to-run matrix.
+type Preset struct {
+	Name        string
+	Description string
+	Matrix      Matrix
+}
+
+var presets = map[string]Preset{
+	"quick": {
+		Name:        "quick",
+		Description: "2 algos x 2 participation x 2 skews, in-process (8 cells)",
+		Matrix: Matrix{
+			Name: "quick",
+			Base: microBase(),
+			Axes: Axes{
+				Algos:         []string{"fedavg", "fedprox"},
+				Participation: []float64{1.0, 0.5},
+				Alphas:        []float64{0.5, 0.1},
+			},
+		},
+	},
+	"transports": {
+		Name:        "transports",
+		Description: "fedavg across all four transports (4 cells)",
+		Matrix: Matrix{
+			Name: "transports",
+			Base: microBase(),
+			Axes: Axes{
+				Transports: []Transport{
+					{Kind: TransportSim},
+					{Kind: TransportSharded, Shards: 2},
+					{Kind: TransportQuorum, OnTimeFrac: 0.75},
+					{Kind: TransportTCP},
+				},
+			},
+		},
+	},
+	"churn": {
+		Name:        "churn",
+		Description: "fedavg vs ssfl under client churn, flat vs quorum (8 cells)",
+		Matrix: Matrix{
+			Name: "churn",
+			Base: microBase(),
+			Axes: Axes{
+				Algos: []string{"fedavg", "ssfl"},
+				Churn: []float64{0, 0.3},
+				Transports: []Transport{
+					{Kind: TransportSim},
+					{Kind: TransportQuorum, OnTimeFrac: 0.5},
+				},
+			},
+		},
+	},
+	"skew-net": {
+		Name:        "skew-net",
+		Description: "4 algos x 2 skews over a mobile fleet with compute heterogeneity (8 cells)",
+		Matrix: Matrix{
+			Name: "skew-net",
+			Base: func() Spec {
+				s := microBase()
+				s.Net = Net{Profile: "mobile", ComputeSec: 2, ComputeSpread: 0.8}
+				return s
+			}(),
+			Axes: Axes{
+				Algos:  []string{"fedavg", "fedprox", "scaffold", "ssfl"},
+				Alphas: []float64{0.5, 0.1},
+			},
+		},
+	},
+	"acceptance": {
+		Name:        "acceptance",
+		Description: "2 algos x 2 participation x 2 skews x 2 transports (16 cells)",
+		Matrix: Matrix{
+			Name: "acceptance",
+			Base: microBase(),
+			Axes: Axes{
+				Algos:         []string{"fedavg", "fedprox"},
+				Participation: []float64{1.0, 0.5},
+				Alphas:        []float64{0.5, 0.1},
+				Transports: []Transport{
+					{Kind: TransportSim},
+					{Kind: TransportTCP},
+				},
+			},
+		},
+	},
+}
+
+// Presets returns the bundled matrices, sorted by name.
+func Presets() []Preset {
+	var out []Preset
+	for _, p := range presets {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// PresetByName resolves a bundled matrix.
+func PresetByName(name string) (Preset, bool) {
+	p, ok := presets[name]
+	return p, ok
+}

@@ -1,0 +1,269 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"spatl/internal/algo"
+	"spatl/internal/core"
+	"spatl/internal/data"
+	"spatl/internal/fl"
+	"spatl/internal/models"
+	"spatl/internal/rl"
+)
+
+// Entry describes one registered federation algorithm: the simulation
+// adapter for in-process transports, the transport-free aggregator /
+// trainer cores for TCP nodes, and the hyperparameter merge. All three
+// consume the same Params, so every front end (spatl-bench cells,
+// experiment drivers, spatl-node flags) configures identical knobs —
+// the registry is the single construction path the ISSUE's satellite
+// asks for.
+type Entry struct {
+	Name    string
+	Summary string
+
+	// New builds the in-process simulation algorithm.
+	New func(p Params) fl.Algorithm
+	// NewAggregator / NewTrainer build the wire-level cores
+	// (flnet.Aggregator / flnet.Trainer are aliases of these types).
+	NewAggregator func(global *models.SplitModel, p Params, cfg algo.Config) algo.Aggregator
+	NewTrainer    func(c *algo.Client, p Params, cfg algo.Config) algo.Trainer
+	// Tune merges the per-algorithm hyperparameter overrides into the
+	// shared training config (LR override, FedProx mu, ...). May be nil.
+	Tune func(p Params, cfg *algo.Config)
+}
+
+// withDefaults fills the Params fields whose zero value is not the
+// algorithm default. The SPATL agent geometry defaults to the paper's
+// 16/32; FineTuneEpisodes to the harness's 2-episode batches.
+func (p Params) withDefaults() Params {
+	if p.AgentDim == 0 {
+		p.AgentDim = 16
+	}
+	if p.AgentHidden == 0 {
+		p.AgentHidden = 32
+	}
+	if p.FineTuneEpisodes == 0 {
+		p.FineTuneEpisodes = 2
+	}
+	return p
+}
+
+// spatlOptions assembles the shared SPATL option struct; zero fields
+// fall through to algo.SPATLOptions.WithDefaults.
+func spatlOptions(p Params) algo.SPATLOptions {
+	p = p.withDefaults()
+	return algo.SPATLOptions{
+		FLOPsBudget:      p.FLOPsBudget,
+		AgentCfg:         rl.AgentConfig{Dim: p.AgentDim, HeadHidden: p.AgentHidden, Seed: p.Seed + 31},
+		Pretrained:       p.Pretrained,
+		FineTuneRounds:   p.FineTuneRounds,
+		FineTuneEpisodes: p.FineTuneEpisodes,
+	}
+}
+
+func ssflOptions(p Params) algo.SSFLOptions {
+	return algo.SSFLOptions{KeepRatio: p.KeepRatio}
+}
+
+// tuneLR applies the per-algorithm learning-rate override.
+func tuneLR(p Params, cfg *algo.Config) {
+	if p.LR > 0 {
+		cfg.LR = p.LR
+	}
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Entry{}
+)
+
+// Register adds (or replaces) an algorithm entry.
+func Register(e Entry) {
+	if e.Name == "" || e.New == nil {
+		panic("scenario: Register needs Name and New")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[e.Name] = e
+}
+
+// Lookup resolves a registered algorithm by name.
+func Lookup(name string) (Entry, error) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	e, ok := registry[name]
+	if !ok {
+		return Entry{}, fmt.Errorf("scenario: unknown algorithm %q (have %v)", name, AlgoNames())
+	}
+	return e, nil
+}
+
+// AlgoNames returns the registered algorithm names, sorted. Callers must
+// not hold registryMu (Lookup calls this only on the error path, where
+// Go's RWMutex allows the nested RLock).
+func AlgoNames() []string {
+	var out []string
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewAlgorithm instantiates a registered algorithm for the in-process
+// transports.
+func NewAlgorithm(name string, p Params) (fl.Algorithm, error) {
+	e, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.New(p.withDefaults()), nil
+}
+
+// algoConfig projects the spec onto the transport-free training config
+// with the registry's per-algorithm overrides applied — the one place
+// hyperparameter merging happens for every transport.
+func (s Spec) algoConfig() algo.Config {
+	cfg := algo.Config{
+		NumClients:    s.Clients,
+		LocalEpochs:   s.LocalEpochs,
+		BatchSize:     s.BatchSize,
+		LR:            s.LR,
+		Momentum:      s.Momentum,
+		WeightDecay:   s.WeightDecay,
+		HalfPrecision: s.HalfPrecision,
+		Seed:          s.Seed,
+	}
+	if e, err := Lookup(s.Algo); err == nil && e.Tune != nil {
+		e.Tune(s.Params, &cfg)
+	}
+	return cfg
+}
+
+func init() {
+	Register(Entry{
+		Name:    "fedavg",
+		Summary: "weighted model averaging (McMahan et al.)",
+		New:     func(p Params) fl.Algorithm { return &fl.FedAvg{} },
+		NewAggregator: func(g *models.SplitModel, p Params, cfg algo.Config) algo.Aggregator {
+			return algo.NewFedAvgAggregator(g, cfg)
+		},
+		NewTrainer: func(c *algo.Client, p Params, cfg algo.Config) algo.Trainer {
+			return algo.NewFedAvgTrainer(c, cfg)
+		},
+		Tune: tuneLR,
+	})
+	Register(Entry{
+		Name:    "fedprox",
+		Summary: "FedAvg + proximal term restraining client drift (Li et al.)",
+		New:     func(p Params) fl.Algorithm { return &fl.FedProx{} },
+		NewAggregator: func(g *models.SplitModel, p Params, cfg algo.Config) algo.Aggregator {
+			return algo.NewFedAvgAggregator(g, cfg) // proximal term is client-side
+		},
+		NewTrainer: func(c *algo.Client, p Params, cfg algo.Config) algo.Trainer {
+			return algo.NewFedProxTrainer(c, cfg)
+		},
+		Tune: func(p Params, cfg *algo.Config) {
+			tuneLR(p, cfg)
+			if p.ProxMu > 0 {
+				cfg.ProxMu = p.ProxMu
+			}
+		},
+	})
+	Register(Entry{
+		Name:    "scaffold",
+		Summary: "control-variate drift correction, 2x uplink (Karimireddy et al.)",
+		New:     func(p Params) fl.Algorithm { return &fl.SCAFFOLD{} },
+		NewAggregator: func(g *models.SplitModel, p Params, cfg algo.Config) algo.Aggregator {
+			return algo.NewSCAFFOLDAggregator(g, cfg)
+		},
+		NewTrainer: func(c *algo.Client, p Params, cfg algo.Config) algo.Trainer {
+			return algo.NewSCAFFOLDTrainer(c, cfg)
+		},
+		Tune: tuneLR,
+	})
+	Register(Entry{
+		Name:    "fednova",
+		Summary: "normalized averaging over heterogeneous local work (Wang et al.)",
+		New:     func(p Params) fl.Algorithm { return &fl.FedNova{} },
+		NewAggregator: func(g *models.SplitModel, p Params, cfg algo.Config) algo.Aggregator {
+			return algo.NewFedNovaAggregator(g, cfg)
+		},
+		NewTrainer: func(c *algo.Client, p Params, cfg algo.Config) algo.Trainer {
+			return algo.NewFedNovaTrainer(c, cfg)
+		},
+		Tune: tuneLR,
+	})
+	Register(Entry{
+		Name:    "spatl",
+		Summary: "salient parameter aggregation + transfer learning (the paper)",
+		New: func(p Params) fl.Algorithm {
+			o := spatlOptions(p)
+			return core.New(core.Options{
+				FLOPsBudget:      o.FLOPsBudget,
+				AgentCfg:         o.AgentCfg,
+				Pretrained:       o.Pretrained,
+				FineTuneRounds:   o.FineTuneRounds,
+				FineTuneEpisodes: o.FineTuneEpisodes,
+			})
+		},
+		NewAggregator: func(g *models.SplitModel, p Params, cfg algo.Config) algo.Aggregator {
+			return algo.NewSPATLAggregator(g, spatlOptions(p), cfg)
+		},
+		NewTrainer: func(c *algo.Client, p Params, cfg algo.Config) algo.Trainer {
+			return algo.NewSPATLTrainer(c, spatlOptions(p), cfg)
+		},
+		Tune: tuneLR,
+	})
+	Register(Entry{
+		Name:    "ssfl",
+		Summary: "sparse-native mask-static training, values-only frames",
+		New:     func(p Params) fl.Algorithm { return &fl.SSFL{Opts: ssflOptions(p)} },
+		NewAggregator: func(g *models.SplitModel, p Params, cfg algo.Config) algo.Aggregator {
+			return algo.NewSSFLAggregator(g, ssflOptions(p), cfg)
+		},
+		NewTrainer: func(c *algo.Client, p Params, cfg algo.Config) algo.Trainer {
+			return algo.NewSSFLTrainer(c, ssflOptions(p), cfg)
+		},
+		Tune: tuneLR,
+	})
+}
+
+// pretrainCache memoizes pre-trained SPATL selection agents so a matrix
+// (or a multi-experiment driver run) pays for ResNet-56 pre-training
+// once per distinct geometry.
+var pretrainCache sync.Map
+
+// PretrainAgentBlob pre-trains (and caches) a SPATL selection agent on
+// the ResNet-56 pruning task for this spec's geometry — the paper's
+// §V-A setup. Returns nil when the spec asks for no pre-training.
+func PretrainAgentBlob(spec Spec) []float32 {
+	spec = spec.WithDefaults()
+	p := spec.Params.withDefaults()
+	if p.PretrainRounds <= 0 {
+		return nil
+	}
+	budget := p.FLOPsBudget
+	if budget == 0 {
+		budget = 0.6
+	}
+	key := fmt.Sprintf("%d-%d-%d-%g-%g-%d-%d-%g-%d-%d",
+		spec.Classes, spec.H, spec.W, spec.Width, spec.Noise,
+		p.AgentDim, p.AgentHidden, budget, p.PretrainRounds, spec.Seed)
+	if v, ok := pretrainCache.Load(key); ok {
+		return v.([]float32)
+	}
+	seed := spec.Seed
+	ms := models.Spec{Arch: "resnet56", Classes: spec.Classes, InC: 3, H: spec.H, W: spec.W, Width: spec.Width}
+	m := models.Build(ms, seed+21)
+	val := data.SynthCIFAR(data.SynthCIFARConfig{Classes: spec.Classes, H: spec.H, W: spec.W, Noise: spec.Noise},
+		40*spec.Classes, seed*3+101, seed+23)
+	agentCfg := rl.AgentConfig{Dim: p.AgentDim, HeadHidden: p.AgentHidden, Seed: seed + 31}
+	agent, _ := core.PretrainAgent(agentCfg, m, val, budget, p.PretrainRounds, 4, seed+25)
+	blob := agent.Save()
+	pretrainCache.Store(key, blob)
+	return blob
+}

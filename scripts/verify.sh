@@ -17,6 +17,11 @@
 #                                committed BENCH_N.json beyond the
 #                                tolerance (BENCH_TOLERANCE, default
 #                                0.15 = 15%)
+#   ./scripts/verify.sh --matrix tier-1 plus the scenario-matrix gate:
+#                                run the committed 2x2x2 golden matrix
+#                                (scripts/golden/matrix.json) end to end
+#                                and diff every per-cell zero-time
+#                                journal against scripts/golden/matrix/
 #
 # Tier-1 must pass on every commit. The hot-path battery is mandatory
 # for changes touching internal/tensor (SIMD kernels, packed GEMM,
@@ -24,7 +29,12 @@
 # internal/algo (parallel deterministic reduction, shard fold) or
 # internal/flnet (TCP transport rounds, aggregation tree, async quorum).
 # The observability battery is mandatory for changes touching
-# internal/telemetry or any code that records into it. The bench gate is
+# internal/telemetry or any code that records into it. The matrix gate
+# is mandatory for changes touching internal/scenario or the algorithm
+# registry — a diff means the exact arithmetic of a seeded federation
+# changed, which must be deliberate (regenerate the goldens with
+#   go run ./cmd/spatl-bench -matrix scripts/golden/matrix.json -out tmp
+# and copy the *.jsonl over). The bench gate is
 # advisory (benchmarks are noisy on shared machines) but should be run
 # before committing a new BENCH_N.json.
 set -euo pipefail
@@ -54,6 +64,26 @@ if [[ "${1:-}" == "--bench" ]]; then
     echo "== bench gate: micro vs $baseline =="
     go run ./cmd/spatl-bench -micro -baseline "$baseline" -gate \
         -tolerance "${BENCH_TOLERANCE:-0.15}"
+fi
+
+if [[ "${1:-}" == "--matrix" ]]; then
+    echo "== matrix gate: golden 2x2x2 scenario matrix =="
+    out=$(mktemp -d)
+    trap 'rm -rf "$out"' EXIT
+    go run ./cmd/spatl-bench -matrix scripts/golden/matrix.json -out "$out" >/dev/null
+    for g in scripts/golden/matrix/*.jsonl; do
+        if ! diff -u "$g" "$out/$(basename "$g")"; then
+            echo "verify: journal drift vs golden $(basename "$g")" >&2
+            exit 1
+        fi
+    done
+    ngold=$(ls scripts/golden/matrix/*.jsonl | wc -l)
+    nout=$(ls "$out"/*.jsonl | wc -l)
+    if [[ "$ngold" != "$nout" ]]; then
+        echo "verify: cell count drift: ran $nout cells, goldens have $ngold" >&2
+        exit 1
+    fi
+    echo "== matrix gate: $ngold cells byte-identical =="
 fi
 
 if [[ "${1:-}" == "--obs" ]]; then
