@@ -46,6 +46,7 @@ func main() {
 		baseline  = flag.String("baseline", "", "with -micro: prior -micro JSON to compute speedups against")
 		gate      = flag.Bool("gate", false, "with -micro and -baseline: exit nonzero if any benchmark regressed beyond -tolerance")
 		tolerance = flag.Float64("tolerance", 0.15, "with -gate: allowed fractional slowdown before failing")
+		allocTol  = flag.Float64("alloc-tolerance", 0.25, "with -gate: allowed fractional allocs/op and B/op growth before failing (gated only above noise floors)")
 		journal   = flag.String("journal", "", "append the JSONL round journal of every experiment run to this file")
 
 		matrixF   = flag.String("matrix", "", "run a scenario matrix: preset name, JSON file (matrix or single spec), or 'list'")
@@ -80,7 +81,7 @@ func main() {
 	}
 
 	if *micro {
-		if err := runMicro(*microJSON, *baseline, *gate, *tolerance); err != nil {
+		if err := runMicro(*microJSON, *baseline, *gate, *tolerance, *allocTol); err != nil {
 			fmt.Fprintln(os.Stderr, "spatl-bench:", err)
 			os.Exit(1)
 		}

@@ -37,6 +37,7 @@ type microResult struct {
 	AllocsPerOp     int64   `json:"allocs_per_op"`
 	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
 	BaselineAllocs  int64   `json:"baseline_allocs_per_op,omitempty"`
+	BaselineBytes   int64   `json:"baseline_b_per_op,omitempty"`
 	Speedup         float64 `json:"speedup,omitempty"`
 	AllocReduction  float64 `json:"alloc_reduction,omitempty"`
 }
@@ -451,6 +452,56 @@ var microBenchmarks = []struct {
 	{"SSFLRound", withProcs(1, ssflRoundBench(true))},
 	{"SSFLRoundMP", withProcs(runtime.NumCPU(), ssflRoundBench(true))},
 	{"SSFLRoundProbe", withProcs(1, ssflRoundBench(false))},
+	{"AggIngest", func(b *testing.B) {
+		// 10k-client fold-on-arrival ingest in the worst arrival order
+		// (exact reverse: every upload lands as far ahead of the cursor
+		// as possible, so the staged set is under constant pressure).
+		// One op = one full round: BeginRound, 10k Collects, FinishRound.
+		// The post-run assertion is the O(inflight) memory contract —
+		// peak staged never exceeds the staging limit, whatever the
+		// selection size.
+		const nClients = 10_000
+		const limit = 256
+		spec := models.Spec{Arch: "mlp", Classes: 2, InC: 1, H: 4, W: 4, Width: 0.25}
+		global := models.Build(spec, 7)
+		agg := algo.NewFedAvgAggregator(global, algo.Config{NumClients: nClients, Seed: 7})
+		agg.SetStagingLimit(limit)
+		payload := comm.EncodeDense(global.State(models.ScopeAll))
+		ids := make([]uint32, nClients)
+		for i := range ids {
+			ids[i] = uint32(i)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			agg.BeginRound(i, ids)
+			for j := nClients - 1; j >= 0; j-- {
+				agg.Collect(i, ids[j], 100, payload)
+			}
+			agg.FinishRound(i)
+		}
+		b.StopTimer()
+		if peak := agg.StagingPeak(); peak > limit {
+			b.Fatalf("staged peak %d exceeds staging limit %d", peak, limit)
+		}
+	}},
+	{"FLRoundMem", func(b *testing.B) {
+		// Massive-federation round memory: 5k synthetic clients, 1k
+		// sampled per round, sharded collect with pooled bounded-batch
+		// upload synthesis and a 10% straggler fraction. The B/op and
+		// allocs/op columns are the point of this benchmark — with the
+		// streaming fold, round memory is O(synthesis batch + staged +
+		// stragglers), not O(selected).
+		res, err := fl.RunMassive(fl.MassiveConfig{
+			Clients: 5000, PerRound: 1000, Shards: 8, Rounds: b.N,
+			OnTimeFrac: 0.9, Seed: 11,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Folded == 0 {
+			b.Fatal("no uploads folded")
+		}
+	}},
 	{"FlnetRound", func(b *testing.B) {
 		// One full FedAvg round over loopback TCP — the same algo core as
 		// FLRound plus framing, sockets and the fault-tolerant round loop.
@@ -488,11 +539,23 @@ var microBenchmarks = []struct {
 	}},
 }
 
+// Memory gating floors: below these baseline magnitudes, allocs/op and
+// B/op are dominated by testing.Benchmark noise (one-time pool warmup,
+// goroutine stacks, map growth amortized over few iterations) and a
+// ratio gate would flake. Benchmarks whose baseline sits under a floor
+// are still recorded and diffed, just not gated on that axis.
+const (
+	allocGateFloor = 64   // allocs/op
+	bytesGateFloor = 4096 // B/op
+)
+
 // runMicro measures every tracked workload, annotates against an optional
 // baseline report, and writes JSON to jsonPath ("" = stdout only). With
 // gate set, any benchmark slower than 1+tolerance times its baseline
-// fails the run — the regression gate scripts/verify.sh --bench uses.
-func runMicro(jsonPath, baselinePath string, gate bool, tolerance float64) error {
+// fails the run, and any benchmark allocating more than 1+allocTolerance
+// times its baseline allocs/op or B/op (above the noise floors) fails
+// too — the regression gate scripts/verify.sh --bench uses.
+func runMicro(jsonPath, baselinePath string, gate bool, tolerance, allocTolerance float64) error {
 	report := microReport{
 		Schema:     "spatl-micro-bench/v1",
 		GoVersion:  runtime.Version(),
@@ -528,6 +591,7 @@ func runMicro(jsonPath, baselinePath string, gate bool, tolerance float64) error
 			if base, ok := baseline.Results[mb.name]; ok && base.NsPerOp > 0 {
 				res.BaselineNsPerOp = base.NsPerOp
 				res.BaselineAllocs = base.AllocsPerOp
+				res.BaselineBytes = base.BytesPerOp
 				res.Speedup = base.NsPerOp / res.NsPerOp
 				if res.AllocsPerOp > 0 {
 					res.AllocReduction = float64(base.AllocsPerOp) / float64(res.AllocsPerOp)
@@ -576,13 +640,28 @@ func runMicro(jsonPath, baselinePath string, gate bool, tolerance float64) error
 					fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.0f%%)",
 						name, res.NsPerOp, res.BaselineNsPerOp, 100*(res.NsPerOp/res.BaselineNsPerOp-1)))
 			}
+			if res.BaselineAllocs >= allocGateFloor &&
+				float64(res.AllocsPerOp) > float64(res.BaselineAllocs)*(1+allocTolerance) {
+				regressed = append(regressed,
+					fmt.Sprintf("%s: %d allocs/op vs baseline %d (+%.0f%%)",
+						name, res.AllocsPerOp, res.BaselineAllocs,
+						100*(float64(res.AllocsPerOp)/float64(res.BaselineAllocs)-1)))
+			}
+			if res.BaselineBytes >= bytesGateFloor &&
+				float64(res.BytesPerOp) > float64(res.BaselineBytes)*(1+allocTolerance) {
+				regressed = append(regressed,
+					fmt.Sprintf("%s: %d B/op vs baseline %d (+%.0f%%)",
+						name, res.BytesPerOp, res.BaselineBytes,
+						100*(float64(res.BytesPerOp)/float64(res.BaselineBytes)-1)))
+			}
 		}
 		if len(regressed) > 0 {
 			sort.Strings(regressed)
-			return fmt.Errorf("regression gate (tolerance %.0f%%) failed:\n  %s",
-				100*tolerance, strings.Join(regressed, "\n  "))
+			return fmt.Errorf("regression gate (time tolerance %.0f%%, alloc tolerance %.0f%%) failed:\n  %s",
+				100*tolerance, 100*allocTolerance, strings.Join(regressed, "\n  "))
 		}
-		fmt.Fprintf(os.Stderr, "micro: regression gate passed (tolerance %.0f%%)\n", 100*tolerance)
+		fmt.Fprintf(os.Stderr, "micro: regression gate passed (time tolerance %.0f%%, alloc tolerance %.0f%%)\n",
+			100*tolerance, 100*allocTolerance)
 	}
 	return nil
 }

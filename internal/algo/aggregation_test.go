@@ -29,9 +29,9 @@ func synthSparse(rng *rand.Rand, n int) *comm.Sparse {
 	return s
 }
 
-// TestSPATLFinishRoundMatchesSerial replays the aggregator's buffered
-// uploads through the original serial ScatterAdd/control loops and
-// demands the parallel FinishRound produce bitwise identical state and
+// TestSPATLFinishRoundMatchesSerial replays the round's uploads through
+// the serial StreamFoldRefSPATL ground truth and demands the streaming
+// fold-on-arrival aggregator produce bitwise identical state and
 // control variates.
 func TestSPATLFinishRoundMatchesSerial(t *testing.T) {
 	spec := models.Spec{Arch: "resnet20", Classes: 4, InC: 3, H: 8, W: 8, Width: 0.25}
@@ -45,41 +45,20 @@ func TestSPATLFinishRoundMatchesSerial(t *testing.T) {
 	c0 := append([]float32(nil), agg.c...)
 
 	rng := rand.New(rand.NewSource(13))
-	uploads := make([]spatlUpload, clients)
-	for i := range uploads {
-		uploads[i] = spatlUpload{dW: synthSparse(rng, n), dC: synthSparse(rng, nCtrl)}
+	dWs := make([]*comm.Sparse, clients)
+	dCs := make([]*comm.Sparse, clients)
+	for i := range dWs {
+		dWs[i] = synthSparse(rng, n)
+		dCs[i] = synthSparse(rng, nCtrl)
 		agg.Collect(0, uint32(i), 100, comm.JoinPayloads(
-			comm.EncodeSparse(uploads[i].dW), comm.EncodeSparse(uploads[i].dC)))
+			comm.EncodeSparse(dWs[i]), comm.EncodeSparse(dCs[i])))
 	}
 	agg.FinishRound(0)
 	if d := agg.Dropped(); d != 0 {
 		t.Fatalf("well-formed uploads counted as dropped: %d", d)
 	}
 
-	// Serial replay of eq. 12 and the eq. 11 control update.
-	sum := make([]float32, n)
-	count := make([]int32, n)
-	for _, u := range uploads {
-		comm.ScatterAdd(sum, count, u.dW)
-	}
-	wantState := append([]float32(nil), state0...)
-	for j := range wantState {
-		if count[j] > 0 {
-			wantState[j] += sum[j] / float32(count[j])
-		}
-	}
-	wantC := c0
-	invN := float32(1.0 / float64(clients))
-	for _, u := range uploads {
-		off := 0
-		for _, r := range u.dC.Ranges {
-			for k := uint32(0); k < r.Len; k++ {
-				wantC[r.Start+k] += invN * u.dC.Values[off]
-				off++
-			}
-		}
-	}
-
+	wantState, wantC := StreamFoldRefSPATL(state0, c0, dWs, dCs, clients)
 	gotState := global.State(models.ScopeEncoder)
 	for j := range wantState {
 		if math.Float32bits(gotState[j]) != math.Float32bits(wantState[j]) {
@@ -97,11 +76,14 @@ func TestSPATLFinishRoundMatchesSerial(t *testing.T) {
 
 // TestSPATLAggregatorCountsDrops verifies malformed uploads are counted
 // instead of silently vanishing. A bad control part alone is not a drop:
-// the weight delta still aggregates (the model update stays sound) and
-// only the control contribution is discarded.
+// the weight delta still folds (the model update stays sound) and only
+// the control contribution is discarded.
 func TestSPATLAggregatorCountsDrops(t *testing.T) {
 	spec := models.Spec{Arch: "cnn2", Classes: 2, InC: 1, H: 8, W: 8}
-	agg := NewSPATLAggregator(models.Build(spec, 3), SPATLOptions{}, Config{NumClients: 2})
+	global := models.Build(spec, 3)
+	agg := NewSPATLAggregator(global, SPATLOptions{}, Config{NumClients: 2})
+	state0 := global.State(models.ScopeEncoder)
+	c0 := append([]float32(nil), agg.c...)
 	agg.Collect(0, 0, 10, []byte{1, 2})                              // truncated framing
 	agg.Collect(0, 1, 10, comm.JoinPayloads([]byte{9, 9}, []byte{})) // bad dW
 	rng := rand.New(rand.NewSource(1))
@@ -110,17 +92,25 @@ func TestSPATLAggregatorCountsDrops(t *testing.T) {
 	if got := agg.Dropped(); got != 2 {
 		t.Fatalf("Dropped() = %d, want 2", got)
 	}
-	if len(agg.pending) != 1 {
-		t.Fatalf("pending = %d, want 1 (the good dW survives)", len(agg.pending))
-	}
-	if agg.pending[0].dC != nil {
-		t.Fatal("the bad control part must be discarded")
-	}
 	agg.FinishRound(0)
+	// The surviving dW folded: the model moved at its covered indices.
+	wantState, _ := StreamFoldRefSPATL(state0, c0, []*comm.Sparse{dW}, []*comm.Sparse{nil}, 2)
+	gotState := global.State(models.ScopeEncoder)
+	for j := range wantState {
+		if math.Float32bits(gotState[j]) != math.Float32bits(wantState[j]) {
+			t.Fatalf("state[%d]: good dW did not fold as expected", j)
+		}
+	}
+	// The bad control part was discarded: c is bitwise unchanged.
+	for j := range c0 {
+		if math.Float32bits(agg.c[j]) != math.Float32bits(c0[j]) {
+			t.Fatalf("c[%d] moved despite the control part being discarded", j)
+		}
+	}
 }
 
-// TestFedAvgAggregatorMatchesSerial checks the pooled/parallel FedAvg
-// aggregation against the serial float64 reference, plus drop counting.
+// TestFedAvgAggregatorMatchesSerial checks the streaming FedAvg fold
+// against the serial StreamFoldRef ground truth, plus drop counting.
 func TestFedAvgAggregatorMatchesSerial(t *testing.T) {
 	spec := models.Spec{Arch: "cnn2", Classes: 2, InC: 1, H: 8, W: 8}
 	global := models.Build(spec, 7)
@@ -145,7 +135,7 @@ func TestFedAvgAggregatorMatchesSerial(t *testing.T) {
 	}
 	agg.FinishRound(0)
 
-	want := WeightedAverageSerial(states, weights)
+	want := StreamFoldRefFedAvg(states, weights)
 	got := global.State(models.ScopeAll)
 	for j := range got {
 		if math.Float32bits(got[j]) != math.Float32bits(want[j]) {

@@ -34,11 +34,15 @@ type Aggregator interface {
 	// start of round. The returned slice is owned by the aggregator and
 	// reused on the next Broadcast/Final call.
 	Broadcast(round int) []byte
-	// Collect consumes one sampled client's upload. Transports call it
-	// sequentially in selection order, so aggregation stays
-	// deterministic; payload is only valid during the call. Malformed
-	// uploads are counted (see the aggregators' Dropped methods), never
-	// fatal.
+	// Collect consumes one sampled client's upload; payload is only
+	// valid during the call. All repo aggregators also implement
+	// StreamingAggregator: after BeginRound, Collect accepts uploads in
+	// ARBITRARY arrival order and the fold-on-arrival cursor restores
+	// the canonical ascending-client-ID fold order (bitwise identical
+	// to a sequential selection-order Collect pass). Without BeginRound
+	// the legacy contract holds: call sequentially in selection order.
+	// Malformed uploads are counted (see the aggregators' Dropped
+	// methods), never fatal.
 	Collect(round int, client uint32, trainSize int, payload []byte)
 	// FinishRound folds the collected uploads into the global model.
 	// Called once per round, after the transport has delivered every

@@ -7,26 +7,42 @@ import (
 	"spatl/internal/models"
 	"spatl/internal/nn"
 	"spatl/internal/telemetry"
+	"spatl/internal/tensor"
 )
 
 // FedAvgAggregator is the server side of FedAvg (McMahan et al.):
-// data-size-weighted model averaging over dense checkpoint payloads.
-// FedProx shares it — the proximal term is purely client-side.
+// data-size-weighted model averaging over dense checkpoint payloads,
+// folded on arrival through the streaming engine — each upload adds its
+// unscaled wᵢ·xᵢ term into the float64 accumulator and releases its
+// buffers; FinishRound finalizes with ÷Σw. FedProx shares it — the
+// proximal term is purely client-side.
 type FedAvgAggregator struct {
 	Telemetered
+	stream[fedavgUpload]
 	Global *models.SplitModel
 
-	cfg     Config
-	states  [][]float32 // decoded uploads, buffered in collect order
-	weights []float64
-	bcast   []byte    // reusable broadcast body
-	avgBuf  []float32 // reusable aggregate, recycled across rounds
-	dropped telemetry.Counter
+	cfg      Config
+	acc      []float64 // unscaled Σ wᵢ·xᵢ, folded on arrival
+	sumW     float64
+	folded   int
+	curRound int
+	bcast    []byte    // reusable broadcast body
+	avgBuf   []float32 // reusable aggregate, recycled across rounds
+	dropped  telemetry.Counter
+}
+
+// fedavgUpload is one client's decoded round contribution.
+type fedavgUpload struct {
+	state []float32
+	w     float64
 }
 
 // NewFedAvgAggregator wires the aggregator around the global model.
 func NewFedAvgAggregator(global *models.SplitModel, cfg Config) *FedAvgAggregator {
-	return &FedAvgAggregator{Global: global, cfg: cfg.WithDefaults()}
+	a := &FedAvgAggregator{Global: global, cfg: cfg.WithDefaults()}
+	a.foldFn = a.fold
+	a.releaseFn = func(u fedavgUpload) { comm.PutF32(u.state) }
+	return a
 }
 
 // Dropped reports how many malformed uploads have been discarded since
@@ -40,6 +56,7 @@ func (a *FedAvgAggregator) SetTelemetry(s *telemetry.Set) {
 	a.Telemetered.SetTelemetry(s)
 	if s != nil && s.Reg != nil {
 		s.Reg.Attach("algo.uploads_dropped", &a.dropped)
+		a.wireStream(s.Reg)
 	}
 }
 
@@ -54,62 +71,110 @@ func (a *FedAvgAggregator) Broadcast(round int) []byte {
 	return a.bcast
 }
 
-// Collect implements Aggregator: decode into a pooled vector and buffer
-// it; the reduction happens in FinishRound so it can replay collect
-// order deterministically.
-func (a *FedAvgAggregator) Collect(round int, client uint32, trainSize int, payload []byte) {
-	defer a.span(round, "agg.collect").End()
+// decodeUpload decodes one dense upload into a pooled vector; the
+// shared front half of Collect, CollectLate and CollectBatch.
+func (a *FedAvgAggregator) decodeUpload(trainSize int, payload []byte) (fedavgUpload, bool) {
 	a.size("payload.up", len(payload))
 	n := a.Global.StateLen(models.ScopeAll)
 	state, err := comm.DecodeDenseAnyInto(comm.GetF32(n), payload)
 	if err != nil || len(state) != n {
 		a.dropped.Add(1)
 		comm.PutF32(state)
-		return
+		return fedavgUpload{}, false
 	}
-	a.states = append(a.states, state)
-	a.weights = append(a.weights, float64(trainSize))
+	return fedavgUpload{state: state, w: float64(trainSize)}, true
+}
+
+// fold adds one upload's unscaled wᵢ·xᵢ term into the float64
+// accumulator. Folds run only on the collect goroutine, in the order
+// the streaming cursor dictates; per index the chunked accumulation is
+// independent, so the chain is bitwise identical at any GOMAXPROCS.
+func (a *FedAvgAggregator) fold(u fedavgUpload) {
+	defer a.span(a.curRound, "agg.fold").End()
+	n := len(u.state)
+	if a.folded == 0 {
+		if cap(a.acc) < n {
+			a.acc = make([]float64, n)
+		}
+		a.acc = a.acc[:n]
+		for j := range a.acc {
+			a.acc[j] = 0
+		}
+		a.sumW = 0
+	}
+	a.folded++
+	a.sumW += u.w
+	tensor.Parallel(n, func(lo, hi int) {
+		tensor.VecAccumScaled(a.acc[lo:hi], u.state[lo:hi], u.w)
+	})
+}
+
+// Collect implements Aggregator: decode into a pooled vector and hand
+// it to the streaming engine — folded immediately at the cursor, staged
+// briefly when it arrives early. The buffer is released right after the
+// fold, not at FinishRound.
+func (a *FedAvgAggregator) Collect(round int, client uint32, trainSize int, payload []byte) {
+	defer a.span(round, "agg.collect").End()
+	a.curRound = round
+	if u, ok := a.decodeUpload(trainSize, payload); ok {
+		a.ingest(client, u)
+	}
+}
+
+// CollectLate implements StreamingAggregator: a carried-over straggler
+// upload folds at its delivery position, outside the cursor.
+func (a *FedAvgAggregator) CollectLate(round int, client uint32, trainSize int, payload []byte) {
+	defer a.span(round, "agg.collect").End()
+	a.curRound = round
+	if u, ok := a.decodeUpload(trainSize, payload); ok {
+		a.foldNow(u)
+	}
 }
 
 // CollectBatch implements BatchCollector: decode a whole batch of
-// uploads concurrently, buffering results in upload order — equivalent
-// to sequential Collect calls, with the per-upload decode parallelized.
+// uploads concurrently, then ingest in upload order — equivalent to
+// sequential Collect calls, with the per-upload decode parallelized.
 func (a *FedAvgAggregator) CollectBatch(round int, ups []Upload) {
 	defer a.span(round, "agg.collect").End()
-	n := a.Global.StateLen(models.ScopeAll)
+	a.curRound = round
 	type entry struct {
-		state []float32
-		w     float64
+		client uint32
+		u      fedavgUpload
 	}
-	entries := decodeBatch(ups, func(u Upload) (entry, bool) {
-		a.size("payload.up", len(u.Payload))
-		state, err := comm.DecodeDenseAnyInto(comm.GetF32(n), u.Payload)
-		if err != nil || len(state) != n {
-			a.dropped.Add(1)
-			comm.PutF32(state)
-			return entry{}, false
-		}
-		return entry{state: state, w: float64(u.TrainSize)}, true
+	entries := decodeBatch(ups, func(up Upload) (entry, bool) {
+		u, ok := a.decodeUpload(up.TrainSize, up.Payload)
+		return entry{client: up.Client, u: u}, ok
 	})
 	for _, e := range entries {
-		a.states = append(a.states, e.state)
-		a.weights = append(a.weights, e.w)
+		a.ingest(e.client, e.u)
 	}
 }
 
-// FinishRound implements Aggregator: the deterministic parallel weighted
-// average, bitwise identical to the serial reference at any GOMAXPROCS.
+// FinishRound implements Aggregator: drain anything still staged, then
+// finalize the accumulated Σwᵢxᵢ with a single ÷Σw per index — bitwise
+// identical to StreamFoldRefFedAvg at any GOMAXPROCS.
 func (a *FedAvgAggregator) FinishRound(round int) {
 	defer a.span(round, "agg.reduce").End()
-	if avg := WeightedAverageInto(a.avgBuf, a.states, a.weights); avg != nil {
-		a.avgBuf = avg
-		a.Global.SetState(models.ScopeAll, avg)
+	a.curRound = round
+	a.finishStream()
+	if a.folded == 0 || a.sumW == 0 {
+		a.folded = 0
+		return
 	}
-	for _, st := range a.states {
-		comm.PutF32(st)
+	n := len(a.acc)
+	if cap(a.avgBuf) < n {
+		a.avgBuf = make([]float32, n)
 	}
-	a.states = a.states[:0]
-	a.weights = a.weights[:0]
+	avg := a.avgBuf[:n]
+	tensor.Parallel(n, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			avg[j] = float32(a.acc[j] / a.sumW)
+		}
+	})
+	a.avgBuf = avg
+	a.Global.SetState(models.ScopeAll, avg)
+	a.folded = 0
+	a.sumW = 0
 }
 
 // Final implements Aggregator.

@@ -18,12 +18,18 @@ import (
 // (the ≈2× per-round uplink the SPATL paper reports for FedNova).
 type FedNovaAggregator struct {
 	Telemetered
+	stream[fednovaUpload]
 	Global *models.SplitModel
 
 	cfg      Config
 	velocity []float32 // server-averaged momentum over trainable params
 	bcast    []byte
-	pending  []fednovaUpload
+	accD     []float64 // unscaled Σ wᵢ·dᵢ, folded on arrival
+	accV     []float64 // unscaled Σ wᵢ·vᵢ
+	sumW     float64
+	sumWTau  float64 // Σ wᵢ·τᵢ (τ_eff numerator)
+	folded   int
+	curRound int
 	dropped  telemetry.Counter
 }
 
@@ -36,11 +42,17 @@ type fednovaUpload struct {
 
 // NewFedNovaAggregator wires the aggregator around the global model.
 func NewFedNovaAggregator(global *models.SplitModel, cfg Config) *FedNovaAggregator {
-	return &FedNovaAggregator{
+	a := &FedNovaAggregator{
 		Global:   global,
 		cfg:      cfg.WithDefaults(),
 		velocity: make([]float32, nn.ParamCount(global.Params())),
 	}
+	a.foldFn = a.fold
+	a.releaseFn = func(u fednovaUpload) {
+		comm.PutF32(u.d)
+		comm.PutF32(u.v)
+	}
+	return a
 }
 
 // Velocity exposes the server-averaged momentum (read-only use).
@@ -55,6 +67,7 @@ func (a *FedNovaAggregator) SetTelemetry(s *telemetry.Set) {
 	a.Telemetered.SetTelemetry(s)
 	if s != nil && s.Reg != nil {
 		s.Reg.Attach("algo.uploads_dropped", &a.dropped)
+		a.wireStream(s.Reg)
 	}
 }
 
@@ -74,15 +87,15 @@ func (a *FedNovaAggregator) Broadcast(round int) []byte {
 	return a.bcast
 }
 
-// Collect implements Aggregator: three joined parts — normalized update
-// d, momentum buffer, and the local step count τ as 4-byte little-endian.
-func (a *FedNovaAggregator) Collect(round int, client uint32, trainSize int, payload []byte) {
-	defer a.span(round, "agg.collect").End()
+// decodeUpload decodes one three-part upload — normalized update d,
+// momentum buffer, and the local step count τ as 4-byte little-endian —
+// the shared front half of Collect, CollectLate and CollectBatch.
+func (a *FedNovaAggregator) decodeUpload(trainSize int, payload []byte) (fednovaUpload, bool) {
 	a.size("payload.up", len(payload))
 	parts, err := comm.SplitPayloads(payload)
 	if err != nil || len(parts) != 3 || len(parts[2]) != 4 {
 		a.dropped.Add(1)
-		return
+		return fednovaUpload{}, false
 	}
 	steps := binary.LittleEndian.Uint32(parts[2])
 	nState := a.Global.StateLen(models.ScopeAll)
@@ -92,67 +105,100 @@ func (a *FedNovaAggregator) Collect(round int, client uint32, trainSize int, pay
 		a.dropped.Add(1)
 		comm.PutF32(d)
 		comm.PutF32(v)
-		return
+		return fednovaUpload{}, false
 	}
-	a.pending = append(a.pending, fednovaUpload{d: d, v: v, tau: float64(steps), w: float64(trainSize)})
+	return fednovaUpload{d: d, v: v, tau: float64(steps), w: float64(trainSize)}, true
+}
+
+// fold adds one upload's unscaled wᵢ·dᵢ and wᵢ·vᵢ terms into the
+// float64 accumulators and tallies the τ_eff numerator.
+func (a *FedNovaAggregator) fold(u fednovaUpload) {
+	defer a.span(a.curRound, "agg.fold").End()
+	if a.folded == 0 {
+		if cap(a.accD) < len(u.d) {
+			a.accD = make([]float64, len(u.d))
+		}
+		a.accD = a.accD[:len(u.d)]
+		for j := range a.accD {
+			a.accD[j] = 0
+		}
+		if cap(a.accV) < len(u.v) {
+			a.accV = make([]float64, len(u.v))
+		}
+		a.accV = a.accV[:len(u.v)]
+		for j := range a.accV {
+			a.accV[j] = 0
+		}
+		a.sumW, a.sumWTau = 0, 0
+	}
+	a.folded++
+	a.sumW += u.w
+	a.sumWTau += u.w * u.tau
+	tensor.Parallel(len(u.d), func(lo, hi int) {
+		tensor.VecAccumScaled(a.accD[lo:hi], u.d[lo:hi], u.w)
+	})
+	tensor.Parallel(len(u.v), func(lo, hi int) {
+		tensor.VecAccumScaled(a.accV[lo:hi], u.v[lo:hi], u.w)
+	})
+}
+
+// Collect implements Aggregator: decode, then fold through the
+// streaming cursor; buffers release right after the fold.
+func (a *FedNovaAggregator) Collect(round int, client uint32, trainSize int, payload []byte) {
+	defer a.span(round, "agg.collect").End()
+	a.curRound = round
+	if u, ok := a.decodeUpload(trainSize, payload); ok {
+		a.ingest(client, u)
+	}
+}
+
+// CollectLate implements StreamingAggregator: a carried-over straggler
+// upload folds at its delivery position, outside the cursor.
+func (a *FedNovaAggregator) CollectLate(round int, client uint32, trainSize int, payload []byte) {
+	defer a.span(round, "agg.collect").End()
+	a.curRound = round
+	if u, ok := a.decodeUpload(trainSize, payload); ok {
+		a.foldNow(u)
+	}
 }
 
 // CollectBatch implements BatchCollector: the Collect decode run
-// concurrently over a whole batch, results buffered in upload order.
+// concurrently over a whole batch, then ingested in upload order.
 func (a *FedNovaAggregator) CollectBatch(round int, ups []Upload) {
 	defer a.span(round, "agg.collect").End()
-	nState := a.Global.StateLen(models.ScopeAll)
-	a.pending = append(a.pending, decodeBatch(ups, func(u Upload) (fednovaUpload, bool) {
-		a.size("payload.up", len(u.Payload))
-		parts, err := comm.SplitPayloads(u.Payload)
-		if err != nil || len(parts) != 3 || len(parts[2]) != 4 {
-			a.dropped.Add(1)
-			return fednovaUpload{}, false
-		}
-		steps := binary.LittleEndian.Uint32(parts[2])
-		d, err1 := comm.DecodeDenseAnyInto(comm.GetF32(nState), parts[0])
-		v, err2 := comm.DecodeDenseAnyInto(comm.GetF32(len(a.velocity)), parts[1])
-		if err1 != nil || err2 != nil || len(d) != nState || len(v) != len(a.velocity) || steps == 0 {
-			a.dropped.Add(1)
-			comm.PutF32(d)
-			comm.PutF32(v)
-			return fednovaUpload{}, false
-		}
-		return fednovaUpload{d: d, v: v, tau: float64(steps), w: float64(u.TrainSize)}, true
-	})...)
+	a.curRound = round
+	type entry struct {
+		client uint32
+		u      fednovaUpload
+	}
+	entries := decodeBatch(ups, func(up Upload) (entry, bool) {
+		u, ok := a.decodeUpload(up.TrainSize, up.Payload)
+		return entry{client: up.Client, u: u}, ok
+	})
+	for _, e := range entries {
+		a.ingest(e.client, e.u)
+	}
 }
 
-// FinishRound implements Aggregator: τ_eff = Σ pᵢ·τᵢ ; x_g ← x_g −
-// τ_eff · Σ pᵢ·dᵢ ; velocity = Σ pᵢ·vᵢ. The reductions chunk the
-// parameter dimension, clients in fixed order per index, bitwise
-// identical to the serial loops at any GOMAXPROCS.
+// FinishRound implements Aggregator: τ_eff = Σwᵢτᵢ/Σwᵢ ; x_g ← x_g −
+// τ_eff·(Σwᵢdᵢ/Σwᵢ) ; velocity = Σwᵢvᵢ/Σwᵢ — the finalize half of the
+// two-phase reduce, bitwise identical to StreamFoldRefFedNova at any
+// GOMAXPROCS.
 func (a *FedNovaAggregator) FinishRound(round int) {
 	defer a.span(round, "agg.reduce").End()
-	if len(a.pending) == 0 {
+	a.curRound = round
+	a.finishStream()
+	if a.folded == 0 || a.sumW == 0 {
+		a.folded = 0
 		return
 	}
-	total := 0.0
-	for _, u := range a.pending {
-		total += u.w
-	}
-	if total == 0 {
-		a.release()
-		return
-	}
-	var tauEff float64
-	for _, u := range a.pending {
-		tauEff += (u.w / total) * u.tau
-	}
-	nState := a.Global.StateLen(models.ScopeAll)
+	tauEff := a.sumWTau / a.sumW
+	nState := len(a.accD)
 	globalState := a.Global.StateInto(models.ScopeAll, comm.GetF32(nState))
 	newState := comm.GetF32(nState)
 	tensor.Parallel(nState, func(lo, hi int) {
-		copy(newState[lo:hi], globalState[lo:hi])
-		for _, u := range a.pending {
-			p := u.w / total
-			for j := lo; j < hi; j++ {
-				newState[j] -= float32(tauEff * p * float64(u.d[j]))
-			}
+		for j := lo; j < hi; j++ {
+			newState[j] = float32(float64(globalState[j]) - tauEff*(a.accD[j]/a.sumW))
 		}
 	})
 	a.Global.SetState(models.ScopeAll, newState)
@@ -160,24 +206,11 @@ func (a *FedNovaAggregator) FinishRound(round int) {
 	comm.PutF32(globalState)
 	tensor.Parallel(len(a.velocity), func(lo, hi int) {
 		for j := lo; j < hi; j++ {
-			a.velocity[j] = 0
-		}
-		for _, u := range a.pending {
-			p := u.w / total
-			for j := lo; j < hi; j++ {
-				a.velocity[j] += float32(p * float64(u.v[j]))
-			}
+			a.velocity[j] = float32(a.accV[j] / a.sumW)
 		}
 	})
-	a.release()
-}
-
-func (a *FedNovaAggregator) release() {
-	for _, u := range a.pending {
-		comm.PutF32(u.d)
-		comm.PutF32(u.v)
-	}
-	a.pending = a.pending[:0]
+	a.folded = 0
+	a.sumW, a.sumWTau = 0, 0
 }
 
 // Final implements Aggregator.

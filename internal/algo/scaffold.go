@@ -17,13 +17,17 @@ import (
 // x += (1/|S|)·ΣΔw and c += (1/N)·ΣΔc.
 type SCAFFOLDAggregator struct {
 	Telemetered
+	stream[scaffoldUpload]
 	Global *models.SplitModel
 
-	cfg     Config
-	c       []float32 // server control variate over trainable params
-	bcast   []byte
-	pending []scaffoldUpload // decoded uploads in collect order
-	dropped telemetry.Counter
+	cfg      Config
+	c        []float32 // server control variate over trainable params
+	bcast    []byte
+	accW     []float64 // unscaled ΣΔwᵢ, folded on arrival
+	accC     []float64 // unscaled ΣΔcᵢ
+	folded   int
+	curRound int
+	dropped  telemetry.Counter
 }
 
 // scaffoldUpload is one client's decoded round contribution.
@@ -39,11 +43,17 @@ func NewSCAFFOLDAggregator(global *models.SplitModel, cfg Config) *SCAFFOLDAggre
 	if cfg.NumClients <= 0 {
 		panic(fmt.Sprintf("algo: SCAFFOLD needs Config.NumClients > 0, got %d", cfg.NumClients))
 	}
-	return &SCAFFOLDAggregator{
+	a := &SCAFFOLDAggregator{
 		Global: global,
 		cfg:    cfg,
 		c:      make([]float32, nn.ParamCount(global.Params())),
 	}
+	a.foldFn = a.fold
+	a.releaseFn = func(u scaffoldUpload) {
+		comm.PutF32(u.dW)
+		comm.PutF32(u.dC)
+	}
+	return a
 }
 
 // ControlVariate exposes the server control variate c (read-only use).
@@ -58,6 +68,7 @@ func (a *SCAFFOLDAggregator) SetTelemetry(s *telemetry.Set) {
 	a.Telemetered.SetTelemetry(s)
 	if s != nil && s.Reg != nil {
 		s.Reg.Attach("algo.uploads_dropped", &a.dropped)
+		a.wireStream(s.Reg)
 	}
 }
 
@@ -77,14 +88,14 @@ func (a *SCAFFOLDAggregator) Broadcast(round int) []byte {
 	return a.bcast
 }
 
-// Collect implements Aggregator.
-func (a *SCAFFOLDAggregator) Collect(round int, client uint32, trainSize int, payload []byte) {
-	defer a.span(round, "agg.collect").End()
+// decodeUpload decodes one joined (Δw, Δc) upload; the shared front
+// half of Collect, CollectLate and CollectBatch.
+func (a *SCAFFOLDAggregator) decodeUpload(payload []byte) (scaffoldUpload, bool) {
 	a.size("payload.up", len(payload))
 	parts, err := comm.SplitPayloads(payload)
 	if err != nil || len(parts) != 2 {
 		a.dropped.Add(1)
-		return
+		return scaffoldUpload{}, false
 	}
 	nState := a.Global.StateLen(models.ScopeAll)
 	dW, err1 := comm.DecodeDenseAnyInto(comm.GetF32(nState), parts[0])
@@ -93,73 +104,109 @@ func (a *SCAFFOLDAggregator) Collect(round int, client uint32, trainSize int, pa
 		a.dropped.Add(1)
 		comm.PutF32(dW)
 		comm.PutF32(dC)
-		return
+		return scaffoldUpload{}, false
 	}
-	a.pending = append(a.pending, scaffoldUpload{dW: dW, dC: dC})
+	return scaffoldUpload{dW: dW, dC: dC}, true
+}
+
+// fold adds one upload's unscaled ΣΔw / ΣΔc terms into the float64
+// accumulators. SCAFFOLD weights every arrived upload equally, so the
+// fold carries no weight — the 1/|S| scaling happens at finalize.
+func (a *SCAFFOLDAggregator) fold(u scaffoldUpload) {
+	defer a.span(a.curRound, "agg.fold").End()
+	if a.folded == 0 {
+		if cap(a.accW) < len(u.dW) {
+			a.accW = make([]float64, len(u.dW))
+		}
+		a.accW = a.accW[:len(u.dW)]
+		for j := range a.accW {
+			a.accW[j] = 0
+		}
+		if cap(a.accC) < len(u.dC) {
+			a.accC = make([]float64, len(u.dC))
+		}
+		a.accC = a.accC[:len(u.dC)]
+		for j := range a.accC {
+			a.accC[j] = 0
+		}
+	}
+	a.folded++
+	tensor.Parallel(len(u.dW), func(lo, hi int) {
+		tensor.VecAccumScaled(a.accW[lo:hi], u.dW[lo:hi], 1)
+	})
+	tensor.Parallel(len(u.dC), func(lo, hi int) {
+		tensor.VecAccumScaled(a.accC[lo:hi], u.dC[lo:hi], 1)
+	})
+}
+
+// Collect implements Aggregator: decode, then fold through the
+// streaming cursor; buffers release right after the fold.
+func (a *SCAFFOLDAggregator) Collect(round int, client uint32, trainSize int, payload []byte) {
+	defer a.span(round, "agg.collect").End()
+	a.curRound = round
+	if u, ok := a.decodeUpload(payload); ok {
+		a.ingest(client, u)
+	}
+}
+
+// CollectLate implements StreamingAggregator: a carried-over straggler
+// upload folds at its delivery position, outside the cursor.
+func (a *SCAFFOLDAggregator) CollectLate(round int, client uint32, trainSize int, payload []byte) {
+	defer a.span(round, "agg.collect").End()
+	a.curRound = round
+	if u, ok := a.decodeUpload(payload); ok {
+		a.foldNow(u)
+	}
 }
 
 // CollectBatch implements BatchCollector: the Collect decode run
-// concurrently over a whole batch, results buffered in upload order.
+// concurrently over a whole batch, then ingested in upload order.
 func (a *SCAFFOLDAggregator) CollectBatch(round int, ups []Upload) {
 	defer a.span(round, "agg.collect").End()
-	nState := a.Global.StateLen(models.ScopeAll)
-	a.pending = append(a.pending, decodeBatch(ups, func(u Upload) (scaffoldUpload, bool) {
-		a.size("payload.up", len(u.Payload))
-		parts, err := comm.SplitPayloads(u.Payload)
-		if err != nil || len(parts) != 2 {
-			a.dropped.Add(1)
-			return scaffoldUpload{}, false
-		}
-		dW, err1 := comm.DecodeDenseAnyInto(comm.GetF32(nState), parts[0])
-		dC, err2 := comm.DecodeDenseAnyInto(comm.GetF32(len(a.c)), parts[1])
-		if err1 != nil || err2 != nil || len(dW) != nState || len(dC) != len(a.c) {
-			a.dropped.Add(1)
-			comm.PutF32(dW)
-			comm.PutF32(dC)
-			return scaffoldUpload{}, false
-		}
-		return scaffoldUpload{dW: dW, dC: dC}, true
-	})...)
+	a.curRound = round
+	type entry struct {
+		client uint32
+		u      scaffoldUpload
+	}
+	entries := decodeBatch(ups, func(up Upload) (entry, bool) {
+		u, ok := a.decodeUpload(up.Payload)
+		return entry{client: up.Client, u: u}, ok
+	})
+	for _, e := range entries {
+		a.ingest(e.client, e.u)
+	}
 }
 
-// FinishRound implements Aggregator: x += (1/|S|)·ΣΔw ; c += (1/N)·ΣΔc,
-// where S is the set of clients whose uploads actually arrived. Both
-// reductions chunk the parameter dimension and sum clients in fixed
-// order per index, bitwise identical to the serial loops at any
-// GOMAXPROCS.
+// FinishRound implements Aggregator: x ← x_g + (ΣΔw)/|S| ; c ← c +
+// (ΣΔc)/N, where S is the set of clients whose uploads actually
+// arrived — the finalize half of the two-phase reduce, bitwise
+// identical to StreamFoldRefSCAFFOLD at any GOMAXPROCS.
 func (a *SCAFFOLDAggregator) FinishRound(round int) {
 	defer a.span(round, "agg.reduce").End()
-	if len(a.pending) == 0 {
+	a.curRound = round
+	a.finishStream()
+	if a.folded == 0 {
 		return
 	}
-	nState := a.Global.StateLen(models.ScopeAll)
+	nState := len(a.accW)
 	globalState := a.Global.StateInto(models.ScopeAll, comm.GetF32(nState))
-	invS := 1.0 / float64(len(a.pending))
 	newState := comm.GetF32(nState)
+	invS := float64(a.folded)
 	tensor.Parallel(nState, func(lo, hi int) {
-		copy(newState[lo:hi], globalState[lo:hi])
-		for _, u := range a.pending {
-			for j := lo; j < hi; j++ {
-				newState[j] += float32(invS * float64(u.dW[j]))
-			}
+		for j := lo; j < hi; j++ {
+			newState[j] = float32(float64(globalState[j]) + a.accW[j]/invS)
 		}
 	})
 	a.Global.SetState(models.ScopeAll, newState)
 	comm.PutF32(newState)
-	invN := 1.0 / float64(a.cfg.NumClients)
+	comm.PutF32(globalState)
+	invN := float64(a.cfg.NumClients)
 	tensor.Parallel(len(a.c), func(lo, hi int) {
-		for _, u := range a.pending {
-			for j := lo; j < hi; j++ {
-				a.c[j] += float32(invN * float64(u.dC[j]))
-			}
+		for j := lo; j < hi; j++ {
+			a.c[j] = float32(float64(a.c[j]) + a.accC[j]/invN)
 		}
 	})
-	for _, u := range a.pending {
-		comm.PutF32(u.dW)
-		comm.PutF32(u.dC)
-	}
-	a.pending = a.pending[:0]
-	comm.PutF32(globalState)
+	a.folded = 0
 }
 
 // Final implements Aggregator.

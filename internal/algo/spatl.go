@@ -81,15 +81,19 @@ func (o SPATLOptions) CtrlParams(m *models.SplitModel) []*nn.Param {
 // control-variate update at the uploaded indices (eq. 11).
 type SPATLAggregator struct {
 	Telemetered
+	stream[spatlUpload]
 	Global *models.SplitModel
 	Opts   SPATLOptions
 
-	cfg     Config
-	c       []float32 // server control variate over encoder trainable params
-	bcast   []byte
-	pending []spatlUpload
-	count   []int32 // per-index contributor count, reused across rounds
-	dropped telemetry.Counter
+	cfg      Config
+	c        []float32 // server control variate over encoder trainable params
+	bcast    []byte
+	acc      []float64 // per-index Σ of salient deltas, folded on arrival
+	accC     []float64 // per-index Σ of control deltas
+	count    []int32   // per-index contributor count, reused across rounds
+	folded   int
+	curRound int
+	dropped  telemetry.Counter
 }
 
 // spatlUpload is one client's decoded sparse contribution.
@@ -101,12 +105,20 @@ type spatlUpload struct {
 // cfg.NumClients must be the federation size N (eq. 11 scales by 1/N).
 func NewSPATLAggregator(global *models.SplitModel, opts SPATLOptions, cfg Config) *SPATLAggregator {
 	opts = opts.WithDefaults()
-	return &SPATLAggregator{
+	a := &SPATLAggregator{
 		Global: global,
 		Opts:   opts,
 		cfg:    cfg.WithDefaults(),
 		c:      make([]float32, nn.ParamCount(opts.CtrlParams(global))),
 	}
+	a.foldFn = a.fold
+	a.releaseFn = func(u spatlUpload) {
+		comm.PutSparse(u.dW)
+		if u.dC != nil {
+			comm.PutSparse(u.dC)
+		}
+	}
+	return a
 }
 
 // ControlVariate exposes the server control variate c (read-only use).
@@ -121,6 +133,7 @@ func (a *SPATLAggregator) SetTelemetry(s *telemetry.Set) {
 	a.Telemetered.SetTelemetry(s)
 	if s != nil && s.Reg != nil {
 		s.Reg.Attach("algo.uploads_dropped", &a.dropped)
+		a.wireStream(s.Reg)
 	}
 }
 
@@ -145,11 +158,11 @@ func (a *SPATLAggregator) Broadcast(round int) []byte {
 	return a.bcast
 }
 
-// Collect implements Aggregator: one sparse delta, joined with a sparse
-// control delta unless gradient control is disabled. A bad control part
-// keeps the weight delta — the model update is still sound.
-func (a *SPATLAggregator) Collect(round int, client uint32, trainSize int, payload []byte) {
-	defer a.span(round, "agg.collect").End()
+// decodeUpload decodes one sparse delta, joined with a sparse control
+// delta unless gradient control is disabled. A bad control part keeps
+// the weight delta — the model update is still sound. The shared front
+// half of Collect, CollectLate and CollectBatch.
+func (a *SPATLAggregator) decodeUpload(payload []byte) (spatlUpload, bool) {
 	a.size("payload.up", len(payload))
 	wantParts := 2
 	if a.Opts.DisableGradControl {
@@ -158,13 +171,13 @@ func (a *SPATLAggregator) Collect(round int, client uint32, trainSize int, paylo
 	parts, err := comm.SplitPayloads(payload)
 	if err != nil || len(parts) != wantParts {
 		a.dropped.Add(1)
-		return
+		return spatlUpload{}, false
 	}
 	dW := &comm.Sparse{Values: comm.GetF32(len(parts[0]) / 4)[:0]}
 	if err := comm.DecodeSparseAnyInto(dW, parts[0]); err != nil {
 		a.dropped.Add(1)
 		comm.PutSparse(dW)
-		return
+		return spatlUpload{}, false
 	}
 	var dC *comm.Sparse
 	if wantParts == 2 {
@@ -174,98 +187,177 @@ func (a *SPATLAggregator) Collect(round int, client uint32, trainSize int, paylo
 			dC = nil // keep dW: the model update is still sound
 		}
 	}
-	a.pending = append(a.pending, spatlUpload{dW: dW, dC: dC})
+	return spatlUpload{dW: dW, dC: dC}, true
+}
+
+// scatterAccumRange folds one sparse upload's values covering [lo,hi)
+// into the float64 accumulator and the per-index contributor count —
+// the streaming float64 counterpart of comm.ScatterAddRange.
+func scatterAccumRange(acc []float64, count []int32, s *comm.Sparse, lo, hi int) {
+	off := 0
+	for _, r := range s.Ranges {
+		rs := int(r.Start)
+		re := rs + int(r.Len)
+		if rs >= hi {
+			return
+		}
+		if re > lo {
+			cs, ce := rs, re
+			if cs < lo {
+				cs = lo
+			}
+			if ce > hi {
+				ce = hi
+			}
+			vals := s.Values[off+(cs-rs) : off+(ce-rs)]
+			for k, v := range vals {
+				acc[cs+k] += float64(v)
+				count[cs+k]++
+			}
+		}
+		off += int(r.Len)
+	}
+}
+
+// scatterAccumValsRange is scatterAccumRange without the contributor
+// count — the control-variate fold (eq. 11 sums, it never averages).
+func scatterAccumValsRange(acc []float64, s *comm.Sparse, lo, hi int) {
+	off := 0
+	for _, r := range s.Ranges {
+		rs := int(r.Start)
+		re := rs + int(r.Len)
+		if rs >= hi {
+			return
+		}
+		if re > lo {
+			cs, ce := rs, re
+			if cs < lo {
+				cs = lo
+			}
+			if ce > hi {
+				ce = hi
+			}
+			vals := s.Values[off+(cs-rs) : off+(ce-rs)]
+			for k, v := range vals {
+				acc[cs+k] += float64(v)
+			}
+		}
+		off += int(r.Len)
+	}
+}
+
+// fold scatters one upload's salient deltas into the float64
+// accumulators and bumps the per-index contributor counts.
+func (a *SPATLAggregator) fold(u spatlUpload) {
+	defer a.span(a.curRound, "agg.fold").End()
+	nState := a.Global.StateLen(a.Opts.Scope())
+	if a.folded == 0 {
+		if cap(a.acc) < nState {
+			a.acc = make([]float64, nState)
+		}
+		a.acc = a.acc[:nState]
+		if cap(a.count) < nState {
+			a.count = make([]int32, nState)
+		}
+		a.count = a.count[:nState]
+		for j := range a.acc {
+			a.acc[j] = 0
+			a.count[j] = 0
+		}
+		if cap(a.accC) < len(a.c) {
+			a.accC = make([]float64, len(a.c))
+		}
+		a.accC = a.accC[:len(a.c)]
+		for j := range a.accC {
+			a.accC[j] = 0
+		}
+	}
+	a.folded++
+	tensor.Parallel(nState, func(lo, hi int) {
+		scatterAccumRange(a.acc, a.count, u.dW, lo, hi)
+	})
+	if u.dC != nil && !a.Opts.DisableGradControl {
+		tensor.Parallel(len(a.c), func(lo, hi int) {
+			scatterAccumValsRange(a.accC, u.dC, lo, hi)
+		})
+	}
+}
+
+// Collect implements Aggregator: decode, then fold through the
+// streaming cursor; the sparse buffers release right after the fold.
+func (a *SPATLAggregator) Collect(round int, client uint32, trainSize int, payload []byte) {
+	defer a.span(round, "agg.collect").End()
+	a.curRound = round
+	if u, ok := a.decodeUpload(payload); ok {
+		a.ingest(client, u)
+	}
+}
+
+// CollectLate implements StreamingAggregator: a carried-over straggler
+// upload folds at its delivery position, outside the cursor.
+func (a *SPATLAggregator) CollectLate(round int, client uint32, trainSize int, payload []byte) {
+	defer a.span(round, "agg.collect").End()
+	a.curRound = round
+	if u, ok := a.decodeUpload(payload); ok {
+		a.foldNow(u)
+	}
 }
 
 // CollectBatch implements BatchCollector: the Collect decode run
-// concurrently over a whole batch, results buffered in upload order.
+// concurrently over a whole batch, then ingested in upload order.
 func (a *SPATLAggregator) CollectBatch(round int, ups []Upload) {
 	defer a.span(round, "agg.collect").End()
-	wantParts := 2
-	if a.Opts.DisableGradControl {
-		wantParts = 1
+	a.curRound = round
+	type entry struct {
+		client uint32
+		u      spatlUpload
 	}
-	a.pending = append(a.pending, decodeBatch(ups, func(u Upload) (spatlUpload, bool) {
-		a.size("payload.up", len(u.Payload))
-		parts, err := comm.SplitPayloads(u.Payload)
-		if err != nil || len(parts) != wantParts {
-			a.dropped.Add(1)
-			return spatlUpload{}, false
-		}
-		dW := &comm.Sparse{Values: comm.GetF32(len(parts[0]) / 4)[:0]}
-		if err := comm.DecodeSparseAnyInto(dW, parts[0]); err != nil {
-			a.dropped.Add(1)
-			comm.PutSparse(dW)
-			return spatlUpload{}, false
-		}
-		var dC *comm.Sparse
-		if wantParts == 2 {
-			dC = &comm.Sparse{Values: comm.GetF32(len(parts[1]) / 4)[:0]}
-			if err := comm.DecodeSparseAnyInto(dC, parts[1]); err != nil {
-				comm.PutSparse(dC)
-				dC = nil // keep dW: the model update is still sound
-			}
-		}
-		return spatlUpload{dW: dW, dC: dC}, true
-	})...)
+	entries := decodeBatch(ups, func(up Upload) (entry, bool) {
+		u, ok := a.decodeUpload(up.Payload)
+		return entry{client: up.Client, u: u}, ok
+	})
+	for _, e := range entries {
+		a.ingest(e.client, e.u)
+	}
 }
 
-// FinishRound implements Aggregator: eq. 12 per-index averaging over the
-// salient deltas, then eq. 11 on the control variate. Both reductions
-// chunk the parameter dimension with clients in fixed order per index,
-// bitwise identical to the serial ScatterAdd loops at any GOMAXPROCS.
+// FinishRound implements Aggregator: eq. 12 per-index averaging over
+// the folded salient deltas, then eq. 11 on the control variate — the
+// finalize half of the two-phase reduce, bitwise identical to
+// StreamFoldRefSPATL at any GOMAXPROCS.
 func (a *SPATLAggregator) FinishRound(round int) {
 	defer a.span(round, "agg.reduce").End()
-	if len(a.pending) == 0 {
+	a.curRound = round
+	a.finishStream()
+	if a.folded == 0 {
 		return
 	}
 	scope := a.Opts.Scope()
 	nState := a.Global.StateLen(scope)
 	globalState := a.Global.StateInto(scope, comm.GetF32(nState))
-	sum := comm.GetF32(nState)
-	if cap(a.count) < nState {
-		a.count = make([]int32, nState)
-	}
-	count := a.count[:nState]
 	newState := comm.GetF32(nState)
 	tensor.Parallel(nState, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
-			sum[j] = 0
-			count[j] = 0
-		}
-		for _, u := range a.pending {
-			comm.ScatterAddRange(sum, count, u.dW, lo, hi)
-		}
-		copy(newState[lo:hi], globalState[lo:hi])
-		for j := lo; j < hi; j++ {
-			if count[j] > 0 {
-				newState[j] += sum[j] / float32(count[j])
+			if a.count[j] > 0 {
+				newState[j] = globalState[j] + float32(a.acc[j]/float64(a.count[j]))
+			} else {
+				newState[j] = globalState[j]
 			}
 		}
 	})
 	a.Global.SetState(scope, newState)
 	comm.PutF32(newState)
-	comm.PutF32(sum)
 	comm.PutF32(globalState)
 
 	if !a.Opts.DisableGradControl {
-		invN := float32(1.0 / float64(a.cfg.NumClients))
+		invN := float64(a.cfg.NumClients)
 		tensor.Parallel(len(a.c), func(lo, hi int) {
-			for _, u := range a.pending {
-				if u.dC == nil {
-					continue
-				}
-				comm.ScatterAddScaledRange(a.c, u.dC, invN, lo, hi)
+			for j := lo; j < hi; j++ {
+				a.c[j] = float32(float64(a.c[j]) + a.accC[j]/invN)
 			}
 		})
 	}
-	for _, u := range a.pending {
-		comm.PutSparse(u.dW)
-		if u.dC != nil {
-			comm.PutSparse(u.dC)
-		}
-	}
-	a.pending = a.pending[:0]
+	a.folded = 0
 }
 
 // Final implements Aggregator: the shared-scope state, dense.

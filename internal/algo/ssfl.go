@@ -8,6 +8,7 @@ import (
 	"spatl/internal/nn"
 	"spatl/internal/prune"
 	"spatl/internal/telemetry"
+	"spatl/internal/tensor"
 )
 
 // SSFL (sparse-native salient-subnetwork federated learning) decides the
@@ -76,6 +77,7 @@ func ssflScoresInto(dst []float32, m *models.SplitModel) []float32 {
 // SSFLAggregator is the server side of SSFL.
 type SSFLAggregator struct {
 	Telemetered
+	stream[ssflUpload]
 	Global *models.SplitModel
 	Opts   SSFLOptions
 
@@ -89,25 +91,38 @@ type SSFLAggregator struct {
 	keptN     int
 	maskRound int // round whose FinishRound agreed the mask
 
-	// Buffered uploads, in collect order: score vectors during the
-	// agreement round, packed masked value vectors afterwards.
-	scores  [][]float32
-	packed  [][]float32
-	weights []float64
+	// Streaming accumulator: unscaled Σ wᵢ·xᵢ over the round's upload
+	// vectors — score vectors during the agreement round, packed masked
+	// value vectors afterwards. The phase flips only in FinishRound,
+	// after the stream drained, so one accumulator serves both.
+	acc    []float64
+	sumW   float64
+	folded int
 
+	curRound   int
 	dropped    telemetry.Counter
 	sparseUp   telemetry.Counter // values-only uplink bytes accepted
 	sparseDown telemetry.Counter // sparse downlink bytes broadcast
 }
 
+// ssflUpload is one client's decoded round contribution: a score or
+// packed value vector and its data-size weight.
+type ssflUpload struct {
+	vec []float32
+	w   float64
+}
+
 // NewSSFLAggregator wires the aggregator around the global model.
 func NewSSFLAggregator(global *models.SplitModel, opts SSFLOptions, cfg Config) *SSFLAggregator {
-	return &SSFLAggregator{
+	a := &SSFLAggregator{
 		Global:    global,
 		Opts:      opts.WithDefaults(),
 		cfg:       cfg.WithDefaults(),
 		maskRound: -1,
 	}
+	a.foldFn = a.fold
+	a.releaseFn = func(u ssflUpload) { comm.PutF32(u.vec) }
+	return a
 }
 
 // Dropped reports how many malformed uploads have been discarded.
@@ -124,6 +139,7 @@ func (a *SSFLAggregator) SetTelemetry(s *telemetry.Set) {
 		s.Reg.Attach("algo.uploads_dropped", &a.dropped)
 		s.Reg.Attach("comm.sparse_up_bytes", &a.sparseUp)
 		s.Reg.Attach("comm.sparse_down_bytes", &a.sparseDown)
+		a.wireStream(s.Reg)
 	}
 }
 
@@ -177,99 +193,133 @@ func (a *SSFLAggregator) collectPacked(payload []byte) ([]float32, bool) {
 	return vals, true
 }
 
-// Collect implements Aggregator.
+// decodeUpload decodes one upload for the current phase; the shared
+// front half of Collect, CollectLate and CollectBatch.
+func (a *SSFLAggregator) decodeUpload(trainSize int, payload []byte) (ssflUpload, bool) {
+	a.size("payload.up", len(payload))
+	var vec []float32
+	var ok bool
+	if a.sel == nil {
+		vec, ok = a.collectScores(payload)
+	} else {
+		vec, ok = a.collectPacked(payload)
+	}
+	if !ok {
+		return ssflUpload{}, false
+	}
+	return ssflUpload{vec: vec, w: float64(trainSize)}, true
+}
+
+// fold adds one upload's unscaled wᵢ·xᵢ term into the float64
+// accumulator — the same fold for both phases, since the vector length
+// (score vs packed) is fixed within a round and the phase only flips in
+// FinishRound after the stream drained.
+func (a *SSFLAggregator) fold(u ssflUpload) {
+	defer a.span(a.curRound, "agg.fold").End()
+	n := len(u.vec)
+	if a.folded == 0 {
+		if cap(a.acc) < n {
+			a.acc = make([]float64, n)
+		}
+		a.acc = a.acc[:n]
+		for j := range a.acc {
+			a.acc[j] = 0
+		}
+		a.sumW = 0
+	}
+	a.folded++
+	a.sumW += u.w
+	tensor.Parallel(n, func(lo, hi int) {
+		tensor.VecAccumScaled(a.acc[lo:hi], u.vec[lo:hi], u.w)
+	})
+}
+
+// Collect implements Aggregator: decode, then fold through the
+// streaming cursor; buffers release right after the fold.
 func (a *SSFLAggregator) Collect(round int, client uint32, trainSize int, payload []byte) {
 	defer a.span(round, "agg.collect").End()
-	a.size("payload.up", len(payload))
-	if a.sel == nil {
-		if s, ok := a.collectScores(payload); ok {
-			a.scores = append(a.scores, s)
-			a.weights = append(a.weights, float64(trainSize))
-		}
-		return
+	a.curRound = round
+	if u, ok := a.decodeUpload(trainSize, payload); ok {
+		a.ingest(client, u)
 	}
-	if v, ok := a.collectPacked(payload); ok {
-		a.packed = append(a.packed, v)
-		a.weights = append(a.weights, float64(trainSize))
+}
+
+// CollectLate implements StreamingAggregator: a carried-over straggler
+// upload folds at its delivery position, outside the cursor. A stale
+// score upload arriving after the mask was agreed fails the packed
+// decode and counts as dropped, same as the buffered path.
+func (a *SSFLAggregator) CollectLate(round int, client uint32, trainSize int, payload []byte) {
+	defer a.span(round, "agg.collect").End()
+	a.curRound = round
+	if u, ok := a.decodeUpload(trainSize, payload); ok {
+		a.foldNow(u)
 	}
 }
 
 // CollectBatch implements BatchCollector: the Collect decode run
-// concurrently over a whole batch, results buffered in upload order.
+// concurrently over a whole batch, then ingested in upload order.
 func (a *SSFLAggregator) CollectBatch(round int, ups []Upload) {
 	defer a.span(round, "agg.collect").End()
+	a.curRound = round
 	type entry struct {
-		vec []float32
-		w   float64
+		client uint32
+		u      ssflUpload
 	}
-	entries := decodeBatch(ups, func(u Upload) (entry, bool) {
-		a.size("payload.up", len(u.Payload))
-		var vec []float32
-		var ok bool
-		if a.sel == nil {
-			vec, ok = a.collectScores(u.Payload)
-		} else {
-			vec, ok = a.collectPacked(u.Payload)
-		}
-		if !ok {
-			return entry{}, false
-		}
-		return entry{vec: vec, w: float64(u.TrainSize)}, true
+	entries := decodeBatch(ups, func(up Upload) (entry, bool) {
+		u, ok := a.decodeUpload(up.TrainSize, up.Payload)
+		return entry{client: up.Client, u: u}, ok
 	})
 	for _, e := range entries {
-		if a.sel == nil {
-			a.scores = append(a.scores, e.vec)
-		} else {
-			a.packed = append(a.packed, e.vec)
-		}
-		a.weights = append(a.weights, e.w)
+		a.ingest(e.client, e.u)
 	}
 }
 
 // FinishRound implements Aggregator.
 func (a *SSFLAggregator) FinishRound(round int) {
 	defer a.span(round, "agg.reduce").End()
+	a.curRound = round
+	a.finishStream()
 	if a.sel == nil {
 		a.agreeMask(round)
 		return
 	}
-	if avg := WeightedAverageInto(a.avgBuf, a.packed, a.weights); avg != nil {
-		// The reduce above ran entirely on packed vectors; only this
-		// apply touches a dense view, and only at the kept indices — the
-		// complement stays the zeros ZeroPruned wrote at agreement.
-		a.avgBuf = avg
-		n := a.Global.StateLen(models.ScopeEncoder)
-		state := a.Global.StateInto(models.ScopeEncoder, comm.GetF32(n))
-		comm.ScatterCopy(state, avg, a.ranges)
-		a.Global.SetState(models.ScopeEncoder, state)
-		comm.PutF32(state)
+	if a.folded == 0 || a.sumW == 0 {
+		a.folded = 0
+		return
 	}
-	for _, v := range a.packed {
-		comm.PutF32(v)
+	// The fold ran entirely on packed vectors; only this apply touches a
+	// dense view, and only at the kept indices — the complement stays
+	// the zeros ZeroPruned wrote at agreement.
+	if cap(a.avgBuf) < a.keptN {
+		a.avgBuf = make([]float32, a.keptN)
 	}
-	a.packed = a.packed[:0]
-	a.weights = a.weights[:0]
+	avg := a.avgBuf[:a.keptN]
+	tensor.Parallel(a.keptN, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			avg[j] = float32(a.acc[j] / a.sumW)
+		}
+	})
+	a.avgBuf = avg
+	n := a.Global.StateLen(models.ScopeEncoder)
+	state := a.Global.StateInto(models.ScopeEncoder, comm.GetF32(n))
+	comm.ScatterCopy(state, avg, a.ranges)
+	a.Global.SetState(models.ScopeEncoder, state)
+	comm.PutF32(state)
+	a.folded = 0
+	a.sumW = 0
 }
 
-// agreeMask reduces the buffered saliency scores into the single global
-// mask, fixes the salient index ranges for the rest of the federation,
-// and zeroes the pruned channels of the global model. Entirely serial —
-// the agreement is a handful of float64 sums over per-channel scores,
-// and running it sequentially keeps the journal event ordering identical
-// across transports.
+// agreeMask finalizes the streamed saliency-score fold into the single
+// global mask, fixes the salient index ranges for the rest of the
+// federation, and zeroes the pruned channels of the global model. The
+// scores already folded on arrival; this divides by Σw and derives the
+// mask — matching StreamFoldRefSSFLScores bitwise.
 func (a *SSFLAggregator) agreeMask(round int) {
 	scoreLen := ssflScoreLen(a.Global)
 	avg := make([]float64, scoreLen)
-	if len(a.scores) > 0 {
-		total := 0.0
-		for _, w := range a.weights {
-			total += w
-		}
-		for si, s := range a.scores {
-			w := a.weights[si] / total
-			for j, v := range s {
-				avg[j] += w * float64(v)
-			}
+	if a.folded > 0 && a.sumW != 0 {
+		for j := range avg {
+			avg[j] = a.acc[j] / a.sumW
 		}
 	} else {
 		// No survivor this round: agree on the global model's own
@@ -318,11 +368,8 @@ func (a *SSFLAggregator) agreeMask(round int) {
 		tel.Emit(telemetry.MaskAgreement(round, a.keptN, int64(frame)))
 	}
 
-	for _, s := range a.scores {
-		comm.PutF32(s)
-	}
-	a.scores = a.scores[:0]
-	a.weights = a.weights[:0]
+	a.folded = 0
+	a.sumW = 0
 }
 
 // Final implements Aggregator: a full sparse frame once the mask exists
@@ -337,10 +384,10 @@ func (a *SSFLAggregator) Final() []byte {
 
 // SSFLReduceReference is the retained dense reference for the packed
 // sparse reduce: densify every upload onto the global state, run the
-// serial dense weighted average, return the new state (nil when nothing
+// serial dense streaming fold, return the new state (nil when nothing
 // survived). FinishRound's packed reduction must match it bitwise at any
 // GOMAXPROCS — the complement contributes exact zeros to every term, and
-// at the kept indices both reductions sum clients in ascending order in
+// at the kept indices both reductions fold clients in ascending order in
 // float64.
 func SSFLReduceReference(global []float32, packed [][]float32, weights []float64, ranges []comm.Range) []float32 {
 	states := make([][]float32, len(packed))
@@ -354,7 +401,7 @@ func SSFLReduceReference(global []float32, packed [][]float32, weights []float64
 		}
 		states[i] = st
 	}
-	return WeightedAverageSerial(states, weights)
+	return StreamFoldRefFedAvg(states, weights)
 }
 
 // SSFLTrainer is the client side of SSFL.

@@ -83,8 +83,8 @@ func TestSSFLAggregatorCountsDrops(t *testing.T) {
 	if got := agg.Dropped(); got != 3 {
 		t.Fatalf("Dropped() = %d, want 3", got)
 	}
-	if len(agg.scores) != 0 {
-		t.Fatalf("malformed uploads buffered: %d", len(agg.scores))
+	if agg.folded != 0 {
+		t.Fatalf("malformed uploads folded: %d", agg.folded)
 	}
 	// Zero survivors: agreement still happens from the global's own
 	// saliency, so the federation enters the sparse epoch regardless.
@@ -100,14 +100,15 @@ func TestSSFLAggregatorCountsDrops(t *testing.T) {
 	if got := agg.Dropped(); got != 5 {
 		t.Fatalf("Dropped() = %d, want 5", got)
 	}
-	if len(agg.packed) != 1 {
-		t.Fatalf("packed = %d, want 1 (the good upload survives)", len(agg.packed))
+	if agg.folded != 1 {
+		t.Fatalf("folded = %d, want 1 (the good upload survives)", agg.folded)
 	}
 	agg.FinishRound(1)
 }
 
-// TestSSFLCollectBatchMatchesSequential: batch decoding must buffer the
-// same vectors in the same order as sequential Collect calls.
+// TestSSFLCollectBatchMatchesSequential: batch decoding must fold the
+// same vectors in the same order as sequential Collect calls — the two
+// aggregates finish bitwise identical.
 func TestSSFLCollectBatchMatchesSequential(t *testing.T) {
 	build := func() *SSFLAggregator {
 		agg := NewSSFLAggregator(models.Build(ssflSpec, 5), SSFLOptions{KeepRatio: 0.5}, Config{NumClients: 3})
@@ -131,21 +132,18 @@ func TestSSFLCollectBatchMatchesSequential(t *testing.T) {
 	if a2.Dropped() != a1.Dropped()+1 {
 		t.Fatalf("batch dropped = %d, sequential = %d", a2.Dropped(), a1.Dropped())
 	}
-	if len(a1.packed) != len(a2.packed) {
-		t.Fatalf("buffered %d vs %d", len(a1.packed), len(a2.packed))
-	}
-	for i := range a1.packed {
-		if a1.weights[i] != a2.weights[i] {
-			t.Fatalf("weight order differs at %d", i)
-		}
-		for j := range a1.packed[i] {
-			if math.Float32bits(a1.packed[i][j]) != math.Float32bits(a2.packed[i][j]) {
-				t.Fatalf("packed[%d][%d] differs", i, j)
-			}
-		}
+	if a1.folded != a2.folded || a1.sumW != a2.sumW {
+		t.Fatalf("fold state differs: %d/%v vs %d/%v", a1.folded, a1.sumW, a2.folded, a2.sumW)
 	}
 	a1.FinishRound(1)
 	a2.FinishRound(1)
+	s1 := a1.Global.State(models.ScopeEncoder)
+	s2 := a2.Global.State(models.ScopeEncoder)
+	for j := range s1 {
+		if math.Float32bits(s1[j]) != math.Float32bits(s2[j]) {
+			t.Fatalf("state[%d] differs between batch and sequential collect", j)
+		}
+	}
 }
 
 // ssflFixture is a transport-free two-client federation.

@@ -12,7 +12,8 @@ import "spatl/internal/telemetry"
 //
 //	agg.broadcast  encode the round broadcast        (server)
 //	agg.collect    decode + buffer one upload        (server)
-//	agg.reduce     fold uploads into the global model (server)
+//	agg.fold       fold one upload into the running accumulators (server)
+//	agg.reduce     finalize the round's accumulators  (server)
 //	client.update  one full LocalUpdate               (client)
 //	client.train   the LocalSGD inside it             (client)
 //	client.select  SPATL salient selection            (client)
@@ -20,6 +21,12 @@ import "spatl/internal/telemetry"
 // Size vocabulary: "payload.down" bytes per broadcast, "payload.up"
 // bytes per collected upload — both observed server-side so the sim's
 // shared set counts each payload exactly once.
+//
+// Streaming vocabulary (see stream.go): gauges "agg.inflight" (selected
+// uploads not yet resolved this round) and "agg.staged" (uploads parked
+// ahead of the fold cursor); counters "agg.peak_staged" (high-water
+// mark of the staged set) and "agg.staged_overflow" (uploads evicted at
+// the staging bound).
 
 // Telemetered is the embeddable telemetry hook shared by every
 // aggregator and trainer. Its zero value is inert.

@@ -68,6 +68,13 @@ type MassiveResult struct {
 	ShardPushes int64
 }
 
+// massiveSynthBatch bounds how many synthetic uploads are alive at once
+// inside a shard's collect pass: uploads are synthesized into pooled
+// buffers this many at a time and each buffer recycles as soon as it is
+// folded. Large enough to keep the synthesis memcpy parallel, small
+// enough that round memory is governed by the batch, not the selection.
+const massiveSynthBatch = 1024
+
 // lateUpload is a straggler's payload carried into the next round.
 type lateUpload struct {
 	client    uint32
@@ -119,49 +126,46 @@ func RunMassive(cfg MassiveConfig) (*MassiveResult, error) {
 	var sb algo.ShardBuffer
 	var entries []algo.Upload
 	trainSize := func(ci int) int { return 50 + ci%101 }
+	batch := make([][]byte, 0, massiveSynthBatch)
 	for round := 0; round < cfg.Rounds; round++ {
 		bcast := agg.Broadcast(round)
 		selected := rng.Perm(cfg.Clients)[:cfg.PerRound]
 		sort.Ints(selected)
+		sa := beginStreamRound(agg, round, selected)
 		tel.Emit(telemetry.RoundStart(round, len(selected), int64(len(bcast))))
 
 		// Stragglers from the previous round land first: fold them into
-		// this round before its own collect, FedBuff-style.
+		// this round before its own collect, FedBuff-style. CollectLate
+		// bypasses the streaming cursor, so a late upload never consumes
+		// the slot of a client also selected this round. Each payload is
+		// a pooled buffer held since its synthesis; the fold is its last
+		// use, so it recycles immediately.
 		for _, lu := range pendingLate {
 			lateCtr.Inc()
 			res.Late++
 			res.Folded++
 			res.UpBytes += int64(len(lu.payload))
 			tel.Emit(telemetry.LateUpload(round, int(lu.client), int64(len(lu.payload))))
-			agg.Collect(round, lu.client, lu.trainSize, lu.payload)
+			if sa != nil {
+				sa.CollectLate(round, lu.client, lu.trainSize, lu.payload)
+			} else {
+				agg.Collect(round, lu.client, lu.trainSize, lu.payload)
+			}
+			comm.PutBuf(lu.payload)
 		}
 		pendingLate = pendingLate[:0]
 
-		// Synthesize every sampled upload in parallel: a copy of the
-		// broadcast with one client-and-round-specific float patched —
-		// a valid dense payload without any training.
-		ups := make([][]byte, len(selected))
-		tensor.Parallel(len(selected), func(lo, hi int) {
-			for pos := lo; pos < hi; pos++ {
-				ci := selected[pos]
-				up := append([]byte(nil), bcast...)
-				delta := float32(round+1) * (1 + float32(ci%997)/997)
-				comm.PatchDensePayload(up, ci%nState, delta)
-				ups[pos] = up
-			}
-		})
-
+		// Shard-major collection, identical order to ShardedSim. Uploads
+		// are synthesized in bounded pooled batches — a copy of the
+		// broadcast with one client-and-round-specific float patched, a
+		// valid dense payload without any training — and every buffer
+		// returns to the pool the moment its bytes are folded (the
+		// aggregator decodes into its own buffers and ShardBuffer.Add
+		// copies). Only stragglers' buffers outlive the batch: they are
+		// carried into the next round and recycled after the late fold.
+		// Peak upload memory per round is O(batch + stragglers), not
+		// O(selected).
 		onTime := 0
-		for pos, ci := range selected {
-			if massiveOnTime(cfg.Seed, round, ci, cfg.OnTimeFrac) {
-				onTime++
-				continue
-			}
-			pendingLate = append(pendingLate, lateUpload{client: uint32(ci), trainSize: trainSize(ci), payload: ups[pos]})
-			ups[pos] = nil
-		}
-
-		// Shard-major collection, identical order to ShardedSim.
 		collected := 0
 		pos := 0
 		for sh := 0; sh < cfg.Shards; sh++ {
@@ -174,21 +178,46 @@ func RunMassive(cfg MassiveConfig) (*MassiveResult, error) {
 				continue
 			}
 			sb.Reset()
-			for p := lo; p < pos; p++ {
-				ci := selected[p]
-				if ups[p] == nil {
-					continue // straggler: folds next round
+			for chunkLo := lo; chunkLo < pos; chunkLo += massiveSynthBatch {
+				chunkHi := chunkLo + massiveSynthBatch
+				if chunkHi > pos {
+					chunkHi = pos
 				}
-				res.UpBytes += int64(len(ups[p]))
-				if cfg.PerClientEvents {
-					tel.Emit(telemetry.ClientUpload(round, ci, int64(len(ups[p])), 0))
+				batch = batch[:chunkHi-chunkLo]
+				tensor.Parallel(len(batch), func(blo, bhi int) {
+					for b := blo; b < bhi; b++ {
+						ci := selected[chunkLo+b]
+						up := comm.GetBuf(len(bcast))
+						copy(up, bcast)
+						delta := float32(round+1) * (1 + float32(ci%997)/997)
+						comm.PatchDensePayload(up, ci%nState, delta)
+						batch[b] = up
+					}
+				})
+				for b, up := range batch {
+					ci := selected[chunkLo+b]
+					if !massiveOnTime(cfg.Seed, round, ci, cfg.OnTimeFrac) {
+						// Missed the quorum close: folds next round, so this
+						// round's cursor must not wait for it.
+						if sa != nil {
+							sa.MarkAbsent(round, uint32(ci))
+						}
+						pendingLate = append(pendingLate, lateUpload{client: uint32(ci), trainSize: trainSize(ci), payload: up})
+						continue
+					}
+					onTime++
+					res.UpBytes += int64(len(up))
+					if cfg.PerClientEvents {
+						tel.Emit(telemetry.ClientUpload(round, ci, int64(len(up)), 0))
+					}
+					if cfg.FlatCollect {
+						agg.Collect(round, uint32(ci), trainSize(ci), up)
+						collected++
+					} else {
+						sb.Add(uint32(ci), trainSize(ci), up)
+					}
+					comm.PutBuf(up)
 				}
-				if cfg.FlatCollect {
-					agg.Collect(round, uint32(ci), trainSize(ci), ups[p])
-					collected++
-					continue
-				}
-				sb.Add(uint32(ci), trainSize(ci), ups[p])
 			}
 			if cfg.FlatCollect {
 				continue

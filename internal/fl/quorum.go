@@ -58,15 +58,22 @@ func (s *QuorumSim) Round(round int, selected []int) {
 	env := s.Env
 	tel := env.Tel
 	payload := s.Agg.Broadcast(round)
+	sa := beginStreamRound(s.Agg, round, selected)
 	tel.Emit(telemetry.RoundStart(round, len(selected), int64(len(payload))))
 
 	// Stragglers from the previous round land first: fold them into
-	// this round before its own collect, FedBuff-style.
+	// this round before its own collect, FedBuff-style. CollectLate
+	// bypasses the streaming cursor — a late upload never consumes the
+	// slot of a client also selected this round.
 	collected := 0
 	for _, lu := range s.pending {
 		env.Meter.AddUp(len(lu.payload))
 		tel.Emit(telemetry.LateUpload(round, int(lu.client), int64(len(lu.payload))))
-		s.Agg.Collect(round, lu.client, lu.trainSize, lu.payload)
+		if sa != nil {
+			sa.CollectLate(round, lu.client, lu.trainSize, lu.payload)
+		} else {
+			s.Agg.Collect(round, lu.client, lu.trainSize, lu.payload)
+		}
 		collected++
 	}
 	s.pending = s.pending[:0]
@@ -87,10 +94,18 @@ func (s *QuorumSim) Round(round int, selected []int) {
 	onTime := 0
 	for pos, ci := range selected {
 		if ups[pos] == nil {
+			if sa != nil {
+				sa.MarkAbsent(round, uint32(ci))
+			}
 			tel.Emit(telemetry.Drop(round, ci))
 			continue
 		}
 		if !massiveOnTime(env.Cfg.Seed, round, ci, s.OnTimeFrac) {
+			// The deferred upload folds into the NEXT round's stream, so
+			// this round's cursor must not wait for it.
+			if sa != nil {
+				sa.MarkAbsent(round, uint32(ci))
+			}
 			// Missed the quorum close: the payload slice is owned by the
 			// trainer and reused next round, so defer a copy.
 			s.pending = append(s.pending, lateUpload{

@@ -56,6 +56,7 @@ func (s *ShardedSim) Round(round int, selected []int) {
 	tel := env.Tel
 	total := env.Cfg.NumClients
 	payload := s.Agg.Broadcast(round)
+	sa := beginStreamRound(s.Agg, round, selected)
 	tel.Emit(telemetry.RoundStart(round, len(selected), int64(len(payload))))
 	ups := make([][]byte, len(selected))
 	durs := make([]int64, len(selected))
@@ -88,6 +89,9 @@ func (s *ShardedSim) Round(round int, selected []int) {
 		for p := lo; p < pos; p++ {
 			ci := selected[p]
 			if ups[p] == nil {
+				if sa != nil {
+					sa.MarkAbsent(round, uint32(ci))
+				}
 				tel.Emit(telemetry.Drop(round, ci))
 				continue
 			}

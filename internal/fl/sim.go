@@ -33,6 +33,23 @@ func NewDriver(env *Env, agg algo.Aggregator, trainers []algo.Trainer) Driver {
 	panic(fmt.Sprintf("fl: unknown topology kind %q", env.Topo.Kind))
 }
 
+// beginStreamRound announces the round's selection to a streaming
+// aggregator so uploads fold on arrival with zero staging (every
+// in-process driver collects in ascending client order). Returns nil
+// for aggregators outside this package's streaming family.
+func beginStreamRound(agg algo.Aggregator, round int, selected []int) algo.StreamingAggregator {
+	sa, ok := agg.(algo.StreamingAggregator)
+	if !ok {
+		return nil
+	}
+	ids := make([]uint32, len(selected))
+	for i, ci := range selected {
+		ids[i] = uint32(ci)
+	}
+	sa.BeginRound(round, ids)
+	return sa
+}
+
 // Sim is the in-process transport: it drives a transport-agnostic
 // algorithm core (algo.Aggregator + one algo.Trainer per client) through
 // one communication round, adding what a simulated network contributes —
@@ -57,6 +74,7 @@ func (s *Sim) Round(round int, selected []int) {
 	env := s.Env
 	tel := env.Tel
 	payload := s.Agg.Broadcast(round)
+	sa := beginStreamRound(s.Agg, round, selected)
 	tel.Emit(telemetry.RoundStart(round, len(selected), int64(len(payload))))
 	ups := make([][]byte, len(selected))
 	durs := make([]int64, len(selected))
@@ -73,6 +91,9 @@ func (s *Sim) Round(round int, selected []int) {
 	collected := 0
 	for pos, ci := range selected {
 		if ups[pos] == nil {
+			if sa != nil {
+				sa.MarkAbsent(round, uint32(ci))
+			}
 			tel.Emit(telemetry.Drop(round, ci))
 			continue
 		}

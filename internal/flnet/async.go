@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"spatl/internal/algo"
 	"spatl/internal/telemetry"
 )
 
@@ -32,6 +33,7 @@ type arrival struct {
 func (s *Server) runAsync(agg Aggregator) error {
 	tel := s.cfg.Tel
 	rng := newRng(s.cfg.Seed)
+	streamAgg, _ := agg.(algo.StreamingAggregator)
 	// Readers outlive rounds: a straggler's upload must be readable
 	// after its round closed. Capacity absorbs a burst of one pending
 	// upload plus the terminal error per client; a full channel simply
@@ -52,6 +54,13 @@ func (s *Server) runAsync(agg Aggregator) error {
 	for round := 0; round < s.cfg.Rounds; round++ {
 		payload := agg.Broadcast(round)
 		selected := samplePerm(rng, len(s.clients), s.cfg.PerRound)
+		if streamAgg != nil {
+			ids := make([]uint32, len(selected))
+			for i, ci := range selected {
+				ids[i] = s.clients[ci].id
+			}
+			streamAgg.BeginRound(round, ids)
+		}
 		tel.Emit(telemetry.RoundStart(round, len(selected), int64(len(payload))))
 		roundStart := time.Now()
 
@@ -61,6 +70,9 @@ func (s *Server) runAsync(agg Aggregator) error {
 			if !c.alive {
 				c.drops++
 				s.drops.Inc()
+				if streamAgg != nil {
+					streamAgg.MarkAbsent(round, c.id)
+				}
 				tel.Emit(telemetry.Drop(round, int(c.id)))
 				continue
 			}
@@ -74,6 +86,9 @@ func (s *Server) runAsync(agg Aggregator) error {
 				s.errs.Inc()
 				s.drops.Inc()
 				c.markDead()
+				if streamAgg != nil {
+					streamAgg.MarkAbsent(round, c.id)
+				}
 				tel.Emit(telemetry.Drop(round, int(c.id)))
 				continue
 			}
@@ -114,6 +129,9 @@ func (s *Server) runAsync(agg Aggregator) error {
 					delete(awaited, a.ci)
 					c.drops++
 					s.drops.Inc()
+					if streamAgg != nil {
+						streamAgg.MarkAbsent(round, c.id)
+					}
 					tel.Emit(telemetry.Drop(round, int(c.id)))
 					if want > len(awaited)+onTime {
 						want = len(awaited) + onTime
@@ -128,6 +146,9 @@ func (s *Server) runAsync(agg Aggregator) error {
 					delete(awaited, a.ci)
 					c.drops++
 					s.drops.Inc()
+					if streamAgg != nil {
+						streamAgg.MarkAbsent(round, c.id)
+					}
 					tel.Emit(telemetry.Drop(round, int(c.id)))
 					if want > len(awaited)+onTime {
 						want = len(awaited) + onTime
@@ -145,12 +166,18 @@ func (s *Server) runAsync(agg Aggregator) error {
 			case int(a.frame.Round) < round:
 				// A straggler's upload from an earlier round: fold it
 				// into the round in progress instead of discarding the
-				// client's work.
+				// client's work. CollectLate bypasses the streaming
+				// cursor — the straggler may ALSO be selected this round
+				// and still owe a fresh upload for its own slot.
 				s.late.Inc()
 				s.UpBytes += int64(frameHeaderLen + len(a.frame.Payload))
 				s.UpPayloadBytes += int64(len(a.frame.Payload))
 				tel.Emit(telemetry.LateUpload(round, int(c.id), int64(len(a.frame.Payload))))
-				agg.Collect(round, c.id, c.trainSize, a.frame.Payload)
+				if streamAgg != nil {
+					streamAgg.CollectLate(round, c.id, c.trainSize, a.frame.Payload)
+				} else {
+					agg.Collect(round, c.id, c.trainSize, a.frame.Payload)
+				}
 				a.frame.Release()
 				folded++
 			default:

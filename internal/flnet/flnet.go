@@ -348,9 +348,20 @@ func (s *Server) acceptClients() error {
 
 // runSync is the synchronous round loop: every round waits for all
 // selected uploads (or the straggler deadline) before aggregating.
+//
+// With a streaming aggregator (algo.StreamingAggregator — every
+// aggregator this repo ships) each upload folds the moment its frame is
+// read: the receive loop calls Collect in arrival order and releases
+// the frame immediately, so round memory is the aggregator's staging
+// bound, not one held frame per selected client. The fold itself is
+// order-independent (the cursor/staging machinery replays arrivals in
+// selection order), and journal events are still emitted from the
+// sequential pass below in selection order — the journal bytes are
+// identical to the buffered path's.
 func (s *Server) runSync(agg Aggregator) error {
 	tel := s.cfg.Tel
 	rng := newRng(s.cfg.Seed)
+	streamAgg, _ := agg.(algo.StreamingAggregator)
 	// Per-position outcome of a round, for journal emission in selection
 	// order after the concurrent collect.
 	const (
@@ -361,6 +372,13 @@ func (s *Server) runSync(agg Aggregator) error {
 	for round := 0; round < s.cfg.Rounds; round++ {
 		payload := agg.Broadcast(round)
 		selected := samplePerm(rng, len(s.clients), s.cfg.PerRound)
+		if streamAgg != nil {
+			ids := make([]uint32, len(selected))
+			for i, ci := range selected {
+				ids[i] = s.clients[ci].id
+			}
+			streamAgg.BeginRound(round, ids)
+		}
 		tel.Emit(telemetry.RoundStart(round, len(selected), int64(len(payload))))
 		roundStart := time.Now()
 		// Broadcast to the sampled clients that are still alive.
@@ -371,6 +389,9 @@ func (s *Server) runSync(agg Aggregator) error {
 			if !c.alive {
 				c.drops++
 				s.drops.Inc()
+				if streamAgg != nil {
+					streamAgg.MarkAbsent(round, c.id)
+				}
 				continue
 			}
 			if s.cfg.WriteTimeout > 0 {
@@ -383,6 +404,9 @@ func (s *Server) runSync(agg Aggregator) error {
 				s.errs.Inc()
 				s.drops.Inc()
 				c.markDead()
+				if streamAgg != nil {
+					streamAgg.MarkAbsent(round, c.id)
+				}
 				continue
 			}
 			s.DownBytes += int64(frameHeaderLen + len(payload))
@@ -414,6 +438,7 @@ func (s *Server) runSync(agg Aggregator) error {
 		}
 		frames := make([]*Frame, len(selected))
 		recvNS := make([]int64, len(selected))
+		upLens := make([]int64, len(selected))
 		for ; inflight > 0; inflight-- {
 			r := <-results
 			c := s.clients[selected[r.idx]]
@@ -429,6 +454,9 @@ func (s *Server) runSync(agg Aggregator) error {
 				c.drops++
 				s.drops.Inc()
 				c.markDead()
+				if streamAgg != nil {
+					streamAgg.MarkAbsent(round, c.id)
+				}
 			case r.frame.Type != MsgUpdate || int(r.frame.Round) != round:
 				c.errs++
 				c.drops++
@@ -436,11 +464,24 @@ func (s *Server) runSync(agg Aggregator) error {
 				s.drops.Inc()
 				c.markDead()
 				r.frame.Release()
+				if streamAgg != nil {
+					streamAgg.MarkAbsent(round, c.id)
+				}
 			default:
-				f := r.frame
-				frames[r.idx] = &f
 				recvNS[r.idx] = time.Since(roundStart).Nanoseconds()
+				upLens[r.idx] = int64(len(r.frame.Payload))
 				outcomes[r.idx] = outcomeUpload
+				if streamAgg != nil {
+					// Fold on arrival: the payload is decoded into the
+					// aggregator's own pooled buffers, so the frame
+					// recycles here instead of living until the
+					// sequential pass.
+					streamAgg.Collect(round, c.id, c.trainSize, r.frame.Payload)
+					r.frame.Release()
+				} else {
+					f := r.frame
+					frames[r.idx] = &f
+				}
 			}
 		}
 		collected := 0
@@ -449,11 +490,13 @@ func (s *Server) runSync(agg Aggregator) error {
 			switch outcomes[pos] {
 			case outcomeUpload:
 				c.conn.SetReadDeadline(time.Time{})
-				s.UpBytes += int64(frameHeaderLen + len(frames[pos].Payload))
-				s.UpPayloadBytes += int64(len(frames[pos].Payload))
-				tel.Emit(telemetry.ClientUpload(round, int(c.id), int64(len(frames[pos].Payload)), recvNS[pos]))
-				agg.Collect(round, c.id, c.trainSize, frames[pos].Payload)
-				frames[pos].Release()
+				s.UpBytes += int64(frameHeaderLen) + upLens[pos]
+				s.UpPayloadBytes += upLens[pos]
+				tel.Emit(telemetry.ClientUpload(round, int(c.id), upLens[pos], recvNS[pos]))
+				if streamAgg == nil {
+					agg.Collect(round, c.id, c.trainSize, frames[pos].Payload)
+					frames[pos].Release()
+				}
 				collected++
 			case outcomeStraggler:
 				tel.Emit(telemetry.Straggler(round, int(c.id)))

@@ -227,11 +227,19 @@ func (s *TreeServer) Run(agg Aggregator) error {
 	}()
 	tel := s.cfg.Tel
 	algo.Wire(tel, agg)
+	streamAgg, _ := agg.(algo.StreamingAggregator)
 	rng := newRng(s.cfg.Seed)
 	selBuf := make([]byte, 0, 4*s.cfg.PerRound)
 	for round := 0; round < s.cfg.Rounds; round++ {
 		payload := agg.Broadcast(round)
 		selected := samplePerm(rng, len(s.clients), s.cfg.PerRound)
+		if streamAgg != nil {
+			ids := make([]uint32, len(selected))
+			for i, ci := range selected {
+				ids[i] = s.clients[ci].id
+			}
+			streamAgg.BeginRound(round, ids)
+		}
 		tel.Emit(telemetry.RoundStart(round, len(selected), int64(len(payload))))
 		roundStart := time.Now()
 
@@ -273,8 +281,14 @@ func (s *TreeServer) Run(agg Aggregator) error {
 		}
 
 		// Collect pooled shard payloads concurrently — NumShards reader
-		// goroutines, not NumClients — then apply sequentially in
-		// shard-ID order.
+		// goroutines, not NumClients — and fold opportunistically behind a
+		// shard cursor: shard k is processed (and its frame released) the
+		// moment shards 0..k have all resolved, so the root holds frames
+		// only for shards that arrive ahead of the cursor instead of one
+		// per shard per round. Cursor order IS shard-ID order, so journal
+		// events and the fold sequence are byte-identical to the buffered
+		// pass, and with a streaming aggregator the per-entry folds land
+		// in ascending client order — zero staging.
 		type result struct {
 			shard int
 			frame Frame
@@ -296,43 +310,33 @@ func (s *TreeServer) Run(agg Aggregator) error {
 			}(sh, e)
 		}
 		frames := make([]*Frame, s.cfg.Shards)
-		for ; inflight > 0; inflight-- {
-			r := <-results
-			e := s.edges[r.shard]
-			switch {
-			case r.err != nil:
-				var ne net.Error
-				if !errors.As(r.err, &ne) || !ne.Timeout() {
-					s.errs.Inc()
-				}
-				e.markDead()
-			case r.frame.Type != MsgShardUpdate || int(r.frame.Round) != round || int(r.frame.Client) != r.shard:
-				s.errs.Inc()
-				e.markDead()
-				r.frame.Release()
-			default:
-				e.conn.SetReadDeadline(time.Time{})
-				f := r.frame
-				frames[r.shard] = &f
+		resolved := make([]bool, s.cfg.Shards)
+		for sh := range s.edges {
+			if !awaiting[sh] {
+				resolved[sh] = true // empty shard, dead edge or failed write
 			}
 		}
-
 		collected := 0
 		var entries []algo.Upload
-		for sh := range s.edges {
+		processShard := func(sh int) {
 			lo, hi := spans[sh][0], spans[sh][1]
 			n := hi - lo
 			if n == 0 {
-				continue
+				return
 			}
 			if frames[sh] == nil {
 				// The whole shard vanished: one shard_drop event carrying
 				// the count, attributed per shard in the registry — the
 				// root degrades instead of stalling.
+				if streamAgg != nil {
+					for p := lo; p < hi; p++ {
+						streamAgg.MarkAbsent(round, s.clients[selected[p]].id)
+					}
+				}
 				tel.Emit(telemetry.ShardDrop(round, sh, n))
 				s.drops.Add(int64(n))
 				s.shardDrops[sh].Add(int64(n))
-				continue
+				return
 			}
 			var err error
 			entries, err = algo.ShardEntries(entries[:0], frames[sh].Payload)
@@ -355,6 +359,9 @@ func (s *TreeServer) Run(agg Aggregator) error {
 					ei++
 					continue
 				}
+				if streamAgg != nil {
+					streamAgg.MarkAbsent(round, c.id)
+				}
 				tel.Emit(telemetry.Drop(round, int(c.id)))
 				s.drops.Inc()
 				s.shardDrops[sh].Inc()
@@ -367,6 +374,37 @@ func (s *TreeServer) Run(agg Aggregator) error {
 			algo.CollectAll(agg, round, kept)
 			collected += len(kept)
 			frames[sh].Release()
+			frames[sh] = nil
+		}
+		nextShard := 0
+		processUpTo := func() {
+			for nextShard < s.cfg.Shards && resolved[nextShard] {
+				processShard(nextShard)
+				nextShard++
+			}
+		}
+		processUpTo()
+		for ; inflight > 0; inflight-- {
+			r := <-results
+			e := s.edges[r.shard]
+			switch {
+			case r.err != nil:
+				var ne net.Error
+				if !errors.As(r.err, &ne) || !ne.Timeout() {
+					s.errs.Inc()
+				}
+				e.markDead()
+			case r.frame.Type != MsgShardUpdate || int(r.frame.Round) != round || int(r.frame.Client) != r.shard:
+				s.errs.Inc()
+				e.markDead()
+				r.frame.Release()
+			default:
+				e.conn.SetReadDeadline(time.Time{})
+				f := r.frame
+				frames[r.shard] = &f
+			}
+			resolved[r.shard] = true
+			processUpTo()
 		}
 		t0 := time.Now()
 		agg.FinishRound(round)

@@ -16,7 +16,11 @@
 #                                fail if any is slower than the latest
 #                                committed BENCH_N.json beyond the
 #                                tolerance (BENCH_TOLERANCE, default
-#                                0.15 = 15%)
+#                                0.15 = 15%), or allocates more than
+#                                the alloc tolerance allows above it
+#                                (BENCH_ALLOC_TOLERANCE, default 0.25 =
+#                                25% on allocs/op and B/op, gated only
+#                                above the harness noise floors)
 #   ./scripts/verify.sh --matrix tier-1 plus the scenario-matrix gate:
 #                                run the committed 2x2x2 golden matrix
 #                                (scripts/golden/matrix.json) end to end
@@ -53,6 +57,9 @@ if [[ "${1:-}" == "--hot" ]]; then
     echo "== hot path: shard/quorum/sparse hammer =="
     go test -race -run 'Shard|Tree|Async|Quorum|Massive|SSFL|MaskAgree|MaskStatic|MaskPat' \
         ./internal/algo ./internal/flnet ./internal/fl ./internal/nn ./internal/tensor
+    echo "== hot path: streaming-fold hammer =="
+    go test -race -count=1 -run 'Stream|Staging|Permutation' \
+        ./internal/algo ./internal/fl ./internal/flnet
 fi
 
 if [[ "${1:-}" == "--bench" ]]; then
@@ -63,7 +70,8 @@ if [[ "${1:-}" == "--bench" ]]; then
     fi
     echo "== bench gate: micro vs $baseline =="
     go run ./cmd/spatl-bench -micro -baseline "$baseline" -gate \
-        -tolerance "${BENCH_TOLERANCE:-0.15}"
+        -tolerance "${BENCH_TOLERANCE:-0.15}" \
+        -alloc-tolerance "${BENCH_ALLOC_TOLERANCE:-0.25}"
 fi
 
 if [[ "${1:-}" == "--matrix" ]]; then
