@@ -54,6 +54,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "with -matrix: concurrent cells (default min(4, GOMAXPROCS))")
 		force     = flag.Bool("force", false, "with -matrix: run past the matrix cell cap")
 		dry       = flag.Bool("dry", false, "with -matrix: print the expanded cells without running them")
+		cache     = flag.Bool("cache", false, "with -matrix: reuse journals in -out for cells whose spec is unchanged (hash sidecar), re-running only changed cells")
 	)
 	flag.Parse()
 
@@ -61,7 +62,7 @@ func main() {
 		if *list {
 			*matrixF = "list"
 		}
-		if err := runMatrixCmd(*matrixF, *matrixOut, *workers, *force, *dry); err != nil {
+		if err := runMatrixCmd(*matrixF, *matrixOut, *workers, *force, *dry, *cache); err != nil {
 			fmt.Fprintln(os.Stderr, "spatl-bench:", err)
 			os.Exit(1)
 		}

@@ -17,6 +17,7 @@ import (
 	"spatl/internal/experiments"
 	"spatl/internal/fl"
 	"spatl/internal/flnet"
+	"spatl/internal/hetero"
 	"spatl/internal/models"
 	"spatl/internal/nn"
 	"spatl/internal/telemetry"
@@ -184,6 +185,22 @@ func ssflRoundBench(maskStatic bool) func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			algo.Round(env, i+2, env.SampleClients())
 		}
+	}
+}
+
+// heteroRoundBench measures one heterogeneous round — 2 cluster models
+// over a half-width client population, so every upload is slice-packed
+// and every fold per-index participation-weighted — on the same tiny
+// environment as FLRound. The FLRound/HeteroRound pair in the report is
+// the direct cost of clustered, width-sliced aggregation over dense
+// FedAvg.
+func heteroRoundBench(b *testing.B) {
+	env := experiments.BuildCIFAREnv(experiments.Tiny, "resnet20", experiments.ClientSet{Clients: 4, Ratio: 1}, 1)
+	alg := &hetero.FL{Opts: hetero.Options{Clusters: 2, Widths: []float64{0.5}, ReassignEvery: 4}}
+	alg.Setup(env)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg.Round(env, i, env.SampleClients())
 	}
 }
 
@@ -452,6 +469,8 @@ var microBenchmarks = []struct {
 	{"SSFLRound", withProcs(1, ssflRoundBench(true))},
 	{"SSFLRoundMP", withProcs(runtime.NumCPU(), ssflRoundBench(true))},
 	{"SSFLRoundProbe", withProcs(1, ssflRoundBench(false))},
+	{"HeteroRound", withProcs(1, heteroRoundBench)},
+	{"HeteroRoundMP", withProcs(runtime.NumCPU(), heteroRoundBench)},
 	{"AggIngest", func(b *testing.B) {
 		// 10k-client fold-on-arrival ingest in the worst arrival order
 		// (exact reverse: every upload lands as far ahead of the cursor

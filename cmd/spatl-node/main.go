@@ -11,11 +11,20 @@
 //	...
 //
 // Every node derives the same synthetic non-IID data split from the
-// shared seed, so client i of n always holds shard i. All six
+// shared seed, so client i of n always holds shard i. All seven
 // algorithms are available via -algo; the server tolerates stragglers
 // when -straggler-timeout is set, aggregating each round from the
 // clients that reported in time, and -quorum switches it to async
 // FedBuff-style rounds that close after that many uploads.
+//
+// A heterogeneous federation (-algo hetero) maintains -clusters cluster
+// models and lets clients train width-sliced sub-networks; -clusters
+// and -width must match on every node (the slice specs derive from them
+// locally, with no negotiation):
+//
+//	spatl-node -role server -algo hetero -clusters 2 -width 0.25,0.5,1 -clients 6 -rounds 10
+//	spatl-node -role client -algo hetero -clusters 2 -width 0.25,0.5,1 -id 0 -of 6
+//	...
 //
 // At larger scale the federation runs as a two-level aggregation tree:
 // a root fans out to edge aggregators, each edge owns a contiguous
@@ -38,6 +47,8 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"spatl/internal/algo"
@@ -52,7 +63,7 @@ import (
 func main() {
 	var (
 		role    = flag.String("role", "", "server | client | root | edge")
-		algoF   = flag.String("algo", "fedavg", "federation algorithm: fedavg | fedprox | scaffold | fednova | spatl | ssfl")
+		algoF   = flag.String("algo", "fedavg", "federation algorithm: fedavg | fedprox | scaffold | fednova | spatl | ssfl | hetero")
 		addr    = flag.String("addr", "localhost:7070", "server address (server: listen, client: dial)")
 		clients = flag.Int("clients", 4, "number of clients in the federation")
 		id      = flag.Int("id", 0, "this client's id (client)")
@@ -70,6 +81,11 @@ func main() {
 		keepRatio   = flag.Float64("keep-ratio", 0, "ssfl: kept-channel fraction (0 = default 0.5)")
 		algoLR      = flag.Float64("algo-lr", 0, "per-algorithm learning-rate override (takes precedence over -lr)")
 		flopsBudget = flag.Float64("flops-budget", 0, "spatl: sub-network FLOPs budget (0 = default 0.6)")
+
+		clusters  = flag.Int("clusters", 0, "hetero: cluster-model count (0 = default 1)")
+		widthDist = flag.String("width", "",
+			"hetero: comma-separated client width cycle, e.g. 0.25,0.5,1 — client i trains width[i mod len] (empty = full width)")
+		reassignEvery = flag.Int("reassign-every", 0, "hetero: cluster reassignment period in rounds (0 = default 5, negative disables)")
 
 		helloTimeout     = flag.Duration("hello-timeout", 30*time.Second, "server: max wait for a client's registration frame")
 		stragglerTimeout = flag.Duration("straggler-timeout", 0, "server: max wait for a round upload before dropping the client (0 = wait forever)")
@@ -123,9 +139,14 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("unknown -algo %q", *algoF))
 	}
+	widths, err := parseWidths(*widthDist)
+	if err != nil {
+		fatal(err)
+	}
 	params := scenario.Params{
 		ProxMu: *mu, KeepRatio: *keepRatio, LR: *algoLR,
 		FLOPsBudget: *flopsBudget, Seed: *seed,
+		Clusters: *clusters, WidthDist: widths, ReassignEvery: *reassignEvery,
 	}
 	// The shared hyperparameters; Seed must match across every node so
 	// the per-(round, client) training seeds line up. The registry merges
@@ -241,6 +262,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spatl-node: -role must be server, client, root or edge")
 		os.Exit(2)
 	}
+}
+
+// parseWidths parses the -width cycle: comma-separated multipliers in
+// (0, 1]. Every node of a federation must pass the identical cycle —
+// the slice specs are derived locally from it, with no negotiation.
+func parseWidths(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		w, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || w <= 0 || w > 1 {
+			return nil, fmt.Errorf("bad -width entry %q (want multipliers in (0, 1])", f)
+		}
+		out = append(out, w)
+	}
+	return out, nil
 }
 
 // shardFor regenerates the shared dataset and returns client id's shard

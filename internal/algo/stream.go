@@ -73,11 +73,11 @@ type stream[U any] struct {
 	foldFn    func(U) // fold one decoded upload into the accumulators
 	releaseFn func(U) // return the upload's pooled buffers
 
-	order   []uint32          // canonical fold order (ascending client ID)
-	arrived []bool            // position resolved: folded, staged or absent
-	cursor  int               // next position owed a fold
-	staged  []stagedEntry[U]  // parked out-of-order uploads (unordered)
-	limit   int               // staging bound; <=0 means len(order)
+	order   []uint32         // canonical fold order (ascending client ID)
+	arrived []bool           // position resolved: folded, staged or absent
+	cursor  int              // next position owed a fold
+	staged  []stagedEntry[U] // parked out-of-order uploads (unordered)
+	limit   int              // staging bound; <=0 means len(order)
 
 	inflight telemetry.Gauge   // "agg.inflight": selected uploads not yet resolved
 	stagedG  telemetry.Gauge   // "agg.staged": currently parked uploads

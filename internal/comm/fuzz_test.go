@@ -45,6 +45,72 @@ func FuzzDecodeSparse(f *testing.F) {
 	})
 }
 
+// FuzzDecodeHeteroBcast ensures arbitrary byte input never panics the
+// cluster-broadcast decoder and that valid encodings round-trip. The
+// corpus seeds the malformed shapes a hetero client must survive: a
+// frame truncated inside the assignment table, a zero-cluster header,
+// and an assignment pointing past the cluster count.
+func FuzzDecodeHeteroBcast(f *testing.F) {
+	f.Add(EncodeHeteroBcast(&HeteroBcast{
+		Clusters: 2, Assign: []uint8{0, 1, 0}, StateLen: 2,
+		Models: []float32{1, 2, 3, 4},
+	}))
+	f.Add([]byte{})
+	// Truncated assignment: claims 8 clients, carries one byte.
+	f.Add([]byte{magicHeteroBcast, 2, 8, 0, 0, 0, 1})
+	// Zero clusters with a plausible tail.
+	f.Add([]byte{magicHeteroBcast, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0})
+	// Assignment out of range for the declared cluster count.
+	f.Add([]byte{magicHeteroBcast, 1, 1, 0, 0, 0, 5, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := DecodeHeteroBcast(data)
+		if err != nil {
+			return
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("decoded hetero broadcast fails validation: %v", err)
+		}
+		if re := EncodeHeteroBcast(h); !bytes.Equal(re, data) {
+			t.Fatalf("valid hetero broadcast did not round-trip")
+		}
+	})
+}
+
+// FuzzDecodeHeteroUpdate ensures arbitrary byte input never panics the
+// slice-upload decoder and that accepted payloads validate. The corpus
+// seeds the malformed shapes the hetero reduce path counts in
+// Dropped(): a truncated slice spec (range count promises more runs
+// than the buffer holds) and an unknown-width header over an otherwise
+// well-formed frame — the decoder passes the latter through (width
+// validation is the aggregator's job, against its own width table), so
+// the seed documents that the frame layer alone cannot reject it.
+func FuzzDecodeHeteroUpdate(f *testing.F) {
+	f.Add(EncodeHeteroUpdate(&HeteroUpdate{
+		Cluster: 1, WidthMilli: 500,
+		Sparse: Sparse{Ranges: []Range{{0, 2}}, Values: []float32{1, 2}},
+	}))
+	f.Add([]byte{})
+	// Truncated slice spec: claims 4 ranges, carries half of one.
+	f.Add([]byte{magicHeteroUpdate, 0, 250, 0, 4, 0, 0, 0, 7, 0, 0, 0})
+	// Unknown width (3000‰) on a structurally valid frame.
+	f.Add(EncodeHeteroUpdate(&HeteroUpdate{
+		Cluster: 0, WidthMilli: 3000,
+		Sparse: Sparse{Ranges: []Range{{0, 1}}, Values: []float32{9}},
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		u, err := DecodeHeteroUpdate(data)
+		if err != nil {
+			return
+		}
+		if err := u.Validate(); err != nil {
+			t.Fatalf("decoded hetero update fails validation: %v", err)
+		}
+		if re := EncodeHeteroUpdate(u); !bytes.Equal(re, data) {
+			t.Fatalf("valid hetero update did not round-trip")
+		}
+	})
+}
+
 // FuzzDecodeSparseVals ensures arbitrary byte input never panics the
 // values-only decoder and that valid f32 encodings round-trip.
 func FuzzDecodeSparseVals(f *testing.F) {

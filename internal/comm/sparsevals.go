@@ -25,12 +25,15 @@ const (
 // FrameKind classifies a payload's frame family (either precision).
 type FrameKind int
 
-// Frame families, one per magic-byte pair.
+// Frame families, one per magic-byte pair (the hetero frames are
+// single-precision only, so those two families are one magic each).
 const (
 	FrameUnknown FrameKind = iota
 	FrameDense
 	FrameSparse
 	FrameSparseVals
+	FrameHeteroBcast
+	FrameHeteroUpdate
 )
 
 // KindOf sniffs a payload's frame family from its magic byte, so a
@@ -47,6 +50,10 @@ func KindOf(buf []byte) FrameKind {
 		return FrameSparse
 	case magicSparseVals, magicSparseValsF16:
 		return FrameSparseVals
+	case magicHeteroBcast:
+		return FrameHeteroBcast
+	case magicHeteroUpdate:
+		return FrameHeteroUpdate
 	}
 	return FrameUnknown
 }

@@ -11,6 +11,7 @@ import (
 	"spatl/internal/core"
 	"spatl/internal/data"
 	"spatl/internal/fl"
+	"spatl/internal/hetero"
 	"spatl/internal/models"
 	"spatl/internal/rl"
 	"spatl/internal/telemetry"
@@ -32,6 +33,7 @@ func TestCrossTransportEquivalence(t *testing.T) {
 	)
 	agentCfg := rl.AgentConfig{Dim: 8, HeadHidden: 8, Seed: 6}
 	spatlOpts := algo.SPATLOptions{AgentCfg: agentCfg}
+	heteroOpts := hetero.Options{Clusters: 2, Widths: []float64{0.25, 0.5, 1.0}, ReassignEvery: 2}
 
 	mlp := models.Spec{Arch: "mlp", Classes: classes, InC: 3, H: 8, W: 8, Width: 0.5}
 	resnet := models.Spec{Arch: "resnet20", Classes: classes, InC: 3, H: 8, W: 8, Width: 0.25}
@@ -84,6 +86,18 @@ func TestCrossTransportEquivalence(t *testing.T) {
 			},
 			tr: func(c *algo.Client, cfg algo.Config) Trainer {
 				return algo.NewSSFLTrainer(c, algo.SSFLOptions{}, cfg)
+			},
+		},
+		{
+			// Three rounds cross one reassignment boundary (ReassignEvery=2
+			// commits after round 1), so the post-reassignment broadcast
+			// must also match bitwise across transports.
+			name: "hetero", spec: resnet, alg: &hetero.FL{Opts: heteroOpts}, rounds: 3,
+			agg: func(g *models.SplitModel, cfg algo.Config) Aggregator {
+				return hetero.NewAggregator(g, heteroOpts, cfg)
+			},
+			tr: func(c *algo.Client, cfg algo.Config) Trainer {
+				return hetero.NewTrainer(c, heteroOpts, cfg)
 			},
 		},
 	}

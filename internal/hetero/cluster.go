@@ -1,0 +1,267 @@
+package hetero
+
+import (
+	"math"
+	"math/rand"
+
+	"spatl/internal/comm"
+	"spatl/internal/graph"
+	"spatl/internal/models"
+	"spatl/internal/rl"
+)
+
+// embedDim is the hidden dimension of the GNN topology encoder used to
+// embed client architectures into cluster signatures.
+const embedDim = 8
+
+// Clusterer is the deterministic cluster assigner. Between
+// reassignments it accumulates a per-client signature: a SigDim sketch
+// of the client's update direction (upload minus the cluster model it
+// trained from, folded index-wise into SigDim buckets) plus, when the
+// federation mixes widths, a GNN embedding of the client's scaled
+// architecture (the internal/rl topology encoder over the width-scaled
+// model graph). Reassignment is k-means with a fixed iteration count
+// under cosine similarity, visiting clients in ascending ID order with
+// ties resolved to the lowest cluster index — every choice is a
+// deterministic function of the accumulated signatures, which are
+// themselves per-client sums, so the assignment is identical whatever
+// order uploads arrived in.
+type Clusterer struct {
+	K      int
+	SigDim int
+	// Assign is the current per-client cluster assignment. The initial
+	// assignment is the balanced round-robin client i → i·K/N.
+	Assign []uint8
+
+	sigs   [][]float64          // per-client sketch, Σ (upload − cluster model)
+	counts []int                // uploads folded per client since last reassign
+	embeds map[uint16][]float64 // per-width-milli architecture embedding
+	milli  []uint16             // per-client width milli (embedding key)
+}
+
+// NewClusterer builds the assigner for an n-client federation. When the
+// width pool mixes at least two distinct widths, each width's scaled
+// architecture is embedded once, here, with the GNN topology encoder
+// seeded from seed — the embedding is a constant of (arch, width, seed)
+// and never retrained.
+func NewClusterer(m *models.SplitModel, opts Options, n int, seed int64) *Clusterer {
+	c := &Clusterer{
+		K:      opts.Clusters,
+		SigDim: opts.SigDim,
+		Assign: make([]uint8, n),
+		sigs:   make([][]float64, n),
+		counts: make([]int, n),
+		milli:  make([]uint16, n),
+	}
+	for i := 0; i < n; i++ {
+		c.Assign[i] = uint8(i * opts.Clusters / n)
+		c.sigs[i] = make([]float64, opts.SigDim)
+		c.milli[i] = WidthMilli(opts.WidthFor(i))
+	}
+	c.embeds = archEmbeds(m, opts, seed)
+	return c
+}
+
+// archEmbeds embeds each distinct width's scaled architecture with a
+// shared seeded GNN: build the width-scaled model, encode its layer
+// graph, mean-pool the node states, normalize. Returns nil when fewer
+// than two distinct widths are in play — a homogeneous-width federation
+// gains nothing from an architecture term (and the degenerate
+// federation must not pay for model builds).
+func archEmbeds(m *models.SplitModel, opts Options, seed int64) map[uint16][]float64 {
+	distinct := map[uint16]float64{}
+	for _, w := range opts.Widths {
+		distinct[WidthMilli(w)] = w
+	}
+	if len(distinct) < 2 {
+		return nil
+	}
+	gnn := rl.NewGNN(embedDim, 2, rand.New(rand.NewSource(seed)))
+	base := m.Spec
+	if base.Width <= 0 {
+		base.Width = 1
+	}
+	out := make(map[uint16][]float64, len(distinct))
+	for milli, w := range distinct {
+		spec := base
+		spec.Width = base.Width * w
+		scaled := models.Build(spec, seed)
+		h := gnn.Forward(graph.FromEncoder(scaled))
+		rows, dim := h.Dim(0), h.Dim(1)
+		e := make([]float64, dim)
+		for r := 0; r < rows; r++ {
+			for j := 0; j < dim; j++ {
+				e[j] += float64(h.Data[r*dim+j])
+			}
+		}
+		for j := range e {
+			e[j] /= float64(rows)
+		}
+		normalize(e)
+		out[milli] = e
+	}
+	return out
+}
+
+// Observe folds one upload's update direction into its client's
+// signature sketch: for every covered index, the difference between the
+// uploaded value and the cluster model the client trained from, bucketed
+// by index modulo SigDim. Called from the aggregator's fold path —
+// sequential, and per-client independent, so arrival order cannot leak
+// into the sketch.
+func (c *Clusterer) Observe(client uint32, vals []float32, ranges []comm.Range, model []float32) {
+	sig := c.sigs[client]
+	d := c.SigDim
+	off := 0
+	for _, r := range ranges {
+		for i := 0; i < int(r.Len); i++ {
+			idx := int(r.Start) + i
+			sig[idx%d] += float64(vals[off+i]) - float64(model[idx])
+		}
+		off += int(r.Len)
+	}
+	c.counts[client]++
+}
+
+// Sizes returns the member count of each cluster under the current
+// assignment.
+func (c *Clusterer) Sizes() []int {
+	sizes := make([]int, c.K)
+	for _, k := range c.Assign {
+		sizes[k]++
+	}
+	return sizes
+}
+
+// Reassign re-clusters the clients on their accumulated signatures and
+// resets the accumulation window. Clients that contributed nothing
+// since the last reassignment (or whose sketch is exactly zero) keep
+// their current cluster. Returns the new per-cluster sizes.
+func (c *Clusterer) Reassign() []int {
+	n := len(c.Assign)
+	if c.K <= 1 {
+		c.resetWindow()
+		return c.Sizes()
+	}
+	full := make([][]float64, n)
+	active := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if c.counts[i] == 0 || norm(c.sigs[i]) == 0 {
+			continue
+		}
+		s := append([]float64(nil), c.sigs[i]...)
+		normalize(s)
+		if e, ok := c.embeds[c.milli[i]]; ok {
+			s = append(s, e...)
+		} else if c.embeds != nil {
+			s = append(s, make([]float64, embedDim)...)
+		}
+		normalize(s)
+		full[i] = s
+		active[i] = true
+	}
+
+	dim := c.SigDim
+	if c.embeds != nil {
+		dim += embedDim
+	}
+	// Centroids seed from the current assignment's member means; an
+	// empty (or all-inactive) cluster keeps its previous centroid so it
+	// can re-attract members on a later iteration.
+	centroids := make([][]float64, c.K)
+	for k := range centroids {
+		centroids[k] = make([]float64, dim)
+	}
+	next := make([]uint8, n)
+	copy(next, c.Assign)
+	const iterations = 4
+	for it := 0; it < iterations; it++ {
+		// Centroid step over the working assignment.
+		members := make([]int, c.K)
+		sums := make([][]float64, c.K)
+		for k := range sums {
+			sums[k] = make([]float64, dim)
+		}
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			k := next[i]
+			members[k]++
+			for j, v := range full[i] {
+				sums[k][j] += v
+			}
+		}
+		for k := range centroids {
+			if members[k] == 0 {
+				continue
+			}
+			for j := range sums[k] {
+				sums[k][j] /= float64(members[k])
+			}
+			normalize(sums[k])
+			centroids[k] = sums[k]
+		}
+		// Assignment step: ascending client ID, best cosine similarity,
+		// ties to the lowest cluster index.
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			best, bestSim := next[i], math.Inf(-1)
+			for k := 0; k < c.K; k++ {
+				if sim := cosine(full[i], centroids[k]); sim > bestSim {
+					best, bestSim = uint8(k), sim
+				}
+			}
+			next[i] = best
+		}
+	}
+	copy(c.Assign, next)
+	c.resetWindow()
+	return c.Sizes()
+}
+
+// resetWindow clears the accumulated signatures for the next window.
+func (c *Clusterer) resetWindow() {
+	for i := range c.sigs {
+		for j := range c.sigs[i] {
+			c.sigs[i][j] = 0
+		}
+		c.counts[i] = 0
+	}
+}
+
+func norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func normalize(v []float64) {
+	n := norm(v)
+	if n == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+// cosine returns the cosine similarity of a and b; zero when either is
+// the zero vector (so never-updated centroids attract nobody over a
+// genuine match).
+func cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}

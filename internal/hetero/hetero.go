@@ -1,0 +1,88 @@
+// Package hetero federates clients that do not share a model shape —
+// the heterogeneous-model regime the related work motivates (graph
+// hypernetworks across architectures; HeteroFL's width-sliced clients)
+// layered over this repo's transport-agnostic algorithm cores.
+//
+// Two pillars, composable and independently degenerate:
+//
+//   - Clustered aggregation: the server keeps K full-width models. Each
+//     client trains against its cluster's model; per-cluster
+//     accumulators fold uploads through the same streaming engine the
+//     homogeneous aggregators use. A deterministic assigner (seeded
+//     k-means over cosine similarity of sketched update directions,
+//     fixed iteration count, client-ID tie-breaks) re-clusters every
+//     ReassignEvery rounds, journaled as cluster_assign events.
+//
+//   - Width-heterogeneous clients: each client declares a width
+//     multiplier (0.25/0.5/1.0, ...); a SliceSpec maps that multiplier
+//     to the deterministic channel-prefix slice of the full-width state
+//     the client trains and uploads. The server folds mismatched
+//     uploads into the full model with per-index participation-weighted
+//     averaging (HeteroFL-style): every index is divided by the weight
+//     of exactly the clients whose slice covered it.
+//
+// With Clusters=1 and Widths={1.0} the whole machinery reduces —
+// bitwise, not just statistically — to algo.FedAvg: one cluster
+// accumulator fed full-coverage slices is FedAvg's fold chain, and the
+// per-index weight sum is then constant. The degenerate-equivalence
+// tests pin this.
+//
+// Determinism is inherited, not re-derived: uploads fold in canonical
+// ascending-client-ID order whatever the arrival permutation (the
+// algo.Stream cursor), per-index accumulation is chunked float64 work
+// that is associative within an index, and cluster signatures are
+// per-client sums — so the federation is bitwise reproducible at any
+// GOMAXPROCS and over either transport.
+package hetero
+
+import "math"
+
+// Options configures a heterogeneous federation. The zero value (after
+// WithDefaults) is the degenerate homogeneous case: one cluster, every
+// client at full width.
+type Options struct {
+	// Clusters is K, the number of cluster models the server maintains.
+	Clusters int
+	// Widths is the width-multiplier pool; client i trains the
+	// Widths[i % len(Widths)] slice. Each width must be in (0, 1].
+	Widths []float64
+	// ReassignEvery re-runs the cluster assigner after every this many
+	// rounds. 0 means the default; negative disables reassignment (the
+	// initial round-robin assignment is kept for the whole federation).
+	ReassignEvery int
+	// SigDim is the sketch dimension of the per-client update-direction
+	// signature the assigner clusters on.
+	SigDim int
+}
+
+// WithDefaults fills zero fields with the standard settings.
+func (o Options) WithDefaults() Options {
+	if o.Clusters == 0 {
+		o.Clusters = 1
+	}
+	if len(o.Widths) == 0 {
+		o.Widths = []float64{1}
+	}
+	if o.ReassignEvery == 0 {
+		o.ReassignEvery = 5
+	}
+	if o.SigDim == 0 {
+		o.SigDim = 32
+	}
+	return o
+}
+
+// WidthFor returns the width multiplier client clientID trains at: the
+// deterministic round-robin assignment over the pool, so both ends of
+// the wire (and every transport) agree without negotiation.
+func (o Options) WidthFor(clientID int) float64 {
+	return o.Widths[clientID%len(o.Widths)]
+}
+
+// WidthMilli quantizes a width multiplier to thousandths — the wire
+// representation (comm.HeteroUpdate.WidthMilli) and the key of every
+// per-width table. Quantizing once, here, keeps float widths like 0.1
+// from hashing differently on the two ends of the wire.
+func WidthMilli(w float64) uint16 {
+	return uint16(math.Round(w * 1000))
+}

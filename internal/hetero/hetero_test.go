@@ -1,0 +1,297 @@
+package hetero
+
+import (
+	"bytes"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"spatl/internal/comm"
+	"spatl/internal/data"
+	"spatl/internal/fl"
+	"spatl/internal/models"
+	"spatl/internal/nn"
+)
+
+// testEnv builds a small but real FL environment over the synthetic
+// CIFAR task, Dirichlet-partitioned across clients.
+func testEnv(t testing.TB, arch string, width float64, numClients int, seed int64) *fl.Env {
+	t.Helper()
+	cfg := fl.Config{
+		NumClients: numClients, SampleRatio: 1, LocalEpochs: 1, BatchSize: 16,
+		LR: 0.05, Momentum: 0.9, Seed: seed,
+	}
+	spec := models.Spec{Arch: arch, Classes: 4, InC: 3, H: 8, W: 8, Width: width}
+	ds := data.SynthCIFAR(data.SynthCIFARConfig{Classes: 4, H: 8, W: 8, Noise: 0.25}, numClients*60, 11, 12)
+	parts := data.DirichletPartition(ds.Y, 4, numClients, 0.5, 10, rand.New(rand.NewSource(seed+5)))
+	var cd []fl.ClientData
+	for _, p := range parts {
+		sub := ds.Subset(p)
+		tr, va := sub.Split(0.8)
+		cd = append(cd, fl.ClientData{Train: tr, Val: va})
+	}
+	return fl.NewEnv(spec, cfg, cd)
+}
+
+// runRounds drives an algorithm for the given number of rounds with
+// full participation, mirroring fl.Run minus evaluation.
+func runRounds(env *fl.Env, alg fl.Algorithm, rounds int) {
+	alg.Setup(env)
+	for r := 0; r < rounds; r++ {
+		alg.Round(env, r, env.SampleClients())
+	}
+}
+
+func f32Bytes(v []float32) []byte {
+	buf := make([]byte, 0, 4*len(v))
+	for _, x := range v {
+		b := comm.EncodeDense([]float32{x})
+		buf = append(buf, b[5:9]...)
+	}
+	return buf
+}
+
+func TestSliceSpecInvariants(t *testing.T) {
+	m := models.Build(models.Spec{Arch: "resnet20", Classes: 4, InC: 3, H: 8, W: 8, Width: 0.25}, 7)
+	total := m.StateLen(models.ScopeAll)
+	trainable := nn.ParamCount(m.Params())
+	widths := []float64{0.25, 0.5, 1.0}
+	cover := map[float64][]bool{}
+	for _, w := range widths {
+		s := NewSliceSpec(m, w)
+		if s.StateLen != total {
+			t.Fatalf("w=%g: StateLen %d, want %d", w, s.StateLen, total)
+		}
+		// Every SliceSpec is a valid sparse layout.
+		sp := comm.Sparse{Ranges: s.Ranges, Values: make([]float32, s.Count())}
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("w=%g: %v", w, err)
+		}
+		bits := make([]bool, total)
+		for _, r := range s.Ranges {
+			for i := r.Start; i < r.Start+r.Len; i++ {
+				bits[i] = true
+			}
+		}
+		// BN running statistics and everything past the trainable
+		// parameters always ship.
+		for i := trainable; i < total; i++ {
+			if !bits[i] {
+				t.Fatalf("w=%g: BN statistic index %d not covered", w, i)
+			}
+		}
+		cover[w] = bits
+	}
+	if s := NewSliceSpec(m, 1.0); !s.Full() {
+		t.Fatal("width 1.0 must cover the full state")
+	}
+	if c := NewSliceSpec(m, 0.25).Count(); c >= NewSliceSpec(m, 0.5).Count() {
+		t.Fatalf("narrower slice not smaller: %d", c)
+	}
+	// Nesting: a narrower width's coverage is a subset of a wider one's.
+	for i := 0; i < total; i++ {
+		if cover[0.25][i] && !cover[0.5][i] {
+			t.Fatalf("index %d covered at 0.25 but not 0.5", i)
+		}
+		if cover[0.5][i] && !cover[1.0][i] {
+			t.Fatalf("index %d covered at 0.5 but not 1.0", i)
+		}
+	}
+	// Deterministic: the spec is a pure function of (arch, width).
+	a, b := NewSliceSpec(m, 0.5), NewSliceSpec(m, 0.5)
+	if !a.RangesEqual(b.Ranges) {
+		t.Fatal("same (arch, width) produced different slices")
+	}
+	// No prunable units (mlp): always full coverage.
+	mlp := models.Build(models.Spec{Arch: "mlp", Classes: 4, InC: 3, H: 8, W: 8, Width: 0.5}, 7)
+	if s := NewSliceSpec(mlp, 0.25); !s.Full() {
+		t.Fatal("mlp slice must be full at any width")
+	}
+}
+
+// TestDegenerateEquivalenceFedAvg pins the tentpole's collapse
+// property: one cluster at full width IS FedAvg, bitwise, at any
+// GOMAXPROCS.
+func TestDegenerateEquivalenceFedAvg(t *testing.T) {
+	const clients, rounds, seed = 4, 3, 21
+	run := func(alg fl.Algorithm, procs int) []float32 {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		env := testEnv(t, "mlp", 0.5, clients, seed)
+		runRounds(env, alg, rounds)
+		return env.Global.State(models.ScopeAll)
+	}
+	ref := run(&fl.FedAvg{}, runtime.NumCPU())
+	for _, procs := range []int{1, runtime.NumCPU()} {
+		got := run(&FL{Opts: Options{Clusters: 1, Widths: []float64{1}}}, procs)
+		if !bytes.Equal(f32Bytes(got), f32Bytes(ref)) {
+			t.Fatalf("degenerate hetero differs from FedAvg at GOMAXPROCS=%d", procs)
+		}
+	}
+}
+
+// TestHeteroDeterministicAcrossProcs pins the non-degenerate case: a
+// 2-cluster, 3-width federation reproduces bitwise at any GOMAXPROCS.
+func TestHeteroDeterministicAcrossProcs(t *testing.T) {
+	const clients, rounds, seed = 6, 3, 33
+	opts := Options{Clusters: 2, Widths: []float64{0.25, 0.5, 1.0}, ReassignEvery: 2}
+	run := func(procs int) ([]float32, []uint8) {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		env := testEnv(t, "resnet20", 0.25, clients, seed)
+		alg := &FL{Opts: opts}
+		runRounds(env, alg, rounds)
+		var state []float32
+		for k := 0; k < opts.Clusters; k++ {
+			state = append(state, alg.Aggregator().Model(k)...)
+		}
+		return state, append([]uint8(nil), alg.Aggregator().Assignments()...)
+	}
+	s1, a1 := run(1)
+	sN, aN := run(runtime.NumCPU())
+	if !bytes.Equal(f32Bytes(s1), f32Bytes(sN)) {
+		t.Fatal("cluster models differ across GOMAXPROCS")
+	}
+	if !bytes.Equal(a1, aN) {
+		t.Fatalf("assignments differ across GOMAXPROCS: %v vs %v", a1, aN)
+	}
+}
+
+// TestAssignmentDeterministicAcrossShuffles replays the identical round
+// into fresh aggregators under 6 seeded arrival permutations; the
+// committed cluster assignment must not depend on arrival order.
+func TestAssignmentDeterministicAcrossShuffles(t *testing.T) {
+	const clients, seed = 6, 9
+	opts := Options{Clusters: 2, Widths: []float64{0.25, 0.5, 1.0}, ReassignEvery: 1}
+	env := testEnv(t, "resnet20", 0.25, clients, seed)
+	cfg := env.AlgoConfig()
+
+	// Produce one genuine upload per client from the round-0 broadcast.
+	ref := NewAggregator(env.Global, opts, cfg)
+	bcast := append([]byte(nil), ref.Broadcast(0)...)
+	payloads := make([][]byte, clients)
+	sizes := make([]int, clients)
+	for i, c := range env.Clients {
+		up := NewTrainer(c, opts, cfg).LocalUpdate(0, bcast)
+		if up == nil {
+			t.Fatalf("client %d produced no upload", i)
+		}
+		payloads[i] = append([]byte(nil), up...)
+		sizes[i] = c.Train.Len()
+	}
+
+	selected := make([]uint32, clients)
+	for i := range selected {
+		selected[i] = uint32(i)
+	}
+	var want []uint8
+	for shuffle := 0; shuffle < 6; shuffle++ {
+		// Fresh environment so client/global models match the reference
+		// construction exactly.
+		e := testEnv(t, "resnet20", 0.25, clients, seed)
+		a := NewAggregator(e.Global, opts, e.AlgoConfig())
+		a.Broadcast(0)
+		order := rand.New(rand.NewSource(int64(100 + shuffle))).Perm(clients)
+		a.BeginRound(0, selected)
+		for _, i := range order {
+			a.Collect(0, uint32(i), sizes[i], payloads[i])
+		}
+		a.FinishRound(0) // ReassignEvery=1 → reassignment commits here
+		got := append([]uint8(nil), a.Assignments()...)
+		if shuffle == 0 {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("shuffle %d: assignment %v, want %v", shuffle, got, want)
+		}
+	}
+	if a := ref.Assignments(); len(a) != clients {
+		t.Fatalf("reference assignment table has %d entries", len(a))
+	}
+}
+
+// TestDroppedCountsMalformedUploads pins the validation path: garbage,
+// truncated-slice-spec, unknown-width, wrong-cluster and mismatched
+// -ranges uploads are all counted in Dropped() and never fold.
+func TestDroppedCountsMalformedUploads(t *testing.T) {
+	const clients, seed = 3, 5
+	opts := Options{Clusters: 1, Widths: []float64{0.5}}
+	env := testEnv(t, "resnet20", 0.25, clients, seed)
+	cfg := env.AlgoConfig()
+	a := NewAggregator(env.Global, opts, cfg)
+	a.Broadcast(0)
+	before := append([]float32(nil), a.Model(0)...)
+
+	sl := a.Slice(500)
+	goodVals := make([]float32, sl.Count())
+	mk := func(mut func(*comm.HeteroUpdate)) []byte {
+		u := &comm.HeteroUpdate{Cluster: 0, WidthMilli: 500,
+			Sparse: comm.Sparse{Ranges: sl.Ranges, Values: goodVals}}
+		mut(u)
+		return comm.EncodeHeteroUpdate(u)
+	}
+	cases := [][]byte{
+		[]byte("not a frame"),
+		mk(func(u *comm.HeteroUpdate) { u.WidthMilli = 3000 }), // unknown width
+		mk(func(u *comm.HeteroUpdate) { u.Cluster = 7 }),       // wrong cluster
+		mk(func(u *comm.HeteroUpdate) { // slice spec not the server's
+			u.Ranges = []comm.Range{{Start: 0, Len: uint32(len(goodVals))}}
+		}),
+		mk(func(*comm.HeteroUpdate) {})[:9], // truncated slice spec
+	}
+	for i, payload := range cases {
+		a.Collect(0, uint32(i%clients), 10, payload)
+	}
+	a.FinishRound(0)
+	if got := a.Dropped(); got != int64(len(cases)) {
+		t.Fatalf("Dropped() = %d, want %d", got, len(cases))
+	}
+	if !bytes.Equal(f32Bytes(a.Model(0)), f32Bytes(before)) {
+		t.Fatal("dropped uploads mutated the cluster model")
+	}
+}
+
+// TestWidthSlicedRoundMovesOnlySlice pins the width pillar end to end:
+// a half-width client's upload carries exactly the slice, and after a
+// round the cluster model changed only where some slice covered it.
+func TestWidthSlicedRoundMovesOnlySlice(t *testing.T) {
+	const clients, seed = 3, 13
+	opts := Options{Clusters: 1, Widths: []float64{0.5}}
+	env := testEnv(t, "resnet20", 0.25, clients, seed)
+	cfg := env.AlgoConfig()
+	a := NewAggregator(env.Global, opts, cfg)
+	before := append([]float32(nil), a.Model(0)...)
+	bcast := a.Broadcast(0)
+	tr := NewTrainer(env.Clients[0], opts, cfg)
+	up := tr.LocalUpdate(0, bcast)
+	dec, err := comm.DecodeHeteroUpdate(up)
+	if err != nil {
+		t.Fatalf("upload does not decode: %v", err)
+	}
+	if !tr.Slice().RangesEqual(dec.Ranges) || dec.WidthMilli != 500 {
+		t.Fatal("upload slice spec does not match the trainer's")
+	}
+	a.Collect(0, 0, env.Clients[0].Train.Len(), up)
+	a.FinishRound(0)
+	sl := a.Slice(500)
+	covered := make([]bool, sl.StateLen)
+	for _, r := range sl.Ranges {
+		for i := r.Start; i < r.Start+r.Len; i++ {
+			covered[i] = true
+		}
+	}
+	after := a.Model(0)
+	changed := false
+	for i := range after {
+		if !covered[i] && after[i] != before[i] {
+			t.Fatalf("uncovered index %d changed", i)
+		}
+		if covered[i] && after[i] != before[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("round changed nothing inside the slice")
+	}
+}

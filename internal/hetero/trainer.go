@@ -1,0 +1,100 @@
+package hetero
+
+import (
+	"math/rand"
+
+	"spatl/internal/algo"
+	"spatl/internal/comm"
+	"spatl/internal/models"
+	"spatl/internal/nn"
+)
+
+// Trainer is the client side of a heterogeneous federation: install the
+// broadcast cluster model, train the width slice (weights outside the
+// slice take no gradient step — the mask-static mechanism shared with
+// SSFL, here holding the broadcast values instead of zeros), and upload
+// only the slice's values stamped with the cluster and width the server
+// will validate.
+//
+// With weight decay enabled the frozen entries still decay inside the
+// optimizer step (decay is part of the step, not the gradient); they
+// are never uploaded, so the server-side models are unaffected — see
+// DESIGN.md §15.
+type Trainer struct {
+	algo.Telemetered
+	Client *algo.Client
+
+	// FinalModel is populated by Finish (the client's cluster model).
+	FinalModel []float32
+
+	opts   Options
+	cfg    algo.Config
+	slice  *SliceSpec
+	frozen []comm.Range      // slice complement clipped to trainable params
+	bcast  comm.HeteroBcast  // reusable decode target
+	up     comm.HeteroUpdate // reusable upload frame
+	upBuf  []byte            // reusable upload body
+}
+
+// NewTrainer wires a trainer around a client. The width slice is
+// derived locally from (architecture, opts) — byte-for-byte the spec
+// the server derives, with no negotiation.
+func NewTrainer(c *algo.Client, opts Options, cfg algo.Config) *Trainer {
+	opts = opts.WithDefaults()
+	t := &Trainer{Client: c, opts: opts, cfg: cfg.WithDefaults()}
+	t.slice = NewSliceSpec(c.Model, opts.WidthFor(c.ID))
+	if !t.slice.Full() {
+		t.frozen = algo.ClipRanges(t.slice.Complement(), nn.ParamCount(c.Model.Params()))
+	}
+	return t
+}
+
+// Slice exposes the client's width slice (read-only use).
+func (t *Trainer) Slice() *SliceSpec { return t.slice }
+
+// LocalUpdate implements algo.Trainer.
+func (t *Trainer) LocalUpdate(round int, payload []byte) []byte {
+	sp := t.RoundSpan(round, "client.update")
+	defer sp.End()
+	m := t.Client.Model
+	n := m.StateLen(models.ScopeAll)
+	if err := comm.DecodeHeteroBcastInto(&t.bcast, payload); err != nil ||
+		t.bcast.StateLen != n || t.Client.ID >= len(t.bcast.Assign) {
+		return nil
+	}
+	k := int(t.bcast.Assign[t.Client.ID])
+	m.SetState(models.ScopeAll, t.bcast.Model(k))
+	opts := algo.LocalOpts{
+		Params: m.Params(), Epochs: t.cfg.LocalEpochs, BatchSize: t.cfg.BatchSize,
+		LR: t.cfg.LRAt(round), Momentum: t.cfg.Momentum,
+		WeightDecay: t.cfg.WeightDecay, GradClip: t.cfg.GradClip,
+	}
+	if len(t.frozen) > 0 {
+		opts.Hook = algo.ZeroGradRangesHook(t.frozen, m.Params())
+	}
+	rng := rand.New(rand.NewSource(algo.ClientSeed(t.cfg.Seed, round, t.Client.ID)))
+	train := sp.Child("client.train")
+	algo.LocalSGD(t.Client, opts, rng)
+	train.End()
+	state := m.StateInto(models.ScopeAll, comm.GetF32(n))
+	comm.GatherSparseInto(&t.up.Sparse, state, t.slice.Ranges)
+	comm.PutF32(state)
+	t.up.Cluster = uint8(k)
+	t.up.WidthMilli = t.slice.Milli
+	t.upBuf = comm.EncodeHeteroUpdateInto(t.upBuf, &t.up)
+	return t.upBuf
+}
+
+// Finish implements algo.Trainer: install this client's cluster model
+// from the final broadcast.
+func (t *Trainer) Finish(payload []byte) {
+	m := t.Client.Model
+	if err := comm.DecodeHeteroBcastInto(&t.bcast, payload); err != nil ||
+		t.bcast.StateLen != m.StateLen(models.ScopeAll) ||
+		t.Client.ID >= len(t.bcast.Assign) {
+		return
+	}
+	st := t.bcast.Model(int(t.bcast.Assign[t.Client.ID]))
+	m.SetState(models.ScopeAll, st)
+	t.FinalModel = append(t.FinalModel[:0], st...)
+}

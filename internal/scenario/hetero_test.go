@@ -1,0 +1,169 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// heteroBase is the smallest runnable heterogeneous cell: 2 clusters
+// over a 3-width client cycle on the micro ResNet.
+func heteroBase() Spec {
+	s := microBase()
+	s.Algo = "hetero"
+	s.Arch = "resnet20"
+	s.Rounds = 2
+	s.Params.Clusters = 2
+	s.Params.WidthDist = []float64{0.25, 0.5, 1.0}
+	s.Params.ReassignEvery = 1
+	return s
+}
+
+// TestHeteroCellDeterministicAcrossTransports pins the ISSUE's
+// acceptance cell: a 2-cluster, width-{0.25,0.5,1.0} federation runs
+// over both the in-process driver and real loopback TCP, produces
+// byte-identical zero-time journals across runs, and journals its
+// cluster reassignments.
+func TestHeteroCellDeterministicAcrossTransports(t *testing.T) {
+	for _, tr := range []Transport{
+		{Kind: TransportSim},
+		{Kind: TransportTCP},
+	} {
+		tr := tr
+		t.Run(tr.transportTag(), func(t *testing.T) {
+			t.Parallel()
+			spec := heteroBase()
+			spec.Transport = tr
+			var j1, j2 bytes.Buffer
+			if err := RunCell(spec, &j1); err != nil {
+				t.Fatal(err)
+			}
+			if err := RunCell(spec, &j2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+				t.Fatalf("journals differ across identical runs:\n%s\nvs\n%s", j1.String(), j2.String())
+			}
+			for _, ev := range []string{"round_start", "client_upload", "cluster_assign", "eval"} {
+				if !strings.Contains(j1.String(), ev) {
+					t.Fatalf("journal missing %s events:\n%s", ev, j1.String())
+				}
+			}
+		})
+	}
+}
+
+// TestMatrixHeteroAxes: the clusters / width_dists axes expand into the
+// cross-product and stamp the cell key, so two cells differing only in
+// cluster count or width cycle never collide.
+func TestMatrixHeteroAxes(t *testing.T) {
+	m := Matrix{
+		Base: heteroBase(),
+		Axes: Axes{
+			Clusters:   []int{1, 2},
+			WidthDists: [][]float64{{1}, {0.25, 0.5, 1.0}},
+		},
+	}
+	if n := m.CellCount(); n != 4 {
+		t.Fatalf("CellCount = %d, want 4", n)
+	}
+	cells, err := m.Expand(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("expanded to %d cells, want 4", len(cells))
+	}
+	keys := map[string]bool{}
+	for _, c := range cells {
+		keys[c.Key()] = true
+	}
+	if len(keys) != 4 {
+		t.Fatalf("cell keys collide: %v", keys)
+	}
+	want := heteroBase()
+	want.Params.Clusters, want.Params.WidthDist = 2, []float64{0.25, 0.5, 1.0}
+	key := want.dimsKey()
+	if !strings.Contains(key, "k2") || !strings.Contains(key, "wd250-500-1000") {
+		t.Fatalf("dimsKey misses hetero axes: %s", key)
+	}
+}
+
+// TestMatrixRejectsBadHeteroCells: validation catches cluster counts
+// over the population and out-of-range widths at expansion time.
+func TestMatrixRejectsBadHeteroCells(t *testing.T) {
+	over := heteroBase()
+	over.Params.Clusters = over.Clients + 1
+	if err := over.Validate(); err == nil {
+		t.Fatal("clusters > clients must not validate")
+	}
+	wide := heteroBase()
+	wide.Params.WidthDist = []float64{1.5}
+	if err := wide.Validate(); err == nil {
+		t.Fatal("width > 1 must not validate")
+	}
+}
+
+// TestRunMatrixCacheSkipsUnchanged: a cached re-run serves every
+// unchanged cell from its journal (byte-identical output, Cached set),
+// and a spec change invalidates exactly the affected cells.
+func TestRunMatrixCacheSkipsUnchanged(t *testing.T) {
+	m := Matrix{
+		Base: func() Spec { s := microBase(); s.Rounds = 2; return s }(),
+		Axes: Axes{Algos: []string{"fedavg", "fedprox"}},
+	}
+	dir := t.TempDir()
+	first, err := RunMatrix(m, RunOptions{OutDir: dir, Cache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	journals := map[string][]byte{}
+	for _, r := range first {
+		if r.Err != nil {
+			t.Fatalf("cell %s: %v", r.Key, r.Err)
+		}
+		if r.Cached {
+			t.Fatalf("cell %s cached on a cold run", r.Key)
+		}
+		b, err := os.ReadFile(r.JournalPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		journals[r.Key] = b
+	}
+	second, err := RunMatrix(m, RunOptions{OutDir: dir, Cache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range second {
+		if r.Err != nil {
+			t.Fatalf("cell %s: %v", r.Key, r.Err)
+		}
+		if !r.Cached {
+			t.Fatalf("cell %s re-ran despite an unchanged spec", r.Key)
+		}
+		b, err := os.ReadFile(r.JournalPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b, journals[r.Key]) {
+			t.Fatalf("cell %s: cached journal mutated", r.Key)
+		}
+	}
+	// A spec change (more rounds) must invalidate: the cell keys stay the
+	// same, so the hash sidecar is what catches it.
+	m.Base.Rounds = 3
+	third, err := RunMatrix(m, RunOptions{OutDir: dir, Cache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range third {
+		if r.Err != nil {
+			t.Fatalf("cell %s: %v", r.Key, r.Err)
+		}
+		if r.Cached {
+			t.Fatalf("cell %s served stale cache after a spec change", r.Key)
+		}
+	}
+}

@@ -32,6 +32,10 @@ type Axes struct {
 	Churn []float64 `json:"churn,omitempty"`
 	// Archs sweeps the model architecture.
 	Archs []string `json:"archs,omitempty"`
+	// Clusters sweeps hetero's cluster-model count.
+	Clusters []int `json:"clusters,omitempty"`
+	// WidthDists sweeps hetero's client width-multiplier cycle.
+	WidthDists [][]float64 `json:"width_dists,omitempty"`
 	// Seeds sweeps the base seed (per-cell seeds still derive from the
 	// cell key, so two cells never share RNG streams).
 	Seeds []int64 `json:"seeds,omitempty"`
@@ -107,6 +111,8 @@ func (m Matrix) CellCount() int {
 		len(m.Axes.partitions(base.Partition)) *
 		len(orDefault(m.Axes.Transports, Transport{})) *
 		len(orDefault(m.Axes.Churn, 0)) *
+		len(orDefault(m.Axes.Clusters, 0)) *
+		len(orDefault(m.Axes.WidthDists, nil)) *
 		len(orDefault(m.Axes.Seeds, 0))
 	return n
 }
@@ -130,32 +136,38 @@ func (m Matrix) Expand(force bool) ([]Spec, error) {
 					for _, pt := range m.Axes.partitions(base.Partition) {
 						for _, tr := range orDefault(m.Axes.Transports, base.Transport) {
 							for _, churn := range orDefault(m.Axes.Churn, base.Churn) {
-								for _, seed := range orDefault(m.Axes.Seeds, base.Seed) {
-									cell := base
-									cell.Name = ""
-									cell.Algo = alg
-									cell.Arch = arch
-									cell.Clients = nc
-									// Writers scales with the population unless
-									// the base pinned it explicitly.
-									if m.Base.Writers == 0 {
-										cell.Writers = 3 * nc
+								for _, kc := range orDefault(m.Axes.Clusters, base.Params.Clusters) {
+									for _, wd := range orDefault(m.Axes.WidthDists, base.Params.WidthDist) {
+										for _, seed := range orDefault(m.Axes.Seeds, base.Seed) {
+											cell := base
+											cell.Name = ""
+											cell.Algo = alg
+											cell.Arch = arch
+											cell.Clients = nc
+											// Writers scales with the population unless
+											// the base pinned it explicitly.
+											if m.Base.Writers == 0 {
+												cell.Writers = 3 * nc
+											}
+											cell.Participation = part
+											cell.Partition = pt
+											cell.Transport = tr
+											cell.Churn = churn
+											cell.Params.Clusters = kc
+											cell.Params.WidthDist = wd
+											cell = cell.WithDefaults()
+											cell.Seed = DeriveSeed(seed, cell.dimsKey())
+											if err := cell.Validate(); err != nil {
+												return nil, fmt.Errorf("cell %s: %w", cell.dimsKey(), err)
+											}
+											if key := cell.Key(); seen[key] {
+												return nil, fmt.Errorf("scenario: matrix %q produces duplicate cell %s (degenerate axes)", m.Name, key)
+											} else {
+												seen[key] = true
+											}
+											cells = append(cells, cell)
+										}
 									}
-									cell.Participation = part
-									cell.Partition = pt
-									cell.Transport = tr
-									cell.Churn = churn
-									cell = cell.WithDefaults()
-									cell.Seed = DeriveSeed(seed, cell.dimsKey())
-									if err := cell.Validate(); err != nil {
-										return nil, fmt.Errorf("cell %s: %w", cell.dimsKey(), err)
-									}
-									if key := cell.Key(); seen[key] {
-										return nil, fmt.Errorf("scenario: matrix %q produces duplicate cell %s (degenerate axes)", m.Name, key)
-									} else {
-										seen[key] = true
-									}
-									cells = append(cells, cell)
 								}
 							}
 						}

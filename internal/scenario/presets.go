@@ -81,6 +81,28 @@ var presets = map[string]Preset{
 			},
 		},
 	},
+	"hetero": {
+		Name:        "hetero",
+		Description: "clustered hetero: 2 cluster counts x 2 width cycles, sim + tcp (8 cells)",
+		Matrix: Matrix{
+			Name: "hetero",
+			Base: func() Spec {
+				s := microBase()
+				s.Algo = "hetero"
+				s.Arch = "resnet20"
+				s.Params.ReassignEvery = 1
+				return s
+			}(),
+			Axes: Axes{
+				Clusters:   []int{1, 2},
+				WidthDists: [][]float64{{1}, {0.25, 0.5, 1.0}},
+				Transports: []Transport{
+					{Kind: TransportSim},
+					{Kind: TransportTCP},
+				},
+			},
+		},
+	},
 	"acceptance": {
 		Name:        "acceptance",
 		Description: "2 algos x 2 participation x 2 skews x 2 transports (16 cells)",

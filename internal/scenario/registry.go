@@ -9,6 +9,7 @@ import (
 	"spatl/internal/core"
 	"spatl/internal/data"
 	"spatl/internal/fl"
+	"spatl/internal/hetero"
 	"spatl/internal/models"
 	"spatl/internal/rl"
 )
@@ -66,6 +67,16 @@ func spatlOptions(p Params) algo.SPATLOptions {
 
 func ssflOptions(p Params) algo.SSFLOptions {
 	return algo.SSFLOptions{KeepRatio: p.KeepRatio}
+}
+
+// heteroOptions assembles the heterogeneous-federation options; zero
+// fields fall through to hetero.Options.WithDefaults.
+func heteroOptions(p Params) hetero.Options {
+	return hetero.Options{
+		Clusters:      p.Clusters,
+		Widths:        p.WidthDist,
+		ReassignEvery: p.ReassignEvery,
+	}
 }
 
 // tuneLR applies the per-algorithm learning-rate override.
@@ -215,6 +226,18 @@ func init() {
 		},
 		NewTrainer: func(c *algo.Client, p Params, cfg algo.Config) algo.Trainer {
 			return algo.NewSPATLTrainer(c, spatlOptions(p), cfg)
+		},
+		Tune: tuneLR,
+	})
+	Register(Entry{
+		Name:    "hetero",
+		Summary: "clustered aggregation over width-heterogeneous clients",
+		New:     func(p Params) fl.Algorithm { return &hetero.FL{Opts: heteroOptions(p)} },
+		NewAggregator: func(g *models.SplitModel, p Params, cfg algo.Config) algo.Aggregator {
+			return hetero.NewAggregator(g, heteroOptions(p), cfg)
+		},
+		NewTrainer: func(c *algo.Client, p Params, cfg algo.Config) algo.Trainer {
+			return hetero.NewTrainer(c, heteroOptions(p), cfg)
 		},
 		Tune: tuneLR,
 	})

@@ -11,6 +11,7 @@ import (
 
 	"spatl/internal/fl"
 	"spatl/internal/flnet"
+	"spatl/internal/hetero"
 	"spatl/internal/models"
 	"spatl/internal/telemetry"
 )
@@ -25,6 +26,11 @@ type RunOptions struct {
 	Workers int
 	// Force overrides the matrix cell cap.
 	Force bool
+	// Cache skips cells whose journal already exists in OutDir next to a
+	// .hash sidecar matching the cell's SpecHash — a re-run after a
+	// matrix edit only executes the changed cells. Stats still come from
+	// the cached journal, so the report covers every cell either way.
+	Cache bool
 	// Log, when set, receives one progress line per finished cell and
 	// the final report.
 	Log io.Writer
@@ -37,6 +43,8 @@ type CellResult struct {
 	JournalPath string
 	Stats       CellStats
 	Err         error
+	// Cached marks a cell served from a prior run's journal.
+	Cached bool
 }
 
 // RunCell executes one scenario cell, writing its zero-time journal to
@@ -115,7 +123,8 @@ func runCellTCP(spec Spec, tel *telemetry.Set) error {
 			clientErrs[i] = flnet.RunClientOpts(srv.Addr(), uint32(i), n, tr, flnet.ClientOptions{})
 		}(i, c.Train.Len(), tr)
 	}
-	runErr := srv.Run(entry.NewAggregator(env.Global, p, acfg))
+	agg := entry.NewAggregator(env.Global, p, acfg)
+	runErr := srv.Run(agg)
 	wg.Wait()
 	if runErr != nil {
 		return fmt.Errorf("scenario: tcp cell server: %w", runErr)
@@ -128,12 +137,17 @@ func runCellTCP(spec Spec, tel *telemetry.Set) error {
 	// Final accuracy, measured exactly as the in-process runner does:
 	// the aggregator mutated env.Global in place, so the global model is
 	// the post-final-aggregate state. SPATL and SSFL share only the
-	// encoder — compose it with each client's private predictor.
+	// encoder — compose it with each client's private predictor; a
+	// hetero client deploys its cluster's model, not a single global one.
 	var sum float64
 	for _, c := range env.Clients {
 		m := env.Global
 		if spec.Algo == "spatl" || spec.Algo == "ssfl" {
 			c.Model.SetState(models.ScopeEncoder, env.Global.State(models.ScopeEncoder))
+			m = c.Model
+		}
+		if ha, ok := agg.(*hetero.Aggregator); ok {
+			ha.InstallClientModel(c.ID, c.Model)
 			m = c.Model
 		}
 		acc := fl.EvalAccuracy(m, c.Val, 64)
@@ -161,6 +175,28 @@ func RunCellFile(spec Spec, path string) error {
 
 // JournalName returns the journal filename for a cell.
 func JournalName(spec Spec) string { return spec.Key() + ".jsonl" }
+
+// hashPath is the cache sidecar next to a cell's journal.
+func hashPath(journalPath string) string {
+	return journalPath[:len(journalPath)-len(".jsonl")] + ".hash"
+}
+
+// cacheFresh reports whether journalPath holds a result for exactly this
+// spec: journal present and sidecar hash equal to SpecHash(spec).
+func cacheFresh(journalPath string, spec Spec) bool {
+	want := SpecHash(spec)
+	if want == "" {
+		return false
+	}
+	got, err := os.ReadFile(hashPath(journalPath))
+	if err != nil || string(got) != want+"\n" {
+		return false
+	}
+	if _, err := os.Stat(journalPath); err != nil {
+		return false
+	}
+	return true
+}
 
 // RunMatrix expands the matrix and runs every cell over a bounded
 // worker pool, writing one journal per cell into OutDir plus report.txt
@@ -198,7 +234,14 @@ func RunMatrix(m Matrix, opts RunOptions) ([]CellResult, error) {
 				cell := cells[i]
 				r := CellResult{Spec: cell, Key: cell.Key()}
 				r.JournalPath = filepath.Join(opts.OutDir, JournalName(cell))
-				r.Err = RunCellFile(cell, r.JournalPath)
+				if opts.Cache && cacheFresh(r.JournalPath, cell) {
+					r.Cached = true
+				} else {
+					r.Err = RunCellFile(cell, r.JournalPath)
+					if r.Err == nil && opts.Cache {
+						r.Err = os.WriteFile(hashPath(r.JournalPath), []byte(SpecHash(cell)+"\n"), 0o644)
+					}
+				}
 				if r.Err == nil {
 					r.Stats, r.Err = StatsFromFile(r.JournalPath, cell)
 				}
@@ -209,8 +252,12 @@ func RunMatrix(m Matrix, opts RunOptions) ([]CellResult, error) {
 					if r.Err != nil {
 						fmt.Fprintf(opts.Log, "[%d/%d] %s: %v\n", done, len(cells), r.Key, r.Err)
 					} else {
-						fmt.Fprintf(opts.Log, "[%d/%d] %s  acc %.3f  up %.2fMB\n",
-							done, len(cells), r.Key, r.Stats.FinalAcc, float64(r.Stats.UpBytes)/(1<<20))
+						tag := ""
+						if r.Cached {
+							tag = "  (cached)"
+						}
+						fmt.Fprintf(opts.Log, "[%d/%d] %s  acc %.3f  up %.2fMB%s\n",
+							done, len(cells), r.Key, r.Stats.FinalAcc, float64(r.Stats.UpBytes)/(1<<20), tag)
 					}
 					mu.Unlock()
 				}

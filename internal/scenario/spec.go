@@ -32,6 +32,7 @@ import (
 
 	"spatl/internal/data"
 	"spatl/internal/fl"
+	"spatl/internal/hetero"
 	"spatl/internal/models"
 	"spatl/internal/telemetry"
 )
@@ -130,6 +131,15 @@ type Params struct {
 	// agent fine-tuning (defaults 10 / 4).
 	FineTuneRounds   int `json:"fine_tune_rounds,omitempty"`
 	FineTuneEpisodes int `json:"fine_tune_episodes,omitempty"`
+
+	// Clusters is hetero's cluster-model count (default 1).
+	Clusters int `json:"clusters,omitempty"`
+	// WidthDist is hetero's client width-multiplier cycle — client i
+	// trains width WidthDist[i mod len] of the full model (default [1]).
+	WidthDist []float64 `json:"width_dist,omitempty"`
+	// ReassignEvery is hetero's cluster-reassignment period in rounds
+	// (default 5; negative disables reassignment).
+	ReassignEvery int `json:"reassign_every,omitempty"`
 
 	// Pretrained injects pre-trained agent weights at runtime (the
 	// experiments cache); never serialized.
@@ -346,6 +356,18 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("scenario: unknown net profile %q (mobile|broadband)", s.Net.Profile)
 		}
 	}
+	if s.Params.Clusters < 0 || s.Params.Clusters > 255 {
+		return fmt.Errorf("scenario: clusters must be in [1, 255], got %d", s.Params.Clusters)
+	}
+	if s.Params.Clusters > s.Clients {
+		return fmt.Errorf("scenario: %d clusters over %d clients (need clusters <= clients)",
+			s.Params.Clusters, s.Clients)
+	}
+	for _, w := range s.Params.WidthDist {
+		if w <= 0 || w > 1 {
+			return fmt.Errorf("scenario: width_dist entries must be in (0, 1], got %v", w)
+		}
+	}
 	return nil
 }
 
@@ -389,6 +411,16 @@ func (s Spec) dimsKey() string {
 	if s.Churn > 0 {
 		parts = append(parts, fmt.Sprintf("ch%g", s.Churn))
 	}
+	if s.Params.Clusters > 0 {
+		parts = append(parts, fmt.Sprintf("k%d", s.Params.Clusters))
+	}
+	if len(s.Params.WidthDist) > 0 {
+		tags := make([]string, len(s.Params.WidthDist))
+		for i, w := range s.Params.WidthDist {
+			tags[i] = fmt.Sprintf("%d", hetero.WidthMilli(w))
+		}
+		parts = append(parts, "wd"+strings.Join(tags, "-"))
+	}
 	return strings.Join(parts, "_")
 }
 
@@ -417,6 +449,20 @@ func DeriveSeed(base int64, key string) int64 {
 		seed = 1
 	}
 	return seed
+}
+
+// SpecHash is a cell's cache identity: FNV-1a over the canonical JSON
+// serialization. Unlike Key it covers every field (hyperparameters,
+// rounds, net model, ...), so any spec change — not just the key
+// dimensions — invalidates a cached cell result.
+func SpecHash(s Spec) string {
+	b, err := EncodeJSON(s)
+	if err != nil {
+		return ""
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // EncodeJSON is the canonical spec serialization: two-space indented,

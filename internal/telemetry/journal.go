@@ -19,20 +19,21 @@ import (
 
 // Event names, one per lifecycle transition.
 const (
-	EvRoundStart   = "round_start"       // server: broadcast built, round opened
-	EvRoundEnd     = "round_end"         // server: round closed, cumulative traffic
-	EvClientTrain  = "client_train"      // client: local update finished
-	EvClientUpload = "client_upload"     // server: one client's upload applied (client: upload sent)
-	EvClientApply  = "client_apply"      // client: final model installed
-	EvStraggler    = "straggler_timeout" // server: upload missed the straggler deadline
-	EvDrop         = "drop"              // server: contribution lost (crash, I/O or protocol error)
-	EvAggregate    = "aggregate"         // server: uploads folded into the global model
-	EvEval         = "eval"              // harness: periodic accuracy evaluation
-	EvShardPush    = "shard_push"        // edge: pooled shard payload forwarded upstream
-	EvShardDrop    = "shard_drop"        // root: an entire shard's contribution was lost
-	EvQuorum       = "quorum_reached"    // server: round closed at quorum K before the deadline
-	EvLateUpload   = "late_upload"       // server: straggler upload folded into a later round
-	EvMaskAgree    = "mask_agreement"    // server: SSFL global mask agreed, sparse epoch begins
+	EvRoundStart    = "round_start"       // server: broadcast built, round opened
+	EvRoundEnd      = "round_end"         // server: round closed, cumulative traffic
+	EvClientTrain   = "client_train"      // client: local update finished
+	EvClientUpload  = "client_upload"     // server: one client's upload applied (client: upload sent)
+	EvClientApply   = "client_apply"      // client: final model installed
+	EvStraggler     = "straggler_timeout" // server: upload missed the straggler deadline
+	EvDrop          = "drop"              // server: contribution lost (crash, I/O or protocol error)
+	EvAggregate     = "aggregate"         // server: uploads folded into the global model
+	EvEval          = "eval"              // harness: periodic accuracy evaluation
+	EvShardPush     = "shard_push"        // edge: pooled shard payload forwarded upstream
+	EvShardDrop     = "shard_drop"        // root: an entire shard's contribution was lost
+	EvQuorum        = "quorum_reached"    // server: round closed at quorum K before the deadline
+	EvLateUpload    = "late_upload"       // server: straggler upload folded into a later round
+	EvMaskAgree     = "mask_agreement"    // server: SSFL global mask agreed, sparse epoch begins
+	EvClusterAssign = "cluster_assign"    // server: hetero cluster (re-)assignment committed
 )
 
 // NoClient marks events that are not scoped to one client.
@@ -137,6 +138,17 @@ func LateUpload(round, client int, bytes int64) Event {
 // transport.
 func MaskAgreement(round, n int, bytes int64) Event {
 	return Event{Ev: EvMaskAgree, Round: round, Client: NoClient, N: n, Bytes: bytes}
+}
+
+// ClusterAssign: the hetero aggregator committed a cluster
+// (re-)assignment at the end of round; one event per cluster, emitted
+// in ascending cluster order from sequential aggregation code, so the
+// block sits at the same journal position on every transport. The
+// cluster ID rides in the Client field (clusters, like shards, are
+// small dense integers — the fixed schema stays fixed); n is the
+// cluster's member count.
+func ClusterAssign(round, cluster, size int) Event {
+	return Event{Ev: EvClusterAssign, Round: round, Client: cluster, N: size}
 }
 
 // Journal serializes events as JSONL. Emission takes a mutex — journal

@@ -26,6 +26,14 @@
 #                                (scripts/golden/matrix.json) end to end
 #                                and diff every per-cell zero-time
 #                                journal against scripts/golden/matrix/
+#   ./scripts/verify.sh --hetero tier-1 plus the heterogeneous-federation
+#                                battery: vet and -race over
+#                                internal/hetero, the degenerate- and
+#                                cross-transport-equivalence suites, and
+#                                the golden 2-cluster 3-width cell
+#                                (scripts/golden/hetero.json) diffed
+#                                byte-for-byte against
+#                                scripts/golden/hetero/
 #
 # Tier-1 must pass on every commit. The hot-path battery is mandatory
 # for changes touching internal/tensor (SIMD kernels, packed GEMM,
@@ -38,7 +46,10 @@
 # registry — a diff means the exact arithmetic of a seeded federation
 # changed, which must be deliberate (regenerate the goldens with
 #   go run ./cmd/spatl-bench -matrix scripts/golden/matrix.json -out tmp
-# and copy the *.jsonl over). The bench gate is
+# and copy the *.jsonl over). The hetero battery is mandatory for
+# changes touching internal/hetero or the cluster/slice wire frames in
+# internal/comm (goldens regenerate the same way from
+# scripts/golden/hetero.json). The bench gate is
 # advisory (benchmarks are noisy on shared machines) but should be run
 # before committing a new BENCH_N.json.
 set -euo pipefail
@@ -92,6 +103,28 @@ if [[ "${1:-}" == "--matrix" ]]; then
         exit 1
     fi
     echo "== matrix gate: $ngold cells byte-identical =="
+fi
+
+if [[ "${1:-}" == "--hetero" ]]; then
+    echo "== hetero: vet =="
+    go vet ./internal/hetero
+    echo "== hetero: race hammer =="
+    go test -race -count=1 ./internal/hetero
+    echo "== hetero: equivalence suites =="
+    go test -count=1 -run 'Degenerate|DeterministicAcross|HeteroCell' \
+        ./internal/hetero ./internal/scenario
+    go test -count=1 -run 'TestCrossTransportEquivalence/hetero' ./internal/flnet
+    echo "== hetero: golden 2-cluster 3-width cell =="
+    out=$(mktemp -d)
+    trap 'rm -rf "$out"' EXIT
+    go run ./cmd/spatl-bench -matrix scripts/golden/hetero.json -out "$out" >/dev/null
+    for g in scripts/golden/hetero/*.jsonl; do
+        if ! diff -u "$g" "$out/$(basename "$g")"; then
+            echo "verify: journal drift vs golden $(basename "$g")" >&2
+            exit 1
+        fi
+    done
+    echo "== hetero: $(ls scripts/golden/hetero/*.jsonl | wc -l) cells byte-identical =="
 fi
 
 if [[ "${1:-}" == "--obs" ]]; then
